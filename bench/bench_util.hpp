@@ -1,0 +1,85 @@
+// Shared helpers for the evaluation harness: fixed-width table printing and
+// a wall-clock stopwatch. Each bench binary regenerates one table or figure
+// of the paper (see DESIGN.md's evaluation index) and prints paper-reported
+// vs measured values so EXPERIMENTS.md can be refreshed from raw output.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vsd::benchutil {
+
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<size_t> w(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      std::string out = "|";
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        std::string c = i < cells.size() ? cells[i] : "";
+        c.resize(w[i], ' ');
+        out += " " + c + " |";
+      }
+      std::puts(out.c_str());
+    };
+    line(headers_);
+    std::string sep = "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(w[i] + 2, '-') + "|";
+    }
+    std::puts(sep.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+inline std::string fmt_u64(uint64_t v) { return std::to_string(v); }
+
+inline void section(const std::string& title) {
+  std::puts("");
+  std::puts(("== " + title + " ==").c_str());
+}
+
+}  // namespace vsd::benchutil

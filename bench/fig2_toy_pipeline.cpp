@@ -1,0 +1,70 @@
+// FIG2 — the paper's Fig. 2 worked example, reproduced step by step.
+//
+// Paper claims: in isolation E1 has 2 segments (e1,e2) and E2 has 3
+// (e3,e4,e5) of which e3 (the assert failure) is tagged suspect; composing
+// the pipeline E1 -> E2 stitches paths p1 = <e1,e3> and p4 = <e2,e3>, whose
+// constraints — e.g. (in < 0) ∧ (0 < 0) — fold to false, so both suspects
+// are eliminated and the pipeline provably never crashes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bv/printer.hpp"
+#include "elements/toy.hpp"
+#include "pipeline/pipeline.hpp"
+#include "symbex/summary.hpp"
+#include "verify/decomposed.hpp"
+
+using namespace vsd;
+
+int main() {
+  benchutil::section("FIG2 Step 1: per-element segment summaries");
+  symbex::Executor exec;
+  const symbex::ElementSummary s1 =
+      symbex::summarize_element(elements::make_toy_e1(), 8, exec);
+  const symbex::ElementSummary s2 =
+      symbex::summarize_element(elements::make_toy_e2(), 8, exec);
+
+  benchutil::Table t1({"element", "segment", "summary"});
+  const auto list = [&t1](const char* name, const symbex::ElementSummary& s,
+                          size_t base) {
+    size_t i = base;
+    for (const symbex::Segment& g : s.segments) {
+      t1.add_row({name, "e" + std::to_string(i++), g.describe()});
+    }
+    return i;
+  };
+  size_t next = list("E1", s1, 1);
+  list("E2", s2, next);
+  t1.print();
+
+  size_t suspects = 0;
+  for (const symbex::Segment& g : s2.segments) {
+    if (g.action == symbex::SegAction::Trap) ++suspects;
+  }
+  std::printf("\nE1 segments: %zu (paper: 2)   E2 segments: %zu (paper: 3)\n",
+              s1.segments.size(), s2.segments.size());
+  std::printf("suspect segments in E2: %zu (paper: 1, the crash path e3)\n",
+              suspects);
+
+  benchutil::section("FIG2 Step 2: composition eliminates the suspects");
+  pipeline::Pipeline pl;
+  const size_t e1 = pl.add("E1", elements::make_toy_e1());
+  const size_t e2 = pl.add("E2", elements::make_toy_e2());
+  pl.chain({e1, e2});
+
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = 8;
+  verify::DecomposedVerifier verifier(cfg);
+  const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+
+  benchutil::Table t2({"metric", "measured", "paper"});
+  t2.add_row({"verdict", verify::verdict_name(r.verdict), "never crashes"});
+  t2.add_row({"suspects found (Step 1)",
+              benchutil::fmt_u64(r.stats.suspects_found), "1 (e3)"});
+  t2.add_row({"suspect paths eliminated (Step 2)",
+              benchutil::fmt_u64(r.stats.suspects_eliminated),
+              "2 (p1, p4 infeasible)"});
+  t2.add_row({"verification time", benchutil::fmt_seconds(r.seconds), "-"});
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// TAB2 — bounded execution: the maximum number of instructions any packet
+// can make the IP-router pipeline execute, and the witness packet that
+// attains it (paper §3: "the longest pipeline ... executes up to about 3600
+// instructions per packet, and we also identified the packet that yields
+// this maximum result").
+//
+// Absolute counts differ (our IR instruction granularity is not x86), but
+// the structure of the result carries: the bound is proven for all inputs,
+// the witness achieves it, and options-bearing packets dominate the worst
+// case because of the options loop.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "elements/registry.hpp"
+#include "net/headers.hpp"
+#include "verify/decomposed.hpp"
+
+using namespace vsd;
+
+int main() {
+  benchutil::section("TAB2: per-packet instruction bound with witness");
+
+  benchutil::Table t(
+      {"pipeline", "packet len", "verdict", "bound", "exact", "witness run",
+       "time"});
+
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"full IP router",
+       "Classifier -> EthDecap -> CheckIPHeader -> "
+       "IPLookup(10.0.0.0/8 0, 192.168.0.0/16 0) -> DecIPTTL -> IPOptions -> "
+       "EthEncap"},
+      {"router w/o checksum verify",
+       "Classifier -> EthDecap -> CheckIPHeader(nochecksum) -> "
+       "IPLookup(10.0.0.0/8 0) -> DecIPTTL -> IPOptions -> EthEncap"},
+      {"short chain", "CheckIPHeader(nochecksum) -> DecIPTTL"},
+  };
+
+  for (const auto& [name, config] : cases) {
+    for (const size_t len : {34u, 64u, 80u}) {
+      pipeline::Pipeline pl = elements::parse_pipeline(config);
+      verify::DecomposedConfig cfg;
+      cfg.packet_len = len;
+      verify::DecomposedVerifier verifier(cfg);
+      const verify::InstructionBoundReport r =
+          verifier.verify_instruction_bound(pl);
+      t.add_row({name, std::to_string(len), verify::verdict_name(r.verdict),
+                 benchutil::fmt_u64(r.max_instructions),
+                 r.bound_is_exact ? "yes" : "upper bound",
+                 r.witness ? benchutil::fmt_u64(r.witness_instructions) : "-",
+                 benchutil::fmt_seconds(r.seconds)});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\npaper reference: longest pipeline bounded at ~3600 instructions "
+      "per packet,\nwith the maximizing packet identified by the verifier. "
+      "The shape reproduced here:\na finite proven bound for every input, "
+      "attained (exact cases) by the solver's witness packet.\n");
+  return 0;
+}

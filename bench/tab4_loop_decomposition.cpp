@@ -1,0 +1,103 @@
+// TAB4 — loop decomposition (paper §3 "Element Verification"): symbexing
+// the IP-options element naively "would have to execute millions of
+// segments, which would take months"; viewing the loop as a sequence of
+// mini-elements and symbexing one body in isolation makes it tractable.
+//
+// We sweep the symbolic packet length (which bounds the options area) and
+// compare full unrolling against mini-element summarization on the same
+// element. Shape: unroll work grows steeply with the options budget;
+// summarize stays near-constant and still proves trap-freedom and
+// termination.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "elements/ip.hpp"
+#include "solver/solver.hpp"
+#include "symbex/executor.hpp"
+
+using namespace vsd;
+
+namespace {
+
+struct RunResult {
+  size_t segments = 0;
+  uint64_t instructions = 0;
+  uint64_t traps = 0;
+  double seconds = 0;
+  bool truncated = false;
+};
+
+RunResult run(symbex::LoopMode mode, size_t len, solver::Solver* solver,
+              bool solver_forks) {
+  const ir::Program prog = elements::make_ip_options();
+  symbex::ExecOptions eo;
+  eo.loop_mode = mode;
+  eo.solver = solver;
+  if (solver_forks) eo.fork_check = symbex::ForkCheck::Solver;
+  // Keep the naive runs bounded: the blow-up is the result, not something
+  // to wait (or swap) for. Segments hold full symbolic exit state, so the
+  // segment cap also bounds memory.
+  eo.max_segments = 1u << 14;
+  eo.max_instructions = 1ull << 24;
+  eo.time_budget_seconds = 10.0;
+  symbex::Executor exec(eo);
+  benchutil::Stopwatch sw;
+  const symbex::ExploreResult r =
+      exec.explore(prog, symbex::SymPacket::symbolic(len, "p"));
+  RunResult out;
+  out.segments = r.segments.size();
+  out.instructions = r.stats.instructions_interpreted;
+  out.seconds = sw.seconds();
+  out.truncated = r.truncated;
+  for (const symbex::Segment& g : r.segments) {
+    if (g.action == symbex::SegAction::Trap) ++out.traps;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::section(
+      "TAB4: IP-options loop — naive unrolling vs mini-element "
+      "decomposition (paper 3)");
+
+  benchutil::Table t({"packet len", "mode", "segments", "interp'd instrs",
+                      "trap segments", "truncated", "time"});
+  solver::Solver solver;
+  for (const size_t len : {24u, 32u, 40u, 52u, 60u}) {
+    // Fold-only pruning: infeasible loop paths multiply unchecked (the raw
+    // path-explosion regime; traps here are unvetted over-approximations).
+    const RunResult uf = run(symbex::LoopMode::Unroll, len, &solver, false);
+    t.add_row({std::to_string(len), "unroll/fold",
+               benchutil::fmt_u64(uf.segments),
+               benchutil::fmt_u64(uf.instructions),
+               benchutil::fmt_u64(uf.traps) + " (unchecked)",
+               uf.truncated ? "YES" : "no",
+               benchutil::fmt_seconds(uf.seconds)});
+    // Solver pruning at every fork (what S2E does): only feasible paths
+    // survive, but the per-fork queries eat the time budget instead.
+    const RunResult us = run(symbex::LoopMode::Unroll, len, &solver, true);
+    t.add_row({std::to_string(len), "unroll/solver",
+               benchutil::fmt_u64(us.segments),
+               benchutil::fmt_u64(us.instructions),
+               benchutil::fmt_u64(us.traps),
+               us.truncated ? "YES" : "no",
+               benchutil::fmt_seconds(us.seconds)});
+    const RunResult s = run(symbex::LoopMode::Summarize, len, &solver, false);
+    t.add_row({std::to_string(len), "mini-element",
+               benchutil::fmt_u64(s.segments),
+               benchutil::fmt_u64(s.instructions), benchutil::fmt_u64(s.traps),
+               s.truncated ? "YES" : "no", benchutil::fmt_seconds(s.seconds)});
+  }
+  t.print();
+
+  std::printf(
+      "\npaper reference: naive symbex of IP options ~ millions of segments "
+      "(months);\nmini-element decomposition symbexes the body once. Shape "
+      "above: both unroll\nregimes exhaust their budget as the options area "
+      "grows (segments or solver time),\nmini-element cost is flat, reports "
+      "0 feasible traps (the element is crash-free),\nand the variant check "
+      "proves termination within the loop's trip bound.\n");
+  return 0;
+}

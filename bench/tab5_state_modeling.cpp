@@ -1,0 +1,99 @@
+// TAB5 — data-structure modeling (paper §3): "symbexing an element that
+// contains access to an array with 1 million entries will cause a symbex
+// engine to essentially branch into 1 million different segments"; modeling
+// the structure as a key/value store removes the dependence on size.
+//
+// We build lookup elements whose static table grows from 2^4 to 2^16
+// entries and compare the naive per-entry forking model against our
+// run-length/value-set model. Shape: naive segment count tracks table
+// size (until truncation); modeled verification is size-independent.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ir/builder.hpp"
+#include "solver/solver.hpp"
+#include "symbex/executor.hpp"
+
+using namespace vsd;
+
+namespace {
+
+// value = table[dst % size]; assert(value < 4): a per-packet table lookup
+// with a downstream safety check, like a port-dispatch after an LPM.
+ir::Program lookup_element(size_t table_size) {
+  ir::ProgramBuilder pb("TableLookup", 1);
+  std::vector<uint64_t> values(table_size);
+  for (size_t i = 0; i < table_size; ++i) values[i] = i % 4;  // ports 0..3
+  const ir::TableId t = pb.add_static_table("big", 32, std::move(values));
+  ir::FunctionBuilder& f = pb.main();
+  const ir::Reg dst = f.pkt_load(ir::kNoReg, 0, 4);
+  const ir::Reg idx = f.band(dst, f.imm32(table_size - 1));
+  const ir::Reg v = f.static_load(t, idx);
+  f.assert_true(f.ult(v, f.imm32(4)));
+  f.emit(0);
+  return pb.finish();
+}
+
+struct RunResult {
+  size_t segments = 0;
+  uint64_t forks = 0;
+  double seconds = 0;
+  bool truncated = false;
+  size_t feasible_traps = 0;
+};
+
+RunResult run(size_t table_size, bool naive) {
+  const ir::Program prog = lookup_element(table_size);
+  symbex::ExecOptions eo;
+  eo.naive_table_model = naive;
+  eo.max_segments = 1u << 16;  // truncation point for the naive regime
+  symbex::Executor exec(eo);
+  benchutil::Stopwatch sw;
+  const symbex::ExploreResult r =
+      exec.explore(prog, symbex::SymPacket::symbolic(8, "p"));
+  RunResult out;
+  out.segments = r.segments.size();
+  out.forks = r.stats.forks;
+  out.seconds = sw.seconds();
+  out.truncated = r.truncated;
+  solver::Solver solver;
+  for (const symbex::Segment& g : r.segments) {
+    if (g.action == symbex::SegAction::Trap &&
+        !solver.is_unsat(g.constraint)) {
+      ++out.feasible_traps;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::section(
+      "TAB5: mutable/large state — naive per-entry branching vs key/value "
+      "modeling (paper 3)");
+
+  benchutil::Table t({"table entries", "model", "segments", "forks",
+                      "feasible traps", "truncated", "time"});
+  for (const size_t size : {16u, 256u, 4096u, 65536u}) {
+    const RunResult n = run(size, /*naive=*/true);
+    t.add_row({std::to_string(size), "naive (fork/entry)",
+               benchutil::fmt_u64(n.segments), benchutil::fmt_u64(n.forks),
+               benchutil::fmt_u64(n.feasible_traps),
+               n.truncated ? "YES" : "no", benchutil::fmt_seconds(n.seconds)});
+    const RunResult m = run(size, /*naive=*/false);
+    t.add_row({std::to_string(size), "kv model",
+               benchutil::fmt_u64(m.segments), benchutil::fmt_u64(m.forks),
+               benchutil::fmt_u64(m.feasible_traps),
+               m.truncated ? "YES" : "no", benchutil::fmt_seconds(m.seconds)});
+  }
+  t.print();
+
+  std::printf(
+      "\npaper reference: a 1M-entry array naively branches into ~1M "
+      "segments regardless\nof the code's logic; the key/value model keeps "
+      "the segment count constant. Both\nmodels prove the assert safe "
+      "(0 feasible traps) when they finish; only the\nmodeled verifier is "
+      "size-independent.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// TAB6 — Step-1 over-approximation vs Step-2 elimination (paper §3): the
+// per-element search is complete but not sound ("may have false-positives,
+// because it does not take into account the interactions between
+// elements"); composition eliminates them.
+//
+// For each scenario we report: suspects tagged in isolation, suspect paths
+// checked after composition, how many were eliminated as infeasible, and
+// the final verdict.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "elements/registry.hpp"
+#include "pipeline/pipeline.hpp"
+#include "verify/decomposed.hpp"
+
+using namespace vsd;
+
+int main() {
+  benchutil::section(
+      "TAB6: suspect tagging (Step 1) and false-positive elimination "
+      "(Step 2)");
+
+  struct Case {
+    std::string name;
+    std::string config;
+    size_t packet_len;
+    std::string expect;
+  };
+  const std::vector<Case> cases = {
+      {"ToyE2 alone (paper e3 feasible)", "ToyE2", 8, "violated"},
+      {"ToyE1 -> ToyE2 (paper: e3 infeasible)", "ToyE1 -> ToyE2", 8,
+       "proven"},
+      {"UnsafeStrip alone, 8B packets", "UnsafeStrip(14)", 8, "violated"},
+      {"Classifier shields UnsafeStrip",
+       "Classifier(12/0800) -> UnsafeStrip(14)", 8, "proven"},
+      {"UnsafeStrip behind CheckIPHeader(14B eth frame)",
+       "Classifier(12/0800) -> UnsafeStrip(14) -> CheckIPHeader", 8,
+       "proven"},
+      {"strict NetFlow (stateful overflow)", "NetFlow(strict)", 40,
+       "violated"},
+      {"saturating NetFlow", "NetFlow", 40, "proven"},
+  };
+
+  verify::DecomposedConfig cfg;
+  benchutil::Table t({"scenario", "suspects (Step 1)", "paths checked",
+                      "eliminated (Step 2)", "verdict", "expected", "time"});
+  size_t agree = 0;
+  for (const Case& c : cases) {
+    verify::DecomposedConfig vc;
+    vc.packet_len = c.packet_len;
+    verify::DecomposedVerifier verifier(vc);
+    pipeline::Pipeline pl = elements::parse_pipeline(c.config);
+    const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+    const std::string verdict = verify::verdict_name(r.verdict);
+    if (verdict == c.expect) ++agree;
+    t.add_row({c.name, benchutil::fmt_u64(r.stats.suspects_found),
+               benchutil::fmt_u64(r.stats.composed_paths_checked),
+               benchutil::fmt_u64(r.stats.suspects_eliminated), verdict,
+               c.expect, benchutil::fmt_seconds(r.seconds)});
+  }
+  t.print();
+  std::printf("\nverdicts matching expectation: %zu/%zu\n", agree,
+              cases.size());
+  std::printf(
+      "paper reference: Step 1 over-approximates (tags suspects on "
+      "unconstrained input);\nStep 2 stitches constraints and eliminates "
+      "the infeasible ones, leaving real\nviolations with concrete "
+      "counterexample packets.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// TAB7 (ablation) — where do constraint decisions actually happen?
+//
+// DESIGN.md's claim: most stitched path constraints collapse syntactically
+// ("aggressive folding before SAT"), the interval layer decides most of
+// the rest, and the CDCL solver is the backstop, not the common path. This
+// bench verifies representative pipelines and reports the decision-layer
+// breakdown from the solver's statistics, plus how many fork-arms the
+// executor pruned without any solver at all.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "elements/registry.hpp"
+#include "verify/decomposed.hpp"
+
+using namespace vsd;
+
+int main() {
+  benchutil::section(
+      "TAB7 (ablation): decision-layer breakdown — folding vs intervals vs "
+      "SAT");
+
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"toy pipeline (Fig.2)", "ToyE1 -> ToyE2"},
+      {"IP router",
+       "Classifier -> EthDecap -> CheckIPHeader -> "
+       "IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1) -> DecIPTTL -> IPOptions -> "
+       "EthEncap"},
+      {"stateful chain",
+       "CheckIPHeader(nochecksum) -> NAT -> NetFlow -> RateLimiter"},
+      {"filter chain",
+       "CheckIPHeader(nochecksum) -> IPFilter(deny tcp; allow src "
+       "10.0.0.0/8) -> DecIPTTL"},
+  };
+
+  benchutil::Table t({"pipeline", "verdict", "solver queries", "by folding",
+                      "by interval", "by SAT", "cache", "exec-pruned arms",
+                      "time"});
+  for (const auto& [name, config] : cases) {
+    pipeline::Pipeline pl = elements::parse_pipeline(config);
+    verify::DecomposedConfig cfg;
+    cfg.packet_len = 64;
+    verify::DecomposedVerifier verifier(cfg);
+    const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+    const solver::CheckStats& s = verifier.solver().stats();
+    t.add_row({name, verify::verdict_name(r.verdict),
+               benchutil::fmt_u64(s.queries),
+               benchutil::fmt_u64(s.decided_by_folding),
+               benchutil::fmt_u64(s.decided_by_interval),
+               benchutil::fmt_u64(s.decided_by_sat),
+               benchutil::fmt_u64(s.cache_hits),
+               benchutil::fmt_u64(r.stats.forks),
+               benchutil::fmt_seconds(r.seconds)});
+  }
+  t.print();
+
+  std::printf(
+      "\ndesign claim validated when 'by SAT' is a small fraction of total "
+      "decisions:\nthe expression factories and the interval pre-pass keep "
+      "the CDCL backend off the\ncommon path, which is what makes Step-2 "
+      "stitching cheap per composed path.\n");
+  return 0;
+}

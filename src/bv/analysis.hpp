@@ -1,0 +1,59 @@
+// Structural analyses over bv expressions: substitution, concrete
+// evaluation, free-variable collection, and unsigned interval bounds.
+//
+// Substitution is the workhorse of pipeline composition (Step 2 of the
+// paper's verification process): an element's segment constraint C(in) is
+// rebased onto the previous element's symbolic output by substituting each
+// input variable with the corresponding output expression.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bv/expr.hpp"
+
+namespace vsd::bv {
+
+// Maps variable ids to replacement expressions (must match widths).
+using Substitution = std::unordered_map<uint64_t, ExprRef>;
+
+// Returns `e` with every Var whose id appears in `sub` replaced by the mapped
+// expression; results are re-folded bottom-up so stitched constraints often
+// collapse to constants without any solver involvement.
+ExprRef substitute(const ExprRef& e, const Substitution& sub);
+
+// Maps variable ids to concrete values for evaluation.
+using Assignment = std::unordered_map<uint64_t, uint64_t>;
+
+// Evaluates `e` under `assignment`. Unassigned variables evaluate to 0
+// (matching the solver's model completion). Division by zero evaluates to
+// all-ones / identity per SMT-LIB bv semantics.
+uint64_t evaluate(const ExprRef& e, const Assignment& assignment);
+
+// Collects the distinct free variables of `e` in first-occurrence order.
+std::vector<ExprRef> free_variables(const ExprRef& e);
+
+// Counts distinct DAG nodes reachable from `e` (diagnostic).
+size_t dag_size(const ExprRef& e);
+
+// Unsigned interval [lo, hi] over the expression's width.
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = ~uint64_t{0};
+
+  bool is_singleton() const { return lo == hi; }
+  bool contains(uint64_t v) const { return v >= lo && v <= hi; }
+};
+
+// Cheap unsigned range analysis. Sound: the expression's value always lies
+// in the returned interval. Used as a pre-pass so comparisons with provably
+// disjoint ranges fold to constants before SAT is attempted.
+Interval interval_of(const ExprRef& e);
+
+// Attempts to decide a width-1 expression by interval reasoning alone.
+// Returns nullopt when intervals are inconclusive.
+std::optional<bool> decide_by_interval(const ExprRef& e);
+
+}  // namespace vsd::bv

@@ -1,0 +1,154 @@
+// vsd::bv — hash-consed bit-vector expression DAG.
+//
+// This is the term language shared by the symbolic executor (which builds
+// expressions as it interprets dataplane IR) and the solver (which decides
+// satisfiability of width-1 expressions). Widths range from 1 to 64 bits.
+// Nodes are immutable and interned: structurally equal expressions are the
+// same object, so pointer equality is structural equality and the aggressive
+// constant folding in the factory functions deduplicates work globally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vsd::bv {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+// Expression node kinds. Comparison kinds always produce width-1 results.
+enum class Kind : uint8_t {
+  Const,    // literal value
+  Var,      // free variable (symbolic input byte, fresh KV read, ...)
+  Not,      // bitwise complement (logical not at width 1)
+  Neg,      // two's-complement negation
+  Add,
+  Sub,
+  Mul,
+  UDiv,     // unsigned division; division by zero is a *verifier event*, the
+  URem,     // executor guards it, so the solver semantics never see rhs==0
+  And,
+  Or,
+  Xor,
+  Shl,      // shift amounts >= width yield 0 (LLVM-style poison avoided by
+  LShr,     // defining the result; the IR verifier bounds amounts anyway)
+  AShr,
+  Eq,       // width-1 result
+  Ult,      // unsigned less-than, width-1 result
+  Ule,
+  Slt,      // signed less-than, width-1 result
+  Sle,
+  ZExt,     // zero-extend to wider width
+  SExt,     // sign-extend to wider width
+  Extract,  // bits [lo .. lo+width-1] of the operand
+  Concat,   // hi operand in the high bits, lo operand in the low bits
+  Ite,      // if-then-else; condition has width 1
+};
+
+const char* kind_name(Kind k);
+bool is_comparison(Kind k);
+
+// Immutable interned node. Create only through the factory functions below.
+class Expr {
+ public:
+  Kind kind() const { return kind_; }
+  unsigned width() const { return width_; }
+
+  // Const payload.
+  uint64_t value() const { return value_; }
+
+  // Var payload.
+  uint64_t var_id() const { return value_; }
+  const std::string& name() const { return name_; }
+
+  // Extract payload: low bit index.
+  unsigned extract_lo() const { return aux_; }
+
+  size_t num_operands() const { return ops_.size(); }
+  const ExprRef& operand(size_t i) const { return ops_[i]; }
+  std::span<const ExprRef> operands() const { return ops_; }
+
+  bool is_const() const { return kind_ == Kind::Const; }
+  bool is_const_value(uint64_t v) const {
+    return kind_ == Kind::Const && value_ == v;
+  }
+  bool is_true() const { return width_ == 1 && is_const_value(1); }
+  bool is_false() const { return width_ == 1 && is_const_value(0); }
+
+  size_t hash() const { return hash_; }
+
+  // Stable per-process id useful for memo tables keyed by node identity.
+  uint64_t uid() const { return uid_; }
+
+  // Public only for the interner; use the mk_* factory functions.
+  Expr(Kind kind, unsigned width, uint64_t value, unsigned aux,
+       std::string name, std::vector<ExprRef> ops, size_t hash, uint64_t uid);
+
+ private:
+
+  Kind kind_;
+  unsigned width_;
+  uint64_t value_;  // Const value or Var id
+  unsigned aux_;    // Extract low index
+  std::string name_;
+  std::vector<ExprRef> ops_;
+  size_t hash_;
+  uint64_t uid_;
+};
+
+// Masks a value to `width` bits. width must be in [1, 64].
+uint64_t truncate_to_width(uint64_t v, unsigned width);
+// Sign-extends the low `width` bits of v to 64 bits.
+int64_t sign_extend_64(uint64_t v, unsigned width);
+
+// --- Factory functions (all fold constants and apply local rewrites) ---
+
+ExprRef mk_const(uint64_t value, unsigned width);
+ExprRef mk_bool(bool b);
+// Creates a fresh variable with a unique id; `name` is for diagnostics.
+ExprRef mk_var(std::string name, unsigned width);
+
+ExprRef mk_not(const ExprRef& a);
+ExprRef mk_neg(const ExprRef& a);
+ExprRef mk_add(const ExprRef& a, const ExprRef& b);
+ExprRef mk_sub(const ExprRef& a, const ExprRef& b);
+ExprRef mk_mul(const ExprRef& a, const ExprRef& b);
+ExprRef mk_udiv(const ExprRef& a, const ExprRef& b);
+ExprRef mk_urem(const ExprRef& a, const ExprRef& b);
+ExprRef mk_and(const ExprRef& a, const ExprRef& b);
+ExprRef mk_or(const ExprRef& a, const ExprRef& b);
+ExprRef mk_xor(const ExprRef& a, const ExprRef& b);
+ExprRef mk_shl(const ExprRef& a, const ExprRef& b);
+ExprRef mk_lshr(const ExprRef& a, const ExprRef& b);
+ExprRef mk_ashr(const ExprRef& a, const ExprRef& b);
+ExprRef mk_eq(const ExprRef& a, const ExprRef& b);
+ExprRef mk_ne(const ExprRef& a, const ExprRef& b);
+ExprRef mk_ult(const ExprRef& a, const ExprRef& b);
+ExprRef mk_ule(const ExprRef& a, const ExprRef& b);
+ExprRef mk_ugt(const ExprRef& a, const ExprRef& b);
+ExprRef mk_uge(const ExprRef& a, const ExprRef& b);
+ExprRef mk_slt(const ExprRef& a, const ExprRef& b);
+ExprRef mk_sle(const ExprRef& a, const ExprRef& b);
+ExprRef mk_sgt(const ExprRef& a, const ExprRef& b);
+ExprRef mk_sge(const ExprRef& a, const ExprRef& b);
+ExprRef mk_zext(const ExprRef& a, unsigned width);
+ExprRef mk_sext(const ExprRef& a, unsigned width);
+// Extract `width` bits starting at bit `lo`.
+ExprRef mk_extract(const ExprRef& a, unsigned lo, unsigned width);
+ExprRef mk_concat(const ExprRef& hi, const ExprRef& lo);
+ExprRef mk_ite(const ExprRef& cond, const ExprRef& a, const ExprRef& b);
+
+// Width-1 logical helpers (operate on width-1 expressions).
+ExprRef mk_land(const ExprRef& a, const ExprRef& b);
+ExprRef mk_lor(const ExprRef& a, const ExprRef& b);
+ExprRef mk_lnot(const ExprRef& a);
+// Conjunction of a list; empty list is `true`.
+ExprRef mk_land_all(std::span<const ExprRef> conjuncts);
+
+// Number of live interned nodes (diagnostics / tests).
+size_t interned_node_count();
+
+}  // namespace vsd::bv

@@ -1,0 +1,62 @@
+#include "bv/printer.hpp"
+
+#include <sstream>
+
+namespace vsd::bv {
+
+namespace {
+
+void print_rec(std::ostringstream& os, const ExprRef& e) {
+  switch (e->kind()) {
+    case Kind::Const: {
+      os << "#x" << std::hex << e->value() << std::dec << ":" << e->width();
+      return;
+    }
+    case Kind::Var: {
+      os << (e->name().empty() ? "v" : e->name()) << "@" << e->var_id() << ":"
+         << e->width();
+      return;
+    }
+    case Kind::Extract: {
+      os << "(extract[" << e->extract_lo() << ".."
+         << (e->extract_lo() + e->width() - 1) << "] ";
+      print_rec(os, e->operand(0));
+      os << ")";
+      return;
+    }
+    case Kind::ZExt:
+    case Kind::SExt: {
+      os << "(" << kind_name(e->kind()) << e->width() << " ";
+      print_rec(os, e->operand(0));
+      os << ")";
+      return;
+    }
+    default:
+      break;
+  }
+  os << "(" << kind_name(e->kind());
+  for (size_t i = 0; i < e->num_operands(); ++i) {
+    os << " ";
+    print_rec(os, e->operand(i));
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string to_string(const ExprRef& e) {
+  std::ostringstream os;
+  print_rec(os, e);
+  return os.str();
+}
+
+std::string to_string_compact(const ExprRef& e, size_t max_chars) {
+  std::string s = to_string(e);
+  if (s.size() > max_chars) {
+    s.resize(max_chars);
+    s += "...";
+  }
+  return s;
+}
+
+}  // namespace vsd::bv

@@ -1,0 +1,21 @@
+// Human-readable printing of bv expressions, used in diagnostics,
+// counterexample reports, and golden tests. The syntax is SMT-LIB-flavoured
+// prefix notation: (add (var in8 w8) #x01).
+#pragma once
+
+#include <string>
+
+#include "bv/expr.hpp"
+
+namespace vsd::bv {
+
+// Renders the expression as a prefix-notation string. Shared subtrees are
+// printed in full (no let-binding); callers printing huge DAGs should prefer
+// to_string_compact.
+std::string to_string(const ExprRef& e);
+
+// Like to_string but truncates the output at `max_chars` with an ellipsis,
+// for logging large path constraints.
+std::string to_string_compact(const ExprRef& e, size_t max_chars = 256);
+
+}  // namespace vsd::bv

@@ -1,0 +1,59 @@
+// Shared IR-construction helpers for the element library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace vsd::elements {
+
+// IPv4 header field offsets relative to the start of the IP header.
+inline constexpr uint64_t kIpVerIhl = 0;
+inline constexpr uint64_t kIpTos = 1;
+inline constexpr uint64_t kIpTotalLen = 2;
+inline constexpr uint64_t kIpId = 4;
+inline constexpr uint64_t kIpFragOff = 6;
+inline constexpr uint64_t kIpTtl = 8;
+inline constexpr uint64_t kIpProto = 9;
+inline constexpr uint64_t kIpChecksum = 10;
+inline constexpr uint64_t kIpSrc = 12;
+inline constexpr uint64_t kIpDst = 16;
+
+// Emits "if packet length < min_len then drop" into the current block and
+// leaves the builder positioned in the continue block.
+inline void drop_if_shorter_than(ir::FunctionBuilder& f, uint64_t min_len) {
+  const ir::Reg len = f.pkt_len();
+  const ir::Reg ok = f.uge(len, f.imm32(min_len));
+  auto [cont, short_b] = f.br(ok, "len_ok", "too_short");
+  f.set_block(short_b);
+  f.drop();
+  f.set_block(cont);
+}
+
+// Same, but against a register length requirement (e.g. off + ihl*4).
+inline void drop_if_len_below(ir::FunctionBuilder& f, ir::Reg required) {
+  const ir::Reg len = f.pkt_len();
+  const ir::Reg ok = f.uge(len, required);
+  auto [cont, short_b] = f.br(ok, "len_ok", "too_short");
+  f.set_block(short_b);
+  f.drop();
+  f.set_block(cont);
+}
+
+// Loads the IP header length in bytes (ihl * 4) as a 32-bit register.
+inline ir::Reg load_ip_header_len(ir::FunctionBuilder& f, uint64_t ip_off) {
+  const ir::Reg ver_ihl = f.pkt_load(ir::kNoReg, ip_off + kIpVerIhl, 1);
+  const ir::Reg ihl = f.band(ver_ihl, f.imm8(0x0f));
+  const ir::Reg ihl32 = f.zext(ihl, 32);
+  return f.shl(ihl32, f.imm32(2));
+}
+
+// Splits a whitespace/comma separated config string into tokens.
+std::vector<std::string> split_config(const std::string& s,
+                                      char separator = ',');
+// Trims ASCII whitespace.
+std::string trim(const std::string& s);
+
+}  // namespace vsd::elements

@@ -1,0 +1,498 @@
+#include "elements/ip.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "elements/common.hpp"
+#include "ir/builder.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::elements {
+
+using ir::BlockId;
+using ir::FunctionBuilder;
+using ir::FuncId;
+using ir::ProgramBuilder;
+using ir::Reg;
+using ir::TableId;
+
+namespace {
+
+// Emits the one's-complement summation loop over the IP header words:
+// returns a 32-bit register holding the folded 16-bit sum of
+// packet[base .. base + 2*nwords). `nwords` must be provably <= 30 so the
+// loop's static trip bound of 32 covers every feasible execution (the
+// verifier's termination check relies on this).
+Reg build_header_sum(ProgramBuilder& pb, FunctionBuilder& f, Reg base,
+                     Reg nwords, const char* loop_name) {
+  FunctionBuilder& body =
+      pb.new_loop_body(loop_name, {32, 32, 32, 32});  // i, sum, nwords, base
+  {
+    const auto& prm = pb.params(body.id());
+    const Reg i = prm[0];
+    const Reg sum = prm[1];
+    const Reg n = prm[2];
+    const Reg b = prm[3];
+    const Reg more = body.ult(i, n);
+    auto [go, stop] = body.br(more, "sum_word", "sum_done");
+    body.set_block(stop);
+    body.ret({body.imm1(false), i, sum, n, b});
+    body.set_block(go);
+    const Reg two_i = body.shl(i, body.imm32(1));
+    const Reg woff = body.add(b, two_i);
+    const Reg word = body.pkt_load(woff, 0, 2, "hdr_word");
+    const Reg sum2 = body.add(sum, body.zext(word, 32));
+    const Reg i2 = body.add(i, body.imm32(1));
+    body.ret({body.imm1(true), i2, sum2, n, b});
+  }
+  Reg i0 = f.imm32(0);
+  Reg sum0 = f.imm32(0);
+  // The loop makes at most nwords+1 <= 31 body calls; bound 32 is slack.
+  f.run_loop(body.id(), 32, {i0, sum0, nwords, base});
+  // Fold end-around carries three times: the raw sum of <=30 words fits in
+  // 21 bits, so three folds provably land in [0, 0xffff].
+  Reg s = sum0;
+  for (int fold = 0; fold < 3; ++fold) {
+    const Reg low = f.band(s, f.imm32(0xffff));
+    const Reg high = f.lshr(s, f.imm32(16));
+    s = f.add(low, high);
+  }
+  return s;
+}
+
+// Returns the validated header length (off + ihl*4 <= len, ihl >= 5) or
+// diverts to drop. Leaves the builder in the continue block.
+Reg build_ihl_guard(FunctionBuilder& f, uint64_t ip_off) {
+  drop_if_shorter_than(f, ip_off + net::kIpv4MinHeaderSize);
+  const Reg hlen = load_ip_header_len(f, ip_off);
+  const Reg min_ok = f.uge(hlen, f.imm32(20));
+  auto [c1, bad1] = f.br(min_ok, "ihl_ok", "ihl_runt");
+  f.set_block(bad1);
+  f.drop();
+  f.set_block(c1);
+  const Reg req = f.add(f.imm32(ip_off), hlen);
+  drop_if_len_below(f, req);
+  return hlen;
+}
+
+}  // namespace
+
+ir::Program make_check_ip_header(const CheckIpHeaderConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("CheckIPHeader", 1);
+  FunctionBuilder& f = pb.main();
+
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg ver_ihl = f.pkt_load(ir::kNoReg, off + kIpVerIhl, 1);
+  const Reg ver = f.lshr(ver_ihl, f.imm8(4));
+  const Reg ver_ok = f.eq(ver, f.imm8(4));
+  auto [v_ok, v_bad] = f.br(ver_ok, "v4", "not_v4");
+  f.set_block(v_bad);
+  f.drop();
+  f.set_block(v_ok);
+
+  const Reg ihl = f.band(ver_ihl, f.imm8(0x0f));
+  const Reg ihl_ok = f.uge(ihl, f.imm8(5));
+  auto [i_ok, i_bad] = f.br(ihl_ok, "ihl_ok", "ihl_bad");
+  f.set_block(i_bad);
+  f.drop();
+  f.set_block(i_ok);
+
+  const Reg hlen = f.shl(f.zext(ihl, 32), f.imm32(2));
+  const Reg hdr_req = f.add(f.imm32(off), hlen);
+  drop_if_len_below(f, hdr_req);
+
+  // total_len must cover the header and must not exceed what we received.
+  const Reg totlen = f.zext(f.pkt_load(ir::kNoReg, off + kIpTotalLen, 2), 32);
+  const Reg tl_ok = f.uge(totlen, hlen);
+  auto [t_ok, t_bad] = f.br(tl_ok, "totlen_ok", "totlen_bad");
+  f.set_block(t_bad);
+  f.drop();
+  f.set_block(t_ok);
+  const Reg len = f.pkt_len();
+  const Reg avail = f.sub(len, f.imm32(off));
+  const Reg fits = f.ule(totlen, avail);
+  auto [fit_ok, fit_bad] = f.br(fits, "fits", "truncated");
+  f.set_block(fit_bad);
+  f.drop();
+  f.set_block(fit_ok);
+
+  if (cfg.verify_checksum) {
+    const Reg base = f.imm32(off);
+    const Reg nwords = f.lshr(hlen, f.imm32(1));
+    const Reg sum = build_header_sum(pb, f, base, nwords, "cksum_body");
+    const Reg valid = f.eq(sum, f.imm32(0xffff));
+    auto [ck_ok, ck_bad] = f.br(valid, "cksum_ok", "cksum_bad");
+    f.set_block(ck_bad);
+    f.drop();
+    f.set_block(ck_ok);
+  }
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_dec_ip_ttl(const DecTtlConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("DecIPTTL", 2);
+  FunctionBuilder& f = pb.main();
+
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg ttl = f.pkt_load(ir::kNoReg, off + kIpTtl, 1);
+  const Reg expired = f.ule(ttl, f.imm8(1));
+  auto [exp_b, live_b] = f.br(expired, "expired", "live");
+  f.set_block(exp_b);
+  f.emit(1);  // ICMP time-exceeded path
+  f.set_block(live_b);
+  f.pkt_store(ir::kNoReg, off + kIpTtl, f.sub(ttl, f.imm8(1)), 1);
+  // Incremental checksum update (RFC 1624): the TTL is the high byte of the
+  // word at offset 8, so the word decreased by 0x0100 and the checksum
+  // increases by 0x0100 with end-around carry.
+  const Reg csum = f.zext(f.pkt_load(ir::kNoReg, off + kIpChecksum, 2), 32);
+  const Reg bumped = f.add(csum, f.imm32(0x0100));
+  const Reg folded =
+      f.add(f.band(bumped, f.imm32(0xffff)), f.lshr(bumped, f.imm32(16)));
+  f.pkt_store(ir::kNoReg, off + kIpChecksum, f.trunc(folded, 16), 2);
+  f.emit(0);
+  return pb.finish();
+}
+
+// --- IPLookup: controlled prefix expansion into chained 256-entry arrays ---
+
+namespace {
+
+constexpr uint32_t kPtrBit = 0x80000000u;
+
+struct TrieNode {
+  int best = -1;  // most specific route terminating at/covering this node
+  std::map<unsigned, std::unique_ptr<TrieNode>> kids;
+};
+
+TrieNode* ensure_kid(TrieNode& n, unsigned slot) {
+  auto& k = n.kids[slot];
+  if (!k) k = std::make_unique<TrieNode>();
+  return k.get();
+}
+
+void trie_insert(TrieNode& root, const Route& r) {
+  TrieNode* node = &root;
+  unsigned remaining = r.plen;
+  unsigned depth = 0;
+  while (remaining >= 8) {
+    const unsigned byte = (r.prefix >> (24 - 8 * depth)) & 0xff;
+    node = ensure_kid(*node, byte);
+    remaining -= 8;
+    ++depth;
+  }
+  if (remaining == 0) {
+    node->best = static_cast<int>(r.port);
+    return;
+  }
+  // Partial byte: the prefix covers a contiguous slot range at this level.
+  const unsigned byte = (r.prefix >> (24 - 8 * depth)) & 0xff;
+  const unsigned span = 1u << (8 - remaining);
+  const unsigned first = byte & ~(span - 1);
+  for (unsigned s = first; s < first + span; ++s) {
+    ensure_kid(*node, s)->best = static_cast<int>(r.port);
+  }
+}
+
+struct FlatTables {
+  std::vector<uint64_t> level[3];
+};
+
+void flatten(const TrieNode& node, int inherited, unsigned level,
+             std::vector<uint64_t>& out, FlatTables& t) {
+  assert(out.size() % 256 == 0);
+  const size_t base = out.size();
+  out.resize(base + 256, 0);
+  for (unsigned s = 0; s < 256; ++s) {
+    const auto it = node.kids.find(s);
+    const TrieNode* child = it == node.kids.end() ? nullptr : it->second.get();
+    int eff = inherited;
+    if (child != nullptr && child->best >= 0) eff = child->best;
+    if (child != nullptr && !child->kids.empty()) {
+      if (level + 1 >= 3) {
+        throw std::invalid_argument("IPLookup: prefixes longer than /24");
+      }
+      const size_t block = t.level[level + 1].size() / 256;
+      out[base + s] = kPtrBit | static_cast<uint64_t>(block);
+      flatten(*child, eff, level + 1, t.level[level + 1], t);
+    } else {
+      out[base + s] = eff >= 0 ? static_cast<uint64_t>(eff) + 1 : 0;
+    }
+  }
+}
+
+// Branch tree mapping a (port+1) table value in a register to emit(port).
+// Table values are proven in-range by the verifier's static-table model.
+void dispatch_ports(FunctionBuilder& f, Reg value, uint32_t num_ports) {
+  for (uint32_t p = 0; p < num_ports; ++p) {
+    const Reg hit = f.eq(value, f.imm32(uint64_t{p} + 1));
+    auto [match, next] = f.br(hit, "port_match", "port_next");
+    f.set_block(match);
+    f.emit(p);
+    f.set_block(next);
+  }
+  // Unreachable when the tables are well-formed; dropping keeps the element
+  // defensively crash-free even under table corruption.
+  f.drop();
+}
+
+}  // namespace
+
+ir::Program make_ip_lookup(const IpLookupConfig& cfg) {
+  for (const Route& r : cfg.routes) {
+    if (r.plen > 24)
+      throw std::invalid_argument("IPLookup supports prefixes up to /24");
+    if (r.port >= cfg.num_ports)
+      throw std::invalid_argument("IPLookup route port out of range");
+  }
+  std::vector<Route> routes = cfg.routes;
+  std::sort(routes.begin(), routes.end(),
+            [](const Route& a, const Route& b) { return a.plen < b.plen; });
+  TrieNode root;
+  for (const Route& r : routes) trie_insert(root, r);
+  FlatTables tables;
+  // A /0 default route lives in root.best and is inherited by every slot.
+  flatten(root, root.best, 0, tables.level[0], tables);
+
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("IPLookup", cfg.num_ports);
+  const TableId t1 = pb.add_static_table("lpm_l1", 32, tables.level[0]);
+  TableId t2 = 0, t3 = 0;
+  const bool has_l2 = !tables.level[1].empty();
+  const bool has_l3 = !tables.level[2].empty();
+  if (has_l2) t2 = pb.add_static_table("lpm_l2", 32, tables.level[1]);
+  if (has_l3) t3 = pb.add_static_table("lpm_l3", 32, tables.level[2]);
+
+  FunctionBuilder& f = pb.main();
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg dst = f.pkt_load(ir::kNoReg, off + kIpDst, 4, "dst_ip");
+
+  const auto level_lookup = [&](Reg value, Reg dst_reg, unsigned level,
+                                auto&& self) -> void {
+    const Reg miss = f.eq(value, f.imm32(0));
+    auto [miss_b, hit_b] = f.br(miss, "miss", "hit");
+    f.set_block(miss_b);
+    f.drop();
+    f.set_block(hit_b);
+    const bool next_exists =
+        (level == 0 && has_l2) || (level == 1 && has_l3);
+    if (next_exists) {
+      const Reg is_ptr =
+          f.ne(f.band(value, f.imm32(kPtrBit)), f.imm32(0));
+      auto [ptr_b, leaf_b] = f.br(is_ptr, "ptr", "leaf");
+      f.set_block(leaf_b);
+      dispatch_ports(f, value, cfg.num_ports);
+      f.set_block(ptr_b);
+      const Reg block = f.band(value, f.imm32(kPtrBit - 1));
+      const unsigned shift = level == 0 ? 16 : 8;
+      const Reg byte =
+          f.band(f.lshr(dst_reg, f.imm32(shift)), f.imm32(0xff));
+      const Reg idx = f.add(f.shl(block, f.imm32(8)), byte);
+      const Reg next_val =
+          f.static_load(level == 0 ? t2 : t3, idx, "lpm_entry");
+      self(next_val, dst_reg, level + 1, self);
+    } else {
+      // No deeper table exists, so every entry here is a leaf or a miss.
+      dispatch_ports(f, value, cfg.num_ports);
+    }
+  };
+
+  const Reg i1 = f.lshr(dst, f.imm32(24));
+  const Reg v1 = f.static_load(t1, i1, "lpm_entry");
+  level_lookup(v1, dst, 0, level_lookup);
+  return pb.finish();
+}
+
+ir::Program make_ip_options(const IpOptionsConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("IPOptions", 2);
+
+  // Loop body: one option per iteration — the paper's "mini-element".
+  // State: (ptr, end, bad) as absolute 32-bit packet offsets / flag.
+  FunctionBuilder& body = pb.new_loop_body("opt_body", {32, 32, 32});
+  {
+    const auto& prm = pb.params(body.id());
+    const Reg ptr = prm[0];
+    const Reg end = prm[1];
+    const Reg bad = prm[2];
+    const Reg stop = body.imm1(false);
+    const Reg go = body.imm1(true);
+
+    const Reg done = body.uge(ptr, end);
+    auto [done_b, more_b] = body.br(done, "opts_done", "opts_more");
+    body.set_block(done_b);
+    body.ret({stop, ptr, end, bad});
+
+    body.set_block(more_b);
+    const Reg kind = body.pkt_load(ptr, 0, 1, "opt_kind");
+    const Reg is_end = body.eq(kind, body.imm8(net::kIpOptEnd));
+    auto [end_b, k1] = body.br(is_end, "opt_end", "k1");
+    body.set_block(end_b);
+    body.ret({stop, ptr, end, bad});
+
+    body.set_block(k1);
+    const Reg is_nop = body.eq(kind, body.imm8(net::kIpOptNop));
+    auto [nop_b, k2] = body.br(is_nop, "opt_nop", "k2");
+    body.set_block(nop_b);
+    const Reg ptr_n = body.add(ptr, body.imm32(1));
+    body.ret({go, ptr_n, end, bad});
+
+    body.set_block(k2);
+    // Multi-byte option: need a length byte.
+    const Reg len_off = body.add(ptr, body.imm32(1));
+    const Reg have_len = body.ult(len_off, end);
+    auto [len_b, trunc_b] = body.br(have_len, "have_len", "trunc");
+    body.set_block(trunc_b);
+    body.ret({stop, ptr, end, body.imm32(1)});
+
+    body.set_block(len_b);
+    const Reg olen = body.pkt_load(len_off, 0, 1, "opt_len");
+    const Reg olen_ok = body.uge(olen, body.imm8(2));
+    auto [l_ok, l_bad] = body.br(olen_ok, "olen_ok", "olen_bad");
+    body.set_block(l_bad);
+    body.ret({stop, ptr, end, body.imm32(1)});
+
+    body.set_block(l_ok);
+    const Reg next = body.add(ptr, body.zext(olen, 32));
+    const Reg fits = body.ule(next, end);
+    auto [fit_b, over_b] = body.br(fits, "opt_fits", "opt_overrun");
+    body.set_block(over_b);
+    body.ret({stop, ptr, end, body.imm32(1)});
+
+    body.set_block(fit_b);
+    // Record source-routing options in the flow-hint annotation.
+    const Reg is_lsrr = body.eq(kind, body.imm8(net::kIpOptLsrr));
+    const Reg is_ssrr = body.eq(kind, body.imm8(net::kIpOptSsrr));
+    const Reg is_sr = body.lor(is_lsrr, is_ssrr);
+    auto [sr_b, plain_b] = body.br(is_sr, "src_route", "plain_opt");
+    body.set_block(sr_b);
+    body.meta_store(net::kMetaFlowHint, body.imm32(1));
+    body.ret({go, next, end, bad});
+    body.set_block(plain_b);
+    body.ret({go, next, end, bad});
+  }
+
+  FunctionBuilder& f = pb.main();
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg ver_ihl = f.pkt_load(ir::kNoReg, off + kIpVerIhl, 1);
+  const Reg ihl = f.band(ver_ihl, f.imm8(0x0f));
+  const Reg ihl_ok = f.uge(ihl, f.imm8(5));
+  auto [ok1, bad1] = f.br(ihl_ok, "ihl_ok", "ihl_bad");
+  f.set_block(bad1);
+  f.emit(1);
+  f.set_block(ok1);
+  const Reg hlen = f.shl(f.zext(ihl, 32), f.imm32(2));
+  const Reg req = f.add(f.imm32(off), hlen);
+  const Reg len = f.pkt_len();
+  const Reg fits = f.ule(req, len);
+  auto [ok2, bad2] = f.br(fits, "hdr_fits", "hdr_trunc");
+  f.set_block(bad2);
+  f.emit(1);
+  f.set_block(ok2);
+  const Reg no_opts = f.eq(ihl, f.imm8(5));
+  auto [plain, with_opts] = f.br(no_opts, "no_opts", "with_opts");
+  f.set_block(plain);
+  f.emit(0);
+  f.set_block(with_opts);
+
+  Reg ptr0 = f.imm32(off + net::kIpv4MinHeaderSize);
+  Reg end0 = req;
+  Reg bad0 = f.imm32(0);
+  // Options area is at most 40 bytes and every continuing iteration
+  // advances ptr by >= 1, so 48 trips strictly covers the worst case (the
+  // verifier re-derives this bound from the loop-variant check).
+  f.run_loop(body.id(), 48, {ptr0, end0, bad0});
+  const Reg was_bad = f.ne(bad0, f.imm32(0));
+  auto [bad_b, good_b] = f.br(was_bad, "opts_bad", "opts_good");
+  f.set_block(bad_b);
+  f.emit(1);
+  f.set_block(good_b);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_set_ip_checksum(const SetIpChecksumConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("SetIPChecksum", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg hlen = build_ihl_guard(f, off);
+  // Zero the checksum field, then sum the header and store the complement.
+  f.pkt_store(ir::kNoReg, off + kIpChecksum, f.imm16(0), 2);
+  const Reg base = f.imm32(off);
+  const Reg nwords = f.lshr(hlen, f.imm32(1));
+  const Reg sum = build_header_sum(pb, f, base, nwords, "cksum_body");
+  const Reg final_sum = f.bxor(sum, f.imm32(0xffff));  // ~sum in 16 bits
+  f.pkt_store(ir::kNoReg, off + kIpChecksum, f.trunc(final_sum, 16), 2);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_ip_filter(const IpFilterConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("IPFilter", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg hlen = build_ihl_guard(f, off);
+
+  const Reg proto = f.pkt_load(ir::kNoReg, off + kIpProto, 1);
+  const Reg src = f.pkt_load(ir::kNoReg, off + kIpSrc, 4);
+  const Reg dst = f.pkt_load(ir::kNoReg, off + kIpDst, 4);
+
+  const auto finish_with = [&f](bool allow) {
+    if (allow) f.emit(0);
+    else f.drop();
+  };
+
+  for (const FilterRule& r : cfg.rules) {
+    Reg cond = f.imm1(true);
+    if (r.proto >= 0) {
+      cond = f.land(cond, f.eq(proto, f.imm8(static_cast<uint64_t>(r.proto))));
+    }
+    const auto prefix_match = [&](Reg addr, uint32_t prefix, unsigned plen) {
+      if (plen == 0) return f.imm1(true);
+      const uint32_t mask =
+          plen >= 32 ? 0xffffffffu : ~((1u << (32 - plen)) - 1);
+      const Reg masked = f.band(addr, f.imm32(mask));
+      return f.eq(masked, f.imm32(prefix & mask));
+    };
+    cond = f.land(cond, prefix_match(src, r.src_prefix, r.src_plen));
+    cond = f.land(cond, prefix_match(dst, r.dst_prefix, r.dst_plen));
+    if (r.dst_port >= 0) {
+      // Port match needs the L4 header; packets without it don't match.
+      const Reg l4_req = f.add(f.add(f.imm32(off), hlen), f.imm32(4));
+      const Reg has_l4 = f.ule(l4_req, f.pkt_len());
+      auto [with_l4, no_l4] = f.br(has_l4, "with_l4", "no_l4");
+      const BlockId join = f.new_block("port_join");
+      // Evaluate the rule inside the with_l4 arm; short packets fall
+      // through to the next rule.
+      f.set_block(with_l4);
+      const Reg l4_off = f.add(f.imm32(off), hlen);
+      const Reg dport = f.pkt_load(l4_off, 2, 2, "dst_port");
+      const Reg port_hit =
+          f.eq(dport, f.imm16(static_cast<uint64_t>(r.dst_port)));
+      const Reg full = f.land(cond, port_hit);
+      auto [hit_b, miss_b] = f.br(full, "rule_hit", "rule_miss");
+      f.set_block(hit_b);
+      finish_with(r.allow);
+      f.set_block(miss_b);
+      f.jump(join);
+      f.set_block(no_l4);
+      f.jump(join);
+      f.set_block(join);
+      continue;
+    }
+    auto [hit_b, miss_b] = f.br(cond, "rule_hit", "rule_miss");
+    f.set_block(hit_b);
+    finish_with(r.allow);
+    f.set_block(miss_b);
+  }
+  finish_with(cfg.default_allow);
+  return pb.finish();
+}
+
+}  // namespace vsd::elements

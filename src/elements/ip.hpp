@@ -1,0 +1,89 @@
+// IPv4 elements: header validation, TTL, longest-prefix lookup, options
+// processing, checksum maintenance, and filtering — the default Click
+// IP-router elements the paper verifies (§3 Preliminary Results).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace vsd::elements {
+
+struct CheckIpHeaderConfig {
+  uint64_t ip_offset = 0;      // where the IP header starts in the packet
+  bool verify_checksum = true; // full one's-complement verification loop
+};
+
+// Validates version/ihl/lengths(/checksum); good packets -> port 0, bad
+// packets are dropped. Never traps, for any input — the element is its own
+// proof obligation.
+ir::Program make_check_ip_header(const CheckIpHeaderConfig& cfg = {});
+
+struct DecTtlConfig {
+  uint64_t ip_offset = 0;
+};
+
+// Decrements TTL with incremental checksum update (RFC 1624). Expired
+// packets (TTL <= 1) go to port 1 (ICMP-error path), others to port 0.
+ir::Program make_dec_ip_ttl(const DecTtlConfig& cfg = {});
+
+struct Route {
+  uint32_t prefix = 0;   // host byte order
+  unsigned plen = 0;     // 0..24 supported by the expanded-array scheme
+  uint32_t port = 0;
+};
+
+struct IpLookupConfig {
+  uint64_t ip_offset = 0;
+  std::vector<Route> routes;
+  uint32_t num_ports = 1;
+};
+
+// Longest-prefix match via controlled prefix expansion into chained
+// 256-entry arrays (the array-based scheme of Gupta et al. [16] the paper
+// points to as the verification-friendly way to do lookups). Misses and
+// short packets are dropped; hits emit on the route's port.
+ir::Program make_ip_lookup(const IpLookupConfig& cfg);
+
+struct IpOptionsConfig {
+  uint64_t ip_offset = 0;
+};
+
+// Walks the IP options list (the paper's canonical loop example). Packets
+// with well-formed options (or none) -> port 0; malformed option lists ->
+// port 1. Source-route options are recorded in the flow-hint annotation.
+ir::Program make_ip_options(const IpOptionsConfig& cfg = {});
+
+struct SetIpChecksumConfig {
+  uint64_t ip_offset = 0;
+};
+
+// Recomputes and stores the IP header checksum (loop over header words).
+ir::Program make_set_ip_checksum(const SetIpChecksumConfig& cfg = {});
+
+// A filter rule; all specified conditions must hold for the rule to match.
+struct FilterRule {
+  bool allow = true;
+  // Match protocol when proto >= 0.
+  int proto = -1;
+  // Match source/destination prefixes when plen > 0.
+  uint32_t src_prefix = 0;
+  unsigned src_plen = 0;
+  uint32_t dst_prefix = 0;
+  unsigned dst_plen = 0;
+  // Match L4 destination port when >= 0 (TCP/UDP only).
+  int dst_port = -1;
+};
+
+struct IpFilterConfig {
+  uint64_t ip_offset = 0;
+  std::vector<FilterRule> rules;
+  bool default_allow = false;
+};
+
+// First-match-wins ACL. Allowed packets -> port 0, denied are dropped.
+ir::Program make_ip_filter(const IpFilterConfig& cfg);
+
+}  // namespace vsd::elements

@@ -1,0 +1,154 @@
+#include "elements/l2.hpp"
+
+#include "elements/common.hpp"
+#include "ir/builder.hpp"
+#include "net/headers.hpp"
+
+namespace vsd::elements {
+
+using ir::FunctionBuilder;
+using ir::ProgramBuilder;
+using ir::Reg;
+
+std::vector<std::string> split_config(const std::string& s, char separator) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == separator) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty() || !out.empty()) out.push_back(trim(cur));
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+ir::Program make_classifier(const std::vector<ClassifierPattern>& patterns) {
+  const uint32_t ports = static_cast<uint32_t>(patterns.size());
+  ProgramBuilder pb("Classifier", ports == 0 ? 1 : ports);
+  FunctionBuilder& f = pb.main();
+  const Reg len = f.pkt_len();
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const ClassifierPattern& pat = patterns[i];
+    if (pat.width == 0) {
+      f.emit(static_cast<uint32_t>(i));  // wildcard: unconditional match
+      return pb.finish();
+    }
+    // A packet too short for the field cannot match this pattern.
+    const Reg long_enough = f.uge(len, f.imm32(pat.offset + pat.width));
+    auto [have_field, next_a] = f.br(long_enough, "have_field", "short");
+    f.set_block(have_field);
+    const Reg field = f.pkt_load(ir::kNoReg, pat.offset, pat.width);
+    const Reg hit = f.eq(field, f.imm(pat.value, pat.width * 8));
+    auto [match_b, next_b] = f.br(hit, "match", "next");
+    f.set_block(match_b);
+    f.emit(static_cast<uint32_t>(i));
+    // Join the two fall-through paths.
+    const ir::BlockId cont = f.new_block("cont");
+    f.set_block(next_a);
+    f.jump(cont);
+    f.set_block(next_b);
+    f.jump(cont);
+    f.set_block(cont);
+  }
+  f.drop();
+  return pb.finish();
+}
+
+ir::Program make_ipv4_classifier() {
+  return make_classifier({
+      ClassifierPattern{12, 2, net::kEtherTypeIpv4},  // port 0: IPv4
+      ClassifierPattern{0, 0, 0},                     // port 1: everything else
+  });
+}
+
+ir::Program make_eth_decap() {
+  ProgramBuilder pb("EthDecap", 1);
+  FunctionBuilder& f = pb.main();
+  drop_if_shorter_than(f, net::kEtherHeaderSize);
+  const Reg ether_type = f.pkt_load(ir::kNoReg, 12, 2);
+  f.meta_store(net::kMetaEtherType, f.zext(ether_type, 32));
+  f.pkt_pull(net::kEtherHeaderSize);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_unsafe_strip(uint64_t n) {
+  ProgramBuilder pb("UnsafeStrip", 1);
+  FunctionBuilder& f = pb.main();
+  f.pkt_pull(n);  // traps with PullUnderflow on short packets — intentional
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_eth_encap(uint16_t ether_type,
+                           const std::array<uint8_t, 6>& src,
+                           const std::array<uint8_t, 6>& dst) {
+  ProgramBuilder pb("EthEncap", 1);
+  FunctionBuilder& f = pb.main();
+  f.pkt_push(net::kEtherHeaderSize);
+  for (size_t i = 0; i < 6; ++i) {
+    f.pkt_store(ir::kNoReg, i, f.imm8(dst[i]), 1);
+    f.pkt_store(ir::kNoReg, 6 + i, f.imm8(src[i]), 1);
+  }
+  f.pkt_store(ir::kNoReg, 12, f.imm16(ether_type), 2);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_paint(uint32_t color) {
+  ProgramBuilder pb("Paint", 1);
+  FunctionBuilder& f = pb.main();
+  f.meta_store(net::kMetaPaint, f.imm32(color));
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_counter() {
+  ProgramBuilder pb("Counter", 1);
+  const ir::TableId stats = pb.add_kv_table("stats", 8, 64);
+  FunctionBuilder& f = pb.main();
+  // key 0: packet count, key 1: byte count. Saturating adds keep the
+  // element provably free of counter overflow (cf. paper §2's overflow
+  // example; see make_netflow(strict) for the non-saturating variant).
+  const Reg k0 = f.imm8(0);
+  const Reg pkts = f.kv_read(stats, k0, "pkts");
+  const Reg max64 = f.imm64(~uint64_t{0});
+  const Reg at_max = f.eq(pkts, max64);
+  const Reg inc = f.select(at_max, f.imm64(0), f.imm64(1));
+  f.kv_write(stats, k0, f.add(pkts, inc));
+  const Reg k1 = f.imm8(1);
+  const Reg bytes = f.kv_read(stats, k1, "bytes");
+  const Reg len64 = f.zext(f.pkt_len(), 64);
+  const Reg room = f.sub(max64, bytes);
+  const Reg fits = f.ule(len64, room);
+  const Reg add = f.select(fits, len64, room);
+  f.kv_write(stats, k1, f.add(bytes, add));
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_discard() {
+  ProgramBuilder pb("Discard", 1);
+  pb.main().drop();
+  return pb.finish();
+}
+
+ir::Program make_null() {
+  ProgramBuilder pb("Null", 1);
+  pb.main().emit(0);
+  return pb.finish();
+}
+
+}  // namespace vsd::elements

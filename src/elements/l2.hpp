@@ -1,0 +1,52 @@
+// Layer-2 elements: classification, encapsulation, decapsulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace vsd::elements {
+
+// One classifier pattern: match `width` bytes at `offset` against `value`.
+// A pattern with width == 0 matches everything (Click's "-").
+struct ClassifierPattern {
+  uint64_t offset = 0;
+  unsigned width = 2;  // bytes, 1/2/4
+  uint64_t value = 0;
+};
+
+// Click Classifier: pattern i -> output port i; packets matching nothing are
+// dropped. Packets too short for a pattern's field do not match it.
+ir::Program make_classifier(const std::vector<ClassifierPattern>& patterns);
+
+// Convenience: the classic "12/0800 -> port 0, - -> port 1" IPv4 classifier.
+ir::Program make_ipv4_classifier();
+
+// Strip(14) with a guard: packets shorter than 14 bytes are dropped, longer
+// ones lose their Ethernet header. Also records the EtherType annotation.
+ir::Program make_eth_decap();
+
+// Strip(n) *without* the guard — deliberately unsafe, used to demonstrate
+// counterexample generation (a packet shorter than n crashes it).
+ir::Program make_unsafe_strip(uint64_t n);
+
+// Prepends a fresh Ethernet header with the given addresses and type.
+ir::Program make_eth_encap(uint16_t ether_type,
+                           const std::array<uint8_t, 6>& src,
+                           const std::array<uint8_t, 6>& dst);
+
+// Writes `color` into the paint annotation and forwards.
+ir::Program make_paint(uint32_t color);
+
+// Counts packets and total bytes in private state, then forwards.
+ir::Program make_counter();
+
+// Swallows every packet (ToDevice stand-in / Discard).
+ir::Program make_discard();
+
+// Forwards every packet unchanged (Click's Null element).
+ir::Program make_null();
+
+}  // namespace vsd::elements

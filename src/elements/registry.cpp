@@ -1,0 +1,273 @@
+#include "elements/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "elements/common.hpp"
+#include "elements/ip.hpp"
+#include "elements/l2.hpp"
+#include "elements/stateful.hpp"
+#include "elements/toy.hpp"
+#include "net/headers.hpp"
+
+namespace vsd::elements {
+
+namespace {
+
+uint64_t parse_u64(const std::string& s, uint64_t def) {
+  if (trim(s).empty()) return def;
+  return std::stoull(trim(s), nullptr, 0);
+}
+
+// "10.0.0.0/8 2" -> Route{10.0.0.0, 8, 2}
+Route parse_route(const std::string& s) {
+  const std::string t = trim(s);
+  const size_t slash = t.find('/');
+  const size_t space = t.find(' ', slash == std::string::npos ? 0 : slash);
+  if (slash == std::string::npos || space == std::string::npos) {
+    throw std::invalid_argument("bad route: " + t);
+  }
+  Route r;
+  r.prefix = net::parse_ipv4(t.substr(0, slash));
+  r.plen = static_cast<unsigned>(
+      std::stoul(t.substr(slash + 1, space - slash - 1)));
+  r.port = static_cast<uint32_t>(std::stoul(trim(t.substr(space + 1))));
+  return r;
+}
+
+// "12/0800" -> pattern at offset 12, 2 bytes (hex digit count / 2), 0x0800.
+ClassifierPattern parse_pattern(const std::string& s) {
+  const std::string t = trim(s);
+  if (t == "-") return ClassifierPattern{0, 0, 0};
+  const size_t slash = t.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("bad classifier pattern: " + t);
+  }
+  ClassifierPattern p;
+  p.offset = std::stoull(t.substr(0, slash));
+  const std::string hex = trim(t.substr(slash + 1));
+  if (hex.empty() || hex.size() % 2 != 0 || hex.size() > 8) {
+    throw std::invalid_argument("bad classifier value: " + t);
+  }
+  p.width = static_cast<unsigned>(hex.size() / 2);
+  p.value = std::stoull(hex, nullptr, 16);
+  return p;
+}
+
+FilterRule parse_filter_rule(const std::string& s) {
+  FilterRule r;
+  std::string rest = trim(s);
+  const auto take_word = [&rest]() {
+    const size_t sp = rest.find(' ');
+    std::string w = sp == std::string::npos ? rest : rest.substr(0, sp);
+    rest = sp == std::string::npos ? "" : trim(rest.substr(sp + 1));
+    return w;
+  };
+  const std::string verb = take_word();
+  if (verb == "allow") r.allow = true;
+  else if (verb == "deny") r.allow = false;
+  else throw std::invalid_argument("filter rule must start allow/deny: " + s);
+  while (!rest.empty()) {
+    const std::string key = take_word();
+    if (key == "udp") { r.proto = net::kProtoUdp; continue; }
+    if (key == "tcp") { r.proto = net::kProtoTcp; continue; }
+    if (key == "icmp") { r.proto = net::kProtoIcmp; continue; }
+    const std::string val = take_word();
+    if (val.empty()) throw std::invalid_argument("filter rule: " + s);
+    if (key == "src" || key == "dst") {
+      const size_t slash = val.find('/');
+      if (slash == std::string::npos)
+        throw std::invalid_argument("filter prefix: " + val);
+      const uint32_t addr = net::parse_ipv4(val.substr(0, slash));
+      const unsigned plen =
+          static_cast<unsigned>(std::stoul(val.substr(slash + 1)));
+      if (key == "src") { r.src_prefix = addr; r.src_plen = plen; }
+      else { r.dst_prefix = addr; r.dst_plen = plen; }
+    } else if (key == "port") {
+      r.dst_port = static_cast<int>(std::stoul(val));
+    } else {
+      throw std::invalid_argument("filter rule key: " + key);
+    }
+  }
+  return r;
+}
+
+using Factory = std::function<ir::Program(const std::string&)>;
+
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory>* table = new std::map<
+      std::string, Factory>{
+      {"Classifier",
+       [](const std::string& args) {
+         if (trim(args).empty()) return make_ipv4_classifier();
+         std::vector<ClassifierPattern> pats;
+         for (const std::string& p : split_config(args)) {
+           pats.push_back(parse_pattern(p));
+         }
+         return make_classifier(pats);
+       }},
+      {"EthDecap", [](const std::string&) { return make_eth_decap(); }},
+      {"Strip14", [](const std::string&) { return make_eth_decap(); }},
+      {"UnsafeStrip",
+       [](const std::string& args) {
+         return make_unsafe_strip(parse_u64(args, 14));
+       }},
+      {"EthEncap",
+       [](const std::string& args) {
+         const uint16_t type =
+             static_cast<uint16_t>(trim(args).empty()
+                                       ? net::kEtherTypeIpv4
+                                       : std::stoul(trim(args), nullptr, 16));
+         return make_eth_encap(type, {2, 0, 0, 0, 0, 2}, {2, 0, 0, 0, 0, 1});
+       }},
+      {"CheckIPHeader",
+       [](const std::string& args) {
+         CheckIpHeaderConfig cfg;
+         for (const std::string& a : split_config(args)) {
+           if (a == "nochecksum") cfg.verify_checksum = false;
+           else if (!a.empty()) cfg.ip_offset = std::stoull(a);
+         }
+         return make_check_ip_header(cfg);
+       }},
+      {"DecIPTTL",
+       [](const std::string& args) {
+         DecTtlConfig cfg;
+         cfg.ip_offset = parse_u64(args, 0);
+         return make_dec_ip_ttl(cfg);
+       }},
+      {"IPLookup",
+       [](const std::string& args) {
+         IpLookupConfig cfg;
+         uint32_t max_port = 0;
+         for (const std::string& rs : split_config(args)) {
+           if (rs.empty()) continue;
+           cfg.routes.push_back(parse_route(rs));
+           max_port = std::max(max_port, cfg.routes.back().port);
+         }
+         if (cfg.routes.empty()) {
+           cfg.routes.push_back(Route{0x0a000000, 8, 0});
+         }
+         cfg.num_ports = max_port + 1;
+         return make_ip_lookup(cfg);
+       }},
+      {"IPOptions",
+       [](const std::string& args) {
+         IpOptionsConfig cfg;
+         cfg.ip_offset = parse_u64(args, 0);
+         return make_ip_options(cfg);
+       }},
+      {"SetIPChecksum",
+       [](const std::string& args) {
+         SetIpChecksumConfig cfg;
+         cfg.ip_offset = parse_u64(args, 0);
+         return make_set_ip_checksum(cfg);
+       }},
+      {"IPFilter",
+       [](const std::string& args) {
+         IpFilterConfig cfg;
+         for (const std::string& rs : split_config(args, ';')) {
+           if (trim(rs).empty()) continue;
+           if (trim(rs) == "default allow") { cfg.default_allow = true; continue; }
+           cfg.rules.push_back(parse_filter_rule(rs));
+         }
+         return make_ip_filter(cfg);
+       }},
+      {"NetFlow",
+       [](const std::string& args) {
+         NetFlowConfig cfg;
+         for (const std::string& a : split_config(args)) {
+           if (a == "strict") cfg.strict = true;
+           else if (!a.empty()) cfg.ip_offset = std::stoull(a);
+         }
+         return make_netflow(cfg);
+       }},
+      {"NAT",
+       [](const std::string& args) {
+         NatConfig cfg;
+         const auto parts = split_config(args);
+         if (parts.size() > 0 && !parts[0].empty())
+           cfg.external_ip = net::parse_ipv4(parts[0]);
+         if (parts.size() > 1 && !parts[1].empty())
+           cfg.base_port = static_cast<uint16_t>(std::stoul(parts[1]));
+         if (parts.size() > 2 && !parts[2].empty())
+           cfg.port_space = static_cast<uint16_t>(std::stoul(parts[2]));
+         if (parts.size() > 3 && parts[3] == "buggy") cfg.buggy = true;
+         return make_nat(cfg);
+       }},
+      {"RateLimiter",
+       [](const std::string& args) {
+         RateLimiterConfig cfg;
+         const auto parts = split_config(args);
+         if (parts.size() > 0 && !parts[0].empty())
+           cfg.burst = static_cast<uint32_t>(std::stoul(parts[0]));
+         if (parts.size() > 1 && !parts[1].empty())
+           cfg.epoch_packets = static_cast<uint32_t>(std::stoul(parts[1]));
+         return make_rate_limiter(cfg);
+       }},
+      {"Counter", [](const std::string&) { return make_counter(); }},
+      {"Paint",
+       [](const std::string& args) {
+         return make_paint(static_cast<uint32_t>(parse_u64(args, 0)));
+       }},
+      {"Discard", [](const std::string&) { return make_discard(); }},
+      {"Null", [](const std::string&) { return make_null(); }},
+      {"ToyFig1", [](const std::string&) { return make_toy_fig1(); }},
+      {"ToyE1", [](const std::string&) { return make_toy_e1(); }},
+      {"ToyE2", [](const std::string&) { return make_toy_e2(); }},
+  };
+  return *table;
+}
+
+}  // namespace
+
+ir::Program make_element(const std::string& name, const std::string& args) {
+  const auto it = factories().find(name);
+  if (it == factories().end()) {
+    throw std::invalid_argument("unknown element: " + name);
+  }
+  return it->second(args);
+}
+
+std::vector<std::string> registered_elements() {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : factories()) names.push_back(name);
+  return names;
+}
+
+pipeline::Pipeline parse_pipeline(const std::string& config) {
+  pipeline::Pipeline pl;
+  std::vector<size_t> chain_ids;
+  size_t pos = 0;
+  while (pos < config.size()) {
+    size_t arrow = config.find("->", pos);
+    std::string stage = config.substr(
+        pos, arrow == std::string::npos ? std::string::npos : arrow - pos);
+    pos = arrow == std::string::npos ? config.size() : arrow + 2;
+    stage = trim(stage);
+    if (stage.empty()) throw std::invalid_argument("empty pipeline stage");
+    std::string name = stage;
+    std::string args;
+    const size_t paren = stage.find('(');
+    if (paren != std::string::npos) {
+      if (stage.back() != ')')
+        throw std::invalid_argument("unbalanced parens: " + stage);
+      name = trim(stage.substr(0, paren));
+      args = stage.substr(paren + 1, stage.size() - paren - 2);
+    }
+    chain_ids.push_back(pl.add(name, make_element(name, args)));
+  }
+  pl.chain(chain_ids);
+  return pl;
+}
+
+pipeline::Pipeline make_ip_router_pipeline(bool verify_checksum) {
+  const std::string check =
+      verify_checksum ? "CheckIPHeader" : "CheckIPHeader(nochecksum)";
+  return parse_pipeline(
+      "Classifier -> EthDecap -> " + check +
+      " -> IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1, 172.16.0.0/12 0) -> "
+      "DecIPTTL -> IPOptions -> EthEncap");
+}
+
+}  // namespace vsd::elements

@@ -1,0 +1,39 @@
+// Element registry and Click-flavoured configuration parsing.
+//
+// Pipelines can be assembled programmatically (factories below) or from a
+// config string:
+//
+//   Classifier -> EthDecap -> CheckIPHeader
+//     -> IPLookup(10.0.0.0/8 0, 10.1.0.0/16 1) -> DecIPTTL -> IPOptions
+//     -> EthEncap -> Discard
+//
+// Elements are separated by "->"; arguments, when present, are inside
+// parentheses with element-specific syntax documented per factory. Linear
+// chains route all output ports of a stage to the next stage.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace vsd::elements {
+
+// Creates an element program by registry name with an argument string.
+// Throws std::invalid_argument for unknown names or malformed arguments.
+ir::Program make_element(const std::string& name, const std::string& args);
+
+// Registered element names, sorted (for --help style listings and tests).
+std::vector<std::string> registered_elements();
+
+// Parses "A -> B(args) -> C" into a connected pipeline.
+pipeline::Pipeline parse_pipeline(const std::string& config);
+
+// The default Click IP-router chain the paper verifies (§3): classifier,
+// decap, header check, lookup, TTL, options, encap. `routes` defaults to a
+// small static table covering 10/8 and 192.168/16.
+pipeline::Pipeline make_ip_router_pipeline(bool verify_checksum = true);
+
+}  // namespace vsd::elements

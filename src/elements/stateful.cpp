@@ -1,0 +1,189 @@
+#include "elements/stateful.hpp"
+
+#include <stdexcept>
+
+#include "elements/common.hpp"
+#include "ir/builder.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::elements {
+
+using ir::FunctionBuilder;
+using ir::ProgramBuilder;
+using ir::Reg;
+using ir::TableId;
+
+ir::Program make_netflow(const NetFlowConfig& cfg) {
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb(cfg.strict ? "NetFlowStrict" : "NetFlow", 1);
+  const TableId flows = pb.add_kv_table("flows", 64, 64);
+  FunctionBuilder& f = pb.main();
+
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg src = f.pkt_load(ir::kNoReg, off + kIpSrc, 4);
+  const Reg dst = f.pkt_load(ir::kNoReg, off + kIpDst, 4);
+  const Reg key =
+      f.bor(f.shl(f.zext(src, 64), f.imm64(32)), f.zext(dst, 64));
+  const Reg count = f.kv_read(flows, key, "flow_count");
+  if (cfg.strict) {
+    // Counter overflow becomes a crash (assert) — deliberately: this is the
+    // property the paper's developer use case wants surfaced, and the
+    // stateful bad-value analysis shows the overflow is reachable via a
+    // packet *sequence* (each packet writes count+1).
+    f.assert_true(f.ne(count, f.imm64(~uint64_t{0})));
+    f.kv_write(flows, key, f.add(count, f.imm64(1)));
+  } else {
+    const Reg at_max = f.eq(count, f.imm64(~uint64_t{0}));
+    const Reg inc = f.select(at_max, f.imm64(0), f.imm64(1));
+    f.kv_write(flows, key, f.add(count, inc));
+  }
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_nat(const NatConfig& cfg) {
+  if (cfg.port_space == 0) {
+    throw std::invalid_argument("NAT: port_space must be non-zero");
+  }
+  if (!cfg.buggy &&
+      uint32_t{cfg.base_port} + cfg.port_space > 0x10000u) {
+    throw std::invalid_argument("NAT: base_port + port_space exceeds 65536");
+  }
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb(cfg.buggy ? "NatOverflowBug" : "NAT", 2);
+  const TableId natmap = pb.add_kv_table("nat_map", 64, 16);
+  const TableId natctl = pb.add_kv_table("nat_ctl", 8, 16);
+  FunctionBuilder& f = pb.main();
+
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg ver_ihl = f.pkt_load(ir::kNoReg, off + kIpVerIhl, 1);
+  const Reg ihl = f.band(ver_ihl, f.imm8(0x0f));
+  const Reg ihl_ok = f.uge(ihl, f.imm8(5));
+  auto [ok1, bad1] = f.br(ihl_ok, "ihl_ok", "ihl_bad");
+  f.set_block(bad1);
+  f.drop();
+  f.set_block(ok1);
+  const Reg hlen = f.shl(f.zext(ihl, 32), f.imm32(2));
+  // Need the full IP header plus 4 bytes of L4 ports.
+  const Reg req = f.add(f.add(f.imm32(off), hlen), f.imm32(4));
+  drop_if_len_below(f, req);
+
+  const Reg proto = f.pkt_load(ir::kNoReg, off + kIpProto, 1);
+  const Reg is_tcp = f.eq(proto, f.imm8(net::kProtoTcp));
+  const Reg is_udp = f.eq(proto, f.imm8(net::kProtoUdp));
+  const Reg natable = f.lor(is_tcp, is_udp);
+  auto [do_nat, bypass] = f.br(natable, "nat", "bypass");
+  f.set_block(bypass);
+  f.emit(1);
+
+  f.set_block(do_nat);
+  const Reg l4_off = f.add(f.imm32(off), hlen);
+  const Reg old_src = f.pkt_load(ir::kNoReg, off + kIpSrc, 4, "old_src");
+  const Reg old_sport = f.pkt_load(l4_off, 0, 2, "old_sport");
+  const Reg key = f.bor(f.shl(f.zext(old_src, 64), f.imm64(16)),
+                        f.zext(old_sport, 64));
+  const Reg mapped = f.kv_read(natmap, key, "mapped_port");
+
+  // Shared rewrite tail, duplicated per arm because IR registers are
+  // assigned once (no phi nodes): rewrites src ip/port, fixes the IP
+  // checksum incrementally (RFC 1624), zeroes the UDP checksum.
+  const auto rewrite_and_emit = [&](Reg new_port) {
+    const Reg old_hi = f.pkt_load(ir::kNoReg, off + kIpSrc, 2, "src_hi");
+    const Reg old_lo = f.pkt_load(ir::kNoReg, off + kIpSrc + 2, 2, "src_lo");
+    f.pkt_store(ir::kNoReg, off + kIpSrc, f.imm32(cfg.external_ip), 4);
+    f.pkt_store(l4_off, 0, new_port, 2);
+    // HC' = ~( ~HC + ~m1 + m1' + ~m2 + m2' ) in one's-complement arithmetic.
+    const Reg hc = f.pkt_load(ir::kNoReg, off + kIpChecksum, 2);
+    Reg acc = f.zext(f.bxor(hc, f.imm16(0xffff)), 32);
+    acc = f.add(acc, f.zext(f.bxor(old_hi, f.imm16(0xffff)), 32));
+    acc = f.add(acc, f.imm32((cfg.external_ip >> 16) & 0xffff));
+    acc = f.add(acc, f.zext(f.bxor(old_lo, f.imm16(0xffff)), 32));
+    acc = f.add(acc, f.imm32(cfg.external_ip & 0xffff));
+    for (int i = 0; i < 2; ++i) {
+      acc = f.add(f.band(acc, f.imm32(0xffff)), f.lshr(acc, f.imm32(16)));
+    }
+    const Reg new_hc = f.bxor(f.trunc(acc, 16), f.imm16(0xffff));
+    f.pkt_store(ir::kNoReg, off + kIpChecksum, new_hc, 2);
+    // UDP checksum is optional: zero it. (TCP would need a full recompute;
+    // we zero it too and document the simplification in DESIGN.md.)
+    const Reg ck_req = f.add(l4_off, f.imm32(8));
+    const Reg has_ck = f.ule(ck_req, f.pkt_len());
+    auto [with_ck, without_ck] = f.br(has_ck, "l4ck", "no_l4ck");
+    f.set_block(with_ck);
+    f.pkt_store(l4_off, 6, f.imm16(0), 2);
+    f.emit(0);
+    f.set_block(without_ck);
+    f.emit(0);
+  };
+
+  const Reg have_mapping = f.ne(mapped, f.imm16(0));
+  auto [hit_b, alloc_b] = f.br(have_mapping, "mapping_hit", "allocate");
+  f.set_block(hit_b);
+  rewrite_and_emit(mapped);
+
+  f.set_block(alloc_b);
+  const Reg next = f.kv_read(natctl, f.imm8(0), "next_slot");
+  Reg new_port;
+  if (cfg.buggy) {
+    // BUG (intentional): no wraparound. The assert models "allocated port
+    // stays inside the configured space"; once the counter grows past
+    // port_space the assert fails. Reachable only across a packet
+    // sequence — exactly what the KV write-reachability analysis exposes.
+    new_port = f.add(f.imm16(cfg.base_port), next);
+    const Reg limit = f.imm16(uint64_t{cfg.base_port} + cfg.port_space - 1);
+    f.assert_true(f.ule(new_port, limit));
+    f.assert_true(f.uge(new_port, f.imm16(cfg.base_port)));
+  } else {
+    const Reg slot = f.urem(next, f.imm16(cfg.port_space));
+    new_port = f.add(f.imm16(cfg.base_port), slot);
+  }
+  f.kv_write(natctl, f.imm8(0), f.add(next, f.imm16(1)));
+  f.kv_write(natmap, key, new_port);
+  rewrite_and_emit(new_port);
+  return pb.finish();
+}
+
+ir::Program make_rate_limiter(const RateLimiterConfig& cfg) {
+  if (cfg.epoch_packets == 0 || cfg.burst == 0) {
+    throw std::invalid_argument("RateLimiter: burst/epoch must be non-zero");
+  }
+  const uint64_t off = cfg.ip_offset;
+  ProgramBuilder pb("RateLimiter", 2);
+  // buckets: src address -> packed (epoch:32 | used:32).
+  const TableId buckets = pb.add_kv_table("buckets", 32, 64);
+  // clock: key 0 -> global packet counter standing in for time.
+  const TableId clock = pb.add_kv_table("clock", 8, 64);
+  FunctionBuilder& f = pb.main();
+
+  drop_if_shorter_than(f, off + net::kIpv4MinHeaderSize);
+  const Reg now = f.kv_read(clock, f.imm8(0), "now");
+  // Wrapping tick is fine: epochs only need to change, not be ordered.
+  f.kv_write(clock, f.imm8(0), f.add(now, f.imm64(1)));
+  const Reg epoch = f.udiv(now, f.imm64(cfg.epoch_packets));
+
+  const Reg src = f.pkt_load(ir::kNoReg, off + kIpSrc, 4, "src");
+  const Reg packed = f.kv_read(buckets, src, "bucket");
+  const Reg stored_epoch = f.lshr(packed, f.imm64(32));
+  const Reg used = f.band(packed, f.imm64(0xffffffff));
+  const Reg cur_epoch = f.band(epoch, f.imm64(0xffffffff));
+
+  const Reg fresh_epoch = f.ne(stored_epoch, cur_epoch);
+  const Reg effective_used = f.select(fresh_epoch, f.imm64(0), used);
+  const Reg over = f.uge(effective_used, f.imm64(cfg.burst));
+  auto [police_b, pass_b] = f.br(over, "police", "pass");
+  f.set_block(police_b);
+  f.emit(1);  // policed traffic; wire to Discard to drop
+
+  f.set_block(pass_b);
+  // used+1 cannot overflow 32 bits: it is capped at burst by the check
+  // above, so the packed write stays well-formed — the verifier proves it.
+  const Reg new_used = f.add(effective_used, f.imm64(1));
+  const Reg repacked =
+      f.bor(f.shl(cur_epoch, f.imm64(32)), new_used);
+  f.kv_write(buckets, src, repacked);
+  f.emit(0);
+  return pb.finish();
+}
+
+}  // namespace vsd::elements

@@ -1,0 +1,58 @@
+// Stateful elements: the NetFlow-style statistics collector and the NAT
+// rewriter the paper names as its mutable-data-structure challenges (§3,
+// "Element Verification"). Private state is accessed exclusively through
+// the IR's KvRead/KvWrite, which is exactly the key/value modeling contract
+// the verifier assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.hpp"
+
+namespace vsd::elements {
+
+struct NetFlowConfig {
+  uint64_t ip_offset = 0;
+  // strict=true uses a plain increment guarded by an assert, making counter
+  // overflow an assertion failure (the paper's §2 example of a property a
+  // developer would want checked). strict=false saturates and is provably
+  // crash-free.
+  bool strict = false;
+};
+
+// Per-(src,dst) flow packet counter.
+ir::Program make_netflow(const NetFlowConfig& cfg = {});
+
+struct NatConfig {
+  uint64_t ip_offset = 0;
+  uint32_t external_ip = 0xc0a80101;  // 192.168.1.1
+  uint16_t base_port = 10000;
+  uint16_t port_space = 4096;  // number of allocatable ports
+  // buggy=true allocates `base + counter` without wrapping, guarded by an
+  // assert — the counter-overflow bug class; the stateful analysis finds a
+  // write sequence reaching the bad value. buggy=false allocates modulo
+  // port_space and is provably safe.
+  bool buggy = false;
+};
+
+// Source NAT for TCP/UDP: rewrites source IP/port, maintains the mapping in
+// private state, updates the IP checksum incrementally. Non-TCP/UDP
+// traffic bypasses on port 1.
+ir::Program make_nat(const NatConfig& cfg = {});
+
+struct RateLimiterConfig {
+  uint64_t ip_offset = 0;
+  // Per-source token budget within one epoch.
+  uint32_t burst = 16;
+  // Epoch length in packets (a packet-count clock stands in for wall time,
+  // which the dataplane model deliberately does not have).
+  uint32_t epoch_packets = 1024;
+};
+
+// Per-source-address token bucket: forwards while the source still has
+// tokens in the current epoch, drops (polices) beyond that. All counter
+// arithmetic saturates/wraps by construction, so the element is provably
+// crash-free — the well-behaved counterpart to the strict NetFlow.
+ir::Program make_rate_limiter(const RateLimiterConfig& cfg = {});
+
+}  // namespace vsd::elements

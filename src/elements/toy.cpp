@@ -1,0 +1,73 @@
+#include "elements/toy.hpp"
+
+#include "ir/builder.hpp"
+
+namespace vsd::elements {
+
+using ir::FunctionBuilder;
+using ir::ProgramBuilder;
+using ir::Reg;
+
+namespace {
+
+// Loads the toy "integer input" — the first 4 packet bytes, big-endian.
+// The toy programs are verified with packets of length >= 4, so no length
+// guard is emitted: their crash behaviour must match the paper exactly.
+Reg load_toy_input(FunctionBuilder& f) {
+  return f.pkt_load(ir::kNoReg, 0, 4, "in");
+}
+
+void store_toy_output(FunctionBuilder& f, Reg out) {
+  f.pkt_store(ir::kNoReg, 0, out, 4);
+}
+
+}  // namespace
+
+ir::Program make_toy_fig1() {
+  ProgramBuilder pb("ToyFig1", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg in = load_toy_input(f);
+  f.assert_true(f.sge(in, f.imm32(0)));
+  const Reg small = f.slt(in, f.imm32(10));
+  auto [small_b, big_b] = f.br(small, "small", "big");
+  f.set_block(small_b);
+  store_toy_output(f, f.imm32(10));
+  f.emit(0);
+  f.set_block(big_b);
+  store_toy_output(f, in);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_toy_e1() {
+  ProgramBuilder pb("ToyE1", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg in = load_toy_input(f);
+  const Reg negative = f.slt(in, f.imm32(0));
+  auto [neg_b, pos_b] = f.br(negative, "neg", "pos");
+  f.set_block(neg_b);
+  store_toy_output(f, f.imm32(0));
+  f.emit(0);
+  f.set_block(pos_b);
+  store_toy_output(f, in);
+  f.emit(0);
+  return pb.finish();
+}
+
+ir::Program make_toy_e2() {
+  ProgramBuilder pb("ToyE2", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg in = load_toy_input(f);
+  f.assert_true(f.sge(in, f.imm32(0)));
+  const Reg small = f.slt(in, f.imm32(10));
+  auto [small_b, big_b] = f.br(small, "small", "big");
+  f.set_block(small_b);
+  store_toy_output(f, f.imm32(10));
+  f.emit(0);
+  f.set_block(big_b);
+  store_toy_output(f, in);
+  f.emit(0);
+  return pb.finish();
+}
+
+}  // namespace vsd::elements

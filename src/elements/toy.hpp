@@ -1,0 +1,23 @@
+// The paper's illustrative programs (Fig. 1 and Fig. 2), expressed as
+// elements over the first four packet bytes interpreted as a signed 32-bit
+// big-endian integer. These drive the fig1/fig2 benches and the golden
+// tests that reproduce the worked example in §3 step by step.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace vsd::elements {
+
+// Fig. 1 toy program:
+//   assert in >= 0; if (in < 10) out = 10 else out = in; return out.
+// Three feasible paths; crashes exactly when in < 0 (signed).
+ir::Program make_toy_fig1();
+
+// Fig. 2 element E1: out = (in < 0) ? 0 : in. Never crashes.
+ir::Program make_toy_e1();
+
+// Fig. 2 element E2: assert in >= 0; out = (in < 10) ? 10 : in.
+// Crashes in isolation when in < 0; provably safe downstream of E1.
+ir::Program make_toy_e2();
+
+}  // namespace vsd::elements

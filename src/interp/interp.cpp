@@ -1,0 +1,225 @@
+#include "interp/interp.hpp"
+
+#include <cassert>
+
+#include "bv/expr.hpp"  // for truncate_to_width / sign_extend_64
+
+namespace vsd::interp {
+
+using bv::sign_extend_64;
+using bv::truncate_to_width;
+using ir::Opcode;
+using ir::Reg;
+using ir::TrapKind;
+
+namespace {
+
+// Execution of one function activation. Shares packet/kv/counters with the
+// parent; registers are per-activation.
+class Machine {
+ public:
+  Machine(const ir::Program& p, net::Packet& pkt, KvState& kv,
+          const ExecLimits& limits)
+      : p_(p), pkt_(pkt), kv_(kv), limits_(limits) {}
+
+  ExecResult run_main() {
+    result_ = ExecResult{};
+    std::vector<uint64_t> regs;
+    std::vector<uint64_t> ret;
+    run_function(p_.main_fn, {}, regs, ret);
+    result_.instr_count = steps_;
+    return result_;
+  }
+
+ private:
+  // Returns true if execution should continue in the caller (i.e. the callee
+  // returned normally); false if the program finished (emit/drop/trap).
+  bool run_function(ir::FuncId fid, const std::vector<uint64_t>& args,
+                    std::vector<uint64_t>& regs, std::vector<uint64_t>& ret) {
+    const ir::Function& f = p_.functions[fid];
+    regs.assign(f.regs.size(), 0);
+    assert(args.size() == f.params.size());
+    for (size_t i = 0; i < args.size(); ++i) regs[f.params[i]] = args[i];
+
+    ir::BlockId bb = 0;
+    for (;;) {
+      const ir::Block& blk = f.blocks[bb];
+      for (const ir::Instr& in : blk.instrs) {
+        if (++steps_ > limits_.max_steps) return finish_trap(TrapKind::LoopBound);
+        if (!exec_instr(f, in, regs)) return false;
+      }
+      ++steps_;
+      switch (blk.term.kind) {
+        case ir::Terminator::Kind::Jump:
+          bb = blk.term.target;
+          break;
+        case ir::Terminator::Kind::Br:
+          bb = regs[blk.term.cond] != 0 ? blk.term.target : blk.term.alt;
+          break;
+        case ir::Terminator::Kind::Emit:
+          result_.action = Action::Emit;
+          result_.port = blk.term.port;
+          return false;
+        case ir::Terminator::Kind::Drop:
+          result_.action = Action::Drop;
+          return false;
+        case ir::Terminator::Kind::Trap:
+          return finish_trap(blk.term.trap);
+        case ir::Terminator::Kind::Return:
+          ret.clear();
+          for (const Reg r : blk.term.ret_vals) ret.push_back(regs[r]);
+          return true;
+      }
+    }
+  }
+
+  bool finish_trap(TrapKind k) {
+    result_.action = Action::Trap;
+    result_.trap = k;
+    return false;
+  }
+
+  // Returns false when execution terminated inside (trap or nested finish).
+  bool exec_instr(const ir::Function& f, const ir::Instr& in,
+                  std::vector<uint64_t>& regs) {
+    const auto w = [&](Reg r) { return f.regs[r].width; };
+    const auto val = [&](Reg r) { return regs[r]; };
+    const auto set = [&](Reg r, uint64_t v) {
+      regs[r] = truncate_to_width(v, w(r));
+    };
+    switch (in.op) {
+      case Opcode::Const: set(in.dst, in.imm); return true;
+      case Opcode::Not: set(in.dst, ~val(in.a)); return true;
+      case Opcode::Neg: set(in.dst, -val(in.a)); return true;
+      case Opcode::Add: set(in.dst, val(in.a) + val(in.b)); return true;
+      case Opcode::Sub: set(in.dst, val(in.a) - val(in.b)); return true;
+      case Opcode::Mul: set(in.dst, val(in.a) * val(in.b)); return true;
+      case Opcode::UDiv:
+        if (val(in.b) == 0) return finish_trap(TrapKind::DivByZero);
+        set(in.dst, val(in.a) / val(in.b));
+        return true;
+      case Opcode::URem:
+        if (val(in.b) == 0) return finish_trap(TrapKind::DivByZero);
+        set(in.dst, val(in.a) % val(in.b));
+        return true;
+      case Opcode::And: set(in.dst, val(in.a) & val(in.b)); return true;
+      case Opcode::Or: set(in.dst, val(in.a) | val(in.b)); return true;
+      case Opcode::Xor: set(in.dst, val(in.a) ^ val(in.b)); return true;
+      case Opcode::Shl: {
+        const uint64_t s = val(in.b);
+        set(in.dst, s >= w(in.a) ? 0 : val(in.a) << s);
+        return true;
+      }
+      case Opcode::LShr: {
+        const uint64_t s = val(in.b);
+        set(in.dst, s >= w(in.a) ? 0 : val(in.a) >> s);
+        return true;
+      }
+      case Opcode::AShr: {
+        const uint64_t s = val(in.b);
+        const int64_t a = sign_extend_64(val(in.a), w(in.a));
+        set(in.dst, s >= w(in.a) ? (a < 0 ? ~uint64_t{0} : 0)
+                                 : static_cast<uint64_t>(a >> s));
+        return true;
+      }
+      case Opcode::Eq: set(in.dst, val(in.a) == val(in.b)); return true;
+      case Opcode::Ne: set(in.dst, val(in.a) != val(in.b)); return true;
+      case Opcode::Ult: set(in.dst, val(in.a) < val(in.b)); return true;
+      case Opcode::Ule: set(in.dst, val(in.a) <= val(in.b)); return true;
+      case Opcode::Slt:
+        set(in.dst, sign_extend_64(val(in.a), w(in.a)) <
+                        sign_extend_64(val(in.b), w(in.b)));
+        return true;
+      case Opcode::Sle:
+        set(in.dst, sign_extend_64(val(in.a), w(in.a)) <=
+                        sign_extend_64(val(in.b), w(in.b)));
+        return true;
+      case Opcode::ZExt: set(in.dst, val(in.a)); return true;
+      case Opcode::SExt:
+        set(in.dst, static_cast<uint64_t>(sign_extend_64(val(in.a), w(in.a))));
+        return true;
+      case Opcode::Trunc: set(in.dst, val(in.a)); return true;
+      case Opcode::Select:
+        set(in.dst, val(in.a) != 0 ? val(in.b) : val(in.c));
+        return true;
+      case Opcode::PktLoad: {
+        const uint64_t off =
+            (in.a == ir::kNoReg ? 0 : val(in.a)) + in.imm;
+        if (off + in.aux > pkt_.size())
+          return finish_trap(TrapKind::OobPacketRead);
+        set(in.dst, pkt_.load_be(off, in.aux));
+        return true;
+      }
+      case Opcode::PktStore: {
+        const uint64_t off =
+            (in.a == ir::kNoReg ? 0 : val(in.a)) + in.imm;
+        if (off + in.aux > pkt_.size())
+          return finish_trap(TrapKind::OobPacketWrite);
+        pkt_.store_be(off, in.aux, val(in.b));
+        return true;
+      }
+      case Opcode::PktLen: set(in.dst, pkt_.size()); return true;
+      case Opcode::PktPush: pkt_.push_front(in.imm); return true;
+      case Opcode::PktPull:
+        if (in.imm > pkt_.size()) return finish_trap(TrapKind::PullUnderflow);
+        pkt_.pull_front(in.imm);
+        return true;
+      case Opcode::MetaLoad: set(in.dst, pkt_.meta(in.imm)); return true;
+      case Opcode::MetaStore:
+        pkt_.set_meta(in.imm, static_cast<uint32_t>(val(in.a)));
+        return true;
+      case Opcode::StaticLoad: {
+        const ir::StaticTable& t = p_.static_tables[in.aux];
+        const uint64_t idx = val(in.a);
+        if (idx >= t.values.size()) return finish_trap(TrapKind::OobTable);
+        set(in.dst, t.values[idx]);
+        return true;
+      }
+      case Opcode::KvRead:
+        set(in.dst, kv_.read(in.aux, val(in.a)));
+        return true;
+      case Opcode::KvWrite:
+        kv_.write(in.aux, val(in.a), val(in.b));
+        return true;
+      case Opcode::Assert:
+        if (val(in.a) == 0) return finish_trap(TrapKind::AssertFail);
+        return true;
+      case Opcode::RunLoop: {
+        std::vector<uint64_t> state;
+        state.reserve(in.loop_state.size());
+        for (const Reg r : in.loop_state) state.push_back(val(r));
+        bool wants_continue = true;
+        for (uint64_t trip = 0; trip < in.imm && wants_continue; ++trip) {
+          std::vector<uint64_t> body_regs;
+          std::vector<uint64_t> ret;
+          if (!run_function(in.aux, state, body_regs, ret)) return false;
+          wants_continue = ret[0] != 0;
+          for (size_t i = 0; i < state.size(); ++i) state[i] = ret[i + 1];
+        }
+        if (wants_continue) return finish_trap(TrapKind::LoopBound);
+        for (size_t i = 0; i < in.loop_state.size(); ++i) {
+          set(in.loop_state[i], state[i]);
+        }
+        return true;
+      }
+    }
+    return true;
+  }
+
+  const ir::Program& p_;
+  net::Packet& pkt_;
+  KvState& kv_;
+  const ExecLimits& limits_;
+  ExecResult result_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+ExecResult run(const ir::Program& program, net::Packet& packet, KvState& kv,
+               const ExecLimits& limits) {
+  Machine m(program, packet, kv, limits);
+  return m.run_main();
+}
+
+}  // namespace vsd::interp

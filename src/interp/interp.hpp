@@ -1,0 +1,68 @@
+// Concrete execution of dataplane IR — the production fast path.
+//
+// Executes one element program on one packet, mutating the packet and the
+// element's private key/value state, and returns the element's action
+// (emit on a port, drop, or trap) together with the executed instruction
+// count. All the crash classes the verifier reasons about (failed asserts,
+// out-of-bounds packet access, division by zero, loop-bound overruns) are
+// detected here and surfaced as traps rather than undefined behaviour, so a
+// counterexample packet found by the verifier reproduces deterministically.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::interp {
+
+// Private mutable state of one element instance: one hash map per KvTable.
+// Reads of absent keys return 0, matching the verifier's KV model.
+class KvState {
+ public:
+  explicit KvState(size_t num_tables) : tables_(num_tables) {}
+  KvState() = default;
+
+  uint64_t read(ir::TableId t, uint64_t key) const {
+    const auto& m = tables_.at(t);
+    auto it = m.find(key);
+    return it == m.end() ? 0 : it->second;
+  }
+  void write(ir::TableId t, uint64_t key, uint64_t value) {
+    tables_.at(t)[key] = value;
+  }
+  size_t entry_count(ir::TableId t) const { return tables_.at(t).size(); }
+  void clear() {
+    for (auto& m : tables_) m.clear();
+  }
+
+ private:
+  std::vector<std::unordered_map<uint64_t, uint64_t>> tables_;
+};
+
+enum class Action : uint8_t { Emit, Drop, Trap };
+
+struct ExecResult {
+  Action action = Action::Drop;
+  uint32_t port = 0;             // valid when action == Emit
+  ir::TrapKind trap = ir::TrapKind::Unreachable;  // valid when Trap
+  uint64_t instr_count = 0;
+
+  bool emitted() const { return action == Action::Emit; }
+  bool dropped() const { return action == Action::Drop; }
+  bool trapped() const { return action == Action::Trap; }
+};
+
+struct ExecLimits {
+  // Hard step bound: CFG back-edges cannot be proven terminating by the
+  // interpreter, so runaway programs become a LoopBound trap.
+  uint64_t max_steps = 1u << 20;
+};
+
+// Runs `program` on `packet` with private state `kv`.
+ExecResult run(const ir::Program& program, net::Packet& packet, KvState& kv,
+               const ExecLimits& limits = {});
+
+}  // namespace vsd::interp

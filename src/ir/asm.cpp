@@ -1,0 +1,733 @@
+#include "ir/asm.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace vsd::ir {
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string reg_def(const Function& f, Reg r) {
+  return "%r" + std::to_string(r) + ":" + std::to_string(f.regs[r].width);
+}
+
+std::string reg_use(Reg r) { return "%r" + std::to_string(r); }
+
+std::string offset_operand(const Instr& in) {
+  std::string s = "off=";
+  if (in.a != kNoReg) {
+    s += reg_use(in.a);
+    if (in.imm != 0) s += "+" + std::to_string(in.imm);
+  } else {
+    s += std::to_string(in.imm);
+  }
+  return s;
+}
+
+const char* binop_name(Opcode op) { return opcode_name(op); }
+
+void disasm_instr(std::ostringstream& os, const Program& p, const Function& f,
+                  const Instr& in) {
+  os << "  ";
+  switch (in.op) {
+    case Opcode::Const:
+      os << reg_def(f, in.dst) << " = const " << in.imm;
+      break;
+    case Opcode::Not:
+    case Opcode::Neg:
+      os << reg_def(f, in.dst) << " = " << opcode_name(in.op) << " "
+         << reg_use(in.a);
+      break;
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+    case Opcode::UDiv: case Opcode::URem:
+    case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+    case Opcode::Eq: case Opcode::Ne:
+    case Opcode::Ult: case Opcode::Ule:
+    case Opcode::Slt: case Opcode::Sle:
+      os << reg_def(f, in.dst) << " = " << binop_name(in.op) << " "
+         << reg_use(in.a) << ", " << reg_use(in.b);
+      break;
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+      os << reg_def(f, in.dst) << " = " << opcode_name(in.op) << " "
+         << reg_use(in.a);
+      break;
+    case Opcode::Select:
+      os << reg_def(f, in.dst) << " = select " << reg_use(in.a) << ", "
+         << reg_use(in.b) << ", " << reg_use(in.c);
+      break;
+    case Opcode::PktLoad:
+      os << reg_def(f, in.dst) << " = pkt.load " << offset_operand(in)
+         << " n=" << in.aux;
+      break;
+    case Opcode::PktStore:
+      os << "pkt.store " << offset_operand(in) << " n=" << in.aux << ", "
+         << reg_use(in.b);
+      break;
+    case Opcode::PktLen:
+      os << reg_def(f, in.dst) << " = pkt.len";
+      break;
+    case Opcode::PktPush:
+      os << "pkt.push " << in.imm;
+      break;
+    case Opcode::PktPull:
+      os << "pkt.pull " << in.imm;
+      break;
+    case Opcode::MetaLoad:
+      os << reg_def(f, in.dst) << " = meta.load " << in.imm;
+      break;
+    case Opcode::MetaStore:
+      os << "meta.store " << in.imm << ", " << reg_use(in.a);
+      break;
+    case Opcode::StaticLoad:
+      os << reg_def(f, in.dst) << " = static.load t" << in.aux << ", "
+         << reg_use(in.a);
+      break;
+    case Opcode::KvRead:
+      os << reg_def(f, in.dst) << " = kv.read k" << in.aux << ", "
+         << reg_use(in.a);
+      break;
+    case Opcode::KvWrite:
+      os << "kv.write k" << in.aux << ", " << reg_use(in.a) << ", "
+         << reg_use(in.b);
+      break;
+    case Opcode::Assert:
+      os << "assert " << reg_use(in.a);
+      break;
+    case Opcode::RunLoop: {
+      os << "loop " << p.functions[in.aux].name << " max=" << in.imm
+         << " state=(";
+      for (size_t i = 0; i < in.loop_state.size(); ++i) {
+        if (i) os << ", ";
+        os << reg_use(in.loop_state[i]);
+      }
+      os << ")";
+      break;
+    }
+  }
+  os << "\n";
+}
+
+void disasm_terminator(std::ostringstream& os, const Terminator& t) {
+  os << "  ";
+  switch (t.kind) {
+    case Terminator::Kind::Jump:
+      os << "jump @b" << t.target;
+      break;
+    case Terminator::Kind::Br:
+      os << "br " << reg_use(t.cond) << ", @b" << t.target << ", @b" << t.alt;
+      break;
+    case Terminator::Kind::Emit:
+      os << "emit " << t.port;
+      break;
+    case Terminator::Kind::Drop:
+      os << "drop";
+      break;
+    case Terminator::Kind::Trap:
+      os << "trap " << trap_name(t.trap);
+      break;
+    case Terminator::Kind::Return:
+      os << "ret";
+      for (size_t i = 0; i < t.ret_vals.size(); ++i) {
+        os << (i ? ", " : " ") << reg_use(t.ret_vals[i]);
+      }
+      break;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  os << "program " << p.name << " ports=" << p.num_output_ports << "\n";
+  for (size_t i = 0; i < p.static_tables.size(); ++i) {
+    const StaticTable& t = p.static_tables[i];
+    os << "static t" << i << " \"" << t.name << "\" w" << t.value_width
+       << " = [";
+    for (size_t j = 0; j < t.values.size(); ++j) {
+      if (j) os << ", ";
+      os << t.values[j];
+    }
+    os << "]\n";
+  }
+  for (size_t i = 0; i < p.kv_tables.size(); ++i) {
+    const KvTable& t = p.kv_tables[i];
+    os << "kv k" << i << " \"" << t.name << "\" key=" << t.key_width
+       << " val=" << t.value_width << "\n";
+  }
+  for (size_t fi = 0; fi < p.functions.size(); ++fi) {
+    const Function& f = p.functions[fi];
+    os << "\nfunc " << f.name;
+    if (fi != p.main_fn) {
+      os << " ret=(";
+      for (size_t i = 0; i < f.ret_widths.size(); ++i) {
+        if (i) os << ", ";
+        os << f.ret_widths[i];
+      }
+      os << ")";
+    }
+    os << "\n";
+    for (const Reg pr : f.params) os << "param " << reg_def(f, pr) << "\n";
+    for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+      os << "block b" << bi << "\n";
+      for (const Instr& in : f.blocks[bi].instrs) {
+        disasm_instr(os, p, f, in);
+      }
+      disasm_terminator(os, f.blocks[bi].term);
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Line tokenizer: identifiers/numbers plus the punctuation the syntax uses.
+std::vector<std::string> tokenize(const std::string& line, size_t lineno) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    if (c == '#' || c == ';') break;  // comment
+    if (c == '"') {
+      size_t j = line.find('"', i + 1);
+      if (j == std::string::npos) throw AsmError(lineno, "unterminated string");
+      out.push_back(line.substr(i, j - i + 1));
+      i = j + 1;
+      continue;
+    }
+    if (std::strchr(",=()[]+:", c) != nullptr) {
+      out.push_back(std::string(1, c));
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j])) &&
+           std::strchr(",=()[]+:#;\"", line[j]) == nullptr) {
+      ++j;
+    }
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const std::string& text) : text_(text) {}
+
+  Program run() {
+    std::istringstream in(text_);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::vector<std::string> toks = tokenize(line, lineno);
+      if (toks.empty()) continue;
+      parse_line(toks, lineno);
+    }
+    finish_function();
+    resolve_loop_fixups();
+    const auto problems = validate(p_);
+    if (!problems.empty()) {
+      std::string msg = "assembled program failed validation:";
+      for (const auto& s : problems) msg += "\n  " + s;
+      throw std::runtime_error(msg);
+    }
+    return std::move(p_);
+  }
+
+ private:
+  struct Cursor {
+    const std::vector<std::string>* toks = nullptr;
+    size_t pos = 0;
+    size_t lineno = 0;
+
+    bool done() const { return pos >= toks->size(); }
+    const std::string& peek() const {
+      static const std::string empty;
+      return done() ? empty : (*toks)[pos];
+    }
+    std::string next() {
+      if (done()) throw AsmError(lineno, "unexpected end of line");
+      return (*toks)[pos++];
+    }
+    void expect(const std::string& t) {
+      const std::string got = next();
+      if (got != t) {
+        throw AsmError(lineno, "expected '" + t + "', got '" + got + "'");
+      }
+    }
+    bool accept(const std::string& t) {
+      if (!done() && peek() == t) {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  };
+
+  uint64_t parse_num(Cursor& c) {
+    const std::string t = c.next();
+    try {
+      return std::stoull(t, nullptr, 0);
+    } catch (...) {
+      throw AsmError(c.lineno, "expected a number, got '" + t + "'");
+    }
+  }
+
+  void parse_line(const std::vector<std::string>& toks, size_t lineno) {
+    Cursor c{&toks, 0, lineno};
+    const std::string head = c.next();
+    if (head == "program") return parse_program_header(c);
+    if (head == "static") return parse_static(c);
+    if (head == "kv") return parse_kv(c);
+    if (head == "func") return parse_func(c);
+    if (head == "param") return parse_param(c);
+    if (head == "block") return parse_block(c);
+    if (cur_fn_ < 0) throw AsmError(lineno, "instruction outside a function");
+    if (cur_block_ < 0) throw AsmError(lineno, "instruction outside a block");
+    parse_instruction(head, c);
+  }
+
+  void parse_program_header(Cursor& c) {
+    p_.name = c.next();
+    c.expect("ports");
+    c.expect("=");
+    p_.num_output_ports = static_cast<uint32_t>(parse_num(c));
+  }
+
+  void parse_static(Cursor& c) {
+    c.next();  // index token tN (positional; assignment order defines ids)
+    StaticTable t;
+    std::string name = c.next();
+    if (name.size() >= 2 && name.front() == '"') {
+      t.name = name.substr(1, name.size() - 2);
+    } else {
+      t.name = name;
+    }
+    std::string w = c.next();
+    if (w.empty() || w[0] != 'w') throw AsmError(c.lineno, "expected wN");
+    t.value_width = static_cast<unsigned>(std::stoul(w.substr(1)));
+    c.expect("=");
+    c.expect("[");
+    while (!c.accept("]")) {
+      t.values.push_back(parse_num(c));
+      c.accept(",");
+    }
+    p_.static_tables.push_back(std::move(t));
+  }
+
+  void parse_kv(Cursor& c) {
+    c.next();  // index token kN
+    KvTable t;
+    std::string name = c.next();
+    if (name.size() >= 2 && name.front() == '"') {
+      t.name = name.substr(1, name.size() - 2);
+    } else {
+      t.name = name;
+    }
+    c.expect("key");
+    c.expect("=");
+    t.key_width = static_cast<unsigned>(parse_num(c));
+    c.expect("val");
+    c.expect("=");
+    t.value_width = static_cast<unsigned>(parse_num(c));
+    p_.kv_tables.push_back(std::move(t));
+  }
+
+  void parse_func(Cursor& c) {
+    finish_function();
+    Function f;
+    f.name = c.next();
+    if (c.accept("ret")) {
+      c.expect("=");
+      c.expect("(");
+      while (!c.accept(")")) {
+        f.ret_widths.push_back(static_cast<unsigned>(parse_num(c)));
+        c.accept(",");
+      }
+    }
+    p_.functions.push_back(std::move(f));
+    cur_fn_ = static_cast<int>(p_.functions.size()) - 1;
+    cur_block_ = -1;
+    regs_.clear();
+    block_names_.clear();
+    pending_branches_.clear();
+  }
+
+  void parse_param(Cursor& c) {
+    if (cur_fn_ < 0) throw AsmError(c.lineno, "param outside a function");
+    auto [reg, is_def] = parse_reg(c, /*require_def=*/true);
+    (void)is_def;
+    fn().params.push_back(reg);
+  }
+
+  void parse_block(Cursor& c) {
+    if (cur_fn_ < 0) throw AsmError(c.lineno, "block outside a function");
+    const std::string name = c.next();
+    fn().blocks.push_back(Block{name, {}, {}});
+    fn().blocks.back().term.kind = Terminator::Kind::Trap;
+    fn().blocks.back().term.trap = TrapKind::Unreachable;
+    cur_block_ = static_cast<int>(fn().blocks.size()) - 1;
+    if (block_names_.count(name) != 0) {
+      throw AsmError(c.lineno, "duplicate block name " + name);
+    }
+    block_names_[name] = static_cast<BlockId>(cur_block_);
+  }
+
+  // %rK:W (definition) or %rK (use). Returns the register id.
+  std::pair<Reg, bool> parse_reg(Cursor& c, bool require_def) {
+    std::string t = c.next();
+    if (t.empty() || t[0] != '%') {
+      throw AsmError(c.lineno, "expected a register, got '" + t + "'");
+    }
+    const std::string name = t.substr(1);
+    bool is_def = false;
+    unsigned width = 0;
+    if (c.accept(":")) {
+      width = static_cast<unsigned>(parse_num(c));
+      is_def = true;
+    }
+    auto it = regs_.find(name);
+    if (is_def) {
+      if (it != regs_.end()) {
+        if (fn().regs[it->second].width != width) {
+          throw AsmError(c.lineno, "register " + name + " redefined with a "
+                                   "different width");
+        }
+        return {it->second, true};
+      }
+      fn().regs.push_back(RegInfo{width, name});
+      const Reg r = static_cast<Reg>(fn().regs.size() - 1);
+      regs_[name] = r;
+      return {r, true};
+    }
+    if (it == regs_.end()) {
+      throw AsmError(c.lineno, "use of undefined register %" + name);
+    }
+    if (require_def) {
+      throw AsmError(c.lineno, "expected %reg:width definition");
+    }
+    return {it->second, false};
+  }
+
+  Reg use_reg(Cursor& c) { return parse_reg(c, false).first; }
+
+  BlockId block_ref(Cursor& c) {
+    std::string t = c.next();
+    if (t.empty() || t[0] != '@') {
+      throw AsmError(c.lineno, "expected a @block reference");
+    }
+    // Forward references are resolved at function end.
+    pending_branches_.push_back(
+        {static_cast<BlockId>(cur_block_), t.substr(1), c.lineno,
+         fn().blocks[cur_block_].instrs.size()});
+    return 0;  // placeholder, patched in finish_function
+  }
+
+  uint32_t table_ref(Cursor& c, char kind) {
+    const std::string t = c.next();
+    if (t.empty() || t[0] != kind) {
+      throw AsmError(c.lineno, std::string("expected a table reference ") +
+                                   kind + "N");
+    }
+    return static_cast<uint32_t>(std::stoul(t.substr(1)));
+  }
+
+  // Parses "off=%r+imm n=N" or "off=imm n=N" into (a, imm, aux).
+  void parse_offset(Cursor& c, Instr& in) {
+    c.expect("off");
+    c.expect("=");
+    if (c.peek().size() > 0 && c.peek()[0] == '%') {
+      in.a = use_reg(c);
+      if (c.accept("+")) in.imm = parse_num(c);
+    } else {
+      in.imm = parse_num(c);
+    }
+    c.expect("n");
+    c.expect("=");
+    in.aux = static_cast<uint32_t>(parse_num(c));
+  }
+
+  void emit_instr(Instr in) {
+    fn().blocks[cur_block_].instrs.push_back(std::move(in));
+  }
+
+  void set_term(Terminator t) { fn().blocks[cur_block_].term = std::move(t); }
+
+  void parse_instruction(const std::string& head, Cursor& c) {
+    // Terminators first.
+    if (head == "jump") {
+      Terminator t;
+      t.kind = Terminator::Kind::Jump;
+      block_ref(c);
+      pending_branches_.back().which = PendingBranch::Which::JumpTarget;
+      set_term(std::move(t));
+      return;
+    }
+    if (head == "br") {
+      Terminator t;
+      t.kind = Terminator::Kind::Br;
+      t.cond = use_reg(c);
+      c.expect(",");
+      block_ref(c);
+      pending_branches_.back().which = PendingBranch::Which::BrTrue;
+      c.expect(",");
+      block_ref(c);
+      pending_branches_.back().which = PendingBranch::Which::BrFalse;
+      set_term(std::move(t));
+      return;
+    }
+    if (head == "emit") {
+      Terminator t;
+      t.kind = Terminator::Kind::Emit;
+      t.port = static_cast<uint32_t>(parse_num(c));
+      set_term(std::move(t));
+      return;
+    }
+    if (head == "drop") {
+      Terminator t;
+      t.kind = Terminator::Kind::Drop;
+      set_term(std::move(t));
+      return;
+    }
+    if (head == "trap") {
+      Terminator t;
+      t.kind = Terminator::Kind::Trap;
+      const std::string k = c.next();
+      bool found = false;
+      for (int i = 0; i <= static_cast<int>(TrapKind::Unreachable); ++i) {
+        if (k == trap_name(static_cast<TrapKind>(i))) {
+          t.trap = static_cast<TrapKind>(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw AsmError(c.lineno, "unknown trap kind " + k);
+      set_term(std::move(t));
+      return;
+    }
+    if (head == "ret") {
+      Terminator t;
+      t.kind = Terminator::Kind::Return;
+      while (!c.done()) {
+        t.ret_vals.push_back(use_reg(c));
+        c.accept(",");
+      }
+      set_term(std::move(t));
+      return;
+    }
+    // Void instructions.
+    if (head == "pkt.store") {
+      Instr in;
+      in.op = Opcode::PktStore;
+      parse_offset(c, in);
+      c.expect(",");
+      in.b = use_reg(c);
+      emit_instr(std::move(in));
+      return;
+    }
+    if (head == "pkt.push" || head == "pkt.pull") {
+      Instr in;
+      in.op = head == "pkt.push" ? Opcode::PktPush : Opcode::PktPull;
+      in.imm = parse_num(c);
+      emit_instr(std::move(in));
+      return;
+    }
+    if (head == "meta.store") {
+      Instr in;
+      in.op = Opcode::MetaStore;
+      in.imm = parse_num(c);
+      c.expect(",");
+      in.a = use_reg(c);
+      emit_instr(std::move(in));
+      return;
+    }
+    if (head == "kv.write") {
+      Instr in;
+      in.op = Opcode::KvWrite;
+      in.aux = table_ref(c, 'k');
+      c.expect(",");
+      in.a = use_reg(c);
+      c.expect(",");
+      in.b = use_reg(c);
+      emit_instr(std::move(in));
+      return;
+    }
+    if (head == "assert") {
+      Instr in;
+      in.op = Opcode::Assert;
+      in.a = use_reg(c);
+      emit_instr(std::move(in));
+      return;
+    }
+    if (head == "loop") {
+      Instr in;
+      in.op = Opcode::RunLoop;
+      loop_fixups_.push_back({cur_fn_, static_cast<BlockId>(cur_block_),
+                              fn().blocks[cur_block_].instrs.size(), c.next(),
+                              c.lineno});
+      c.expect("max");
+      c.expect("=");
+      in.imm = parse_num(c);
+      c.expect("state");
+      c.expect("=");
+      c.expect("(");
+      while (!c.accept(")")) {
+        in.loop_state.push_back(use_reg(c));
+        c.accept(",");
+      }
+      emit_instr(std::move(in));
+      return;
+    }
+    // Otherwise: "%dst:w = OP ..." — head must be a register definition.
+    if (head.empty() || head[0] != '%') {
+      throw AsmError(c.lineno, "unknown instruction '" + head + "'");
+    }
+    // Re-parse the register definition from the head token onward.
+    c.pos = 0;
+    auto [dst, is_def] = parse_reg(c, true);
+    (void)is_def;
+    c.expect("=");
+    const std::string op = c.next();
+    Instr in;
+    in.dst = dst;
+    static const std::map<std::string, Opcode> kBinops = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"mul", Opcode::Mul},
+        {"udiv", Opcode::UDiv}, {"urem", Opcode::URem}, {"and", Opcode::And},
+        {"or", Opcode::Or}, {"xor", Opcode::Xor}, {"shl", Opcode::Shl},
+        {"lshr", Opcode::LShr}, {"ashr", Opcode::AShr}, {"eq", Opcode::Eq},
+        {"ne", Opcode::Ne}, {"ult", Opcode::Ult}, {"ule", Opcode::Ule},
+        {"slt", Opcode::Slt}, {"sle", Opcode::Sle}};
+    if (const auto it = kBinops.find(op); it != kBinops.end()) {
+      in.op = it->second;
+      in.a = use_reg(c);
+      c.expect(",");
+      in.b = use_reg(c);
+    } else if (op == "const") {
+      in.op = Opcode::Const;
+      in.imm = parse_num(c);
+    } else if (op == "not" || op == "neg" || op == "zext" || op == "sext" ||
+               op == "trunc") {
+      in.op = op == "not" ? Opcode::Not
+              : op == "neg" ? Opcode::Neg
+              : op == "zext" ? Opcode::ZExt
+              : op == "sext" ? Opcode::SExt
+                             : Opcode::Trunc;
+      in.a = use_reg(c);
+    } else if (op == "select") {
+      in.op = Opcode::Select;
+      in.a = use_reg(c);
+      c.expect(",");
+      in.b = use_reg(c);
+      c.expect(",");
+      in.c = use_reg(c);
+    } else if (op == "pkt.load") {
+      in.op = Opcode::PktLoad;
+      parse_offset(c, in);
+    } else if (op == "pkt.len") {
+      in.op = Opcode::PktLen;
+    } else if (op == "meta.load") {
+      in.op = Opcode::MetaLoad;
+      in.imm = parse_num(c);
+    } else if (op == "static.load") {
+      in.op = Opcode::StaticLoad;
+      in.aux = table_ref(c, 't');
+      c.expect(",");
+      in.a = use_reg(c);
+    } else if (op == "kv.read") {
+      in.op = Opcode::KvRead;
+      in.aux = table_ref(c, 'k');
+      c.expect(",");
+      in.a = use_reg(c);
+    } else {
+      throw AsmError(c.lineno, "unknown operation '" + op + "'");
+    }
+    emit_instr(std::move(in));
+  }
+
+  void finish_function() {
+    if (cur_fn_ < 0) return;
+    for (const PendingBranch& pb : pending_branches_) {
+      const auto it = block_names_.find(pb.name);
+      if (it == block_names_.end()) {
+        throw AsmError(pb.lineno, "undefined block @" + pb.name);
+      }
+      Terminator& t = fn().blocks[pb.block].term;
+      switch (pb.which) {
+        case PendingBranch::Which::JumpTarget:
+        case PendingBranch::Which::BrTrue:
+          t.target = it->second;
+          break;
+        case PendingBranch::Which::BrFalse:
+          t.alt = it->second;
+          break;
+      }
+    }
+    pending_branches_.clear();
+  }
+
+  void resolve_loop_fixups() {
+    for (const LoopFixup& lf : loop_fixups_) {
+      bool found = false;
+      for (size_t i = 0; i < p_.functions.size(); ++i) {
+        if (p_.functions[i].name == lf.callee) {
+          p_.functions[lf.fn].blocks[lf.block].instrs[lf.index].aux =
+              static_cast<uint32_t>(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw AsmError(lf.lineno, "undefined function " + lf.callee);
+    }
+  }
+
+  Function& fn() { return p_.functions[cur_fn_]; }
+
+  struct PendingBranch {
+    enum class Which { JumpTarget, BrTrue, BrFalse };
+    BlockId block;
+    std::string name;
+    size_t lineno;
+    size_t instr_index;
+    Which which = Which::JumpTarget;
+  };
+  struct LoopFixup {
+    int fn;
+    BlockId block;
+    size_t index;
+    std::string callee;
+    size_t lineno;
+  };
+
+  const std::string& text_;
+  Program p_;
+  int cur_fn_ = -1;
+  int cur_block_ = -1;
+  std::map<std::string, Reg> regs_;
+  std::map<std::string, BlockId> block_names_;
+  std::vector<PendingBranch> pending_branches_;
+  std::vector<LoopFixup> loop_fixups_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& text) { return Assembler(text).run(); }
+
+}  // namespace vsd::ir

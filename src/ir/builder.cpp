@@ -1,0 +1,368 @@
+#include "ir/builder.hpp"
+
+#include <sstream>
+
+namespace vsd::ir {
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder& pb, FuncId id)
+    : pb_(pb), id_(id) {
+  if (func().blocks.empty()) {
+    func().blocks.push_back(Block{"entry", {}, {}});
+    // Mark the entry block as unsealed by using an invalid terminator kind
+    // sentinel: we track sealing via a per-block flag in the terminator;
+    // a default-constructed Jump->0 would be ambiguous, so we use the
+    // convention that a block is "open" until a terminator helper runs.
+    func().blocks.back().term.kind = Terminator::Kind::Trap;
+    func().blocks.back().term.trap = TrapKind::Unreachable;
+  }
+  cur_ = 0;
+}
+
+Function& FunctionBuilder::func() { return pb_.program_.functions[id_]; }
+const Function& FunctionBuilder::func() const {
+  return pb_.program_.functions[id_];
+}
+
+Block& FunctionBuilder::cur_block() { return func().blocks[cur_]; }
+
+Reg FunctionBuilder::fresh(unsigned width, std::string name) {
+  assert(width >= 1 && width <= 64);
+  func().regs.push_back(RegInfo{width, std::move(name)});
+  return static_cast<Reg>(func().regs.size() - 1);
+}
+
+unsigned FunctionBuilder::width_of(Reg r) const {
+  return func().regs[r].width;
+}
+
+Reg FunctionBuilder::imm(uint64_t v, unsigned width, std::string name) {
+  const Reg dst = fresh(width, std::move(name));
+  Instr in;
+  in.op = Opcode::Const;
+  in.dst = dst;
+  in.imm = v;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::binop(Opcode op, Reg a, Reg b, unsigned dst_width) {
+  const Reg dst = fresh(dst_width);
+  Instr in;
+  in.op = op;
+  in.dst = dst;
+  in.a = a;
+  in.b = b;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::add(Reg a, Reg b) { return binop(Opcode::Add, a, b, width_of(a)); }
+Reg FunctionBuilder::sub(Reg a, Reg b) { return binop(Opcode::Sub, a, b, width_of(a)); }
+Reg FunctionBuilder::mul(Reg a, Reg b) { return binop(Opcode::Mul, a, b, width_of(a)); }
+Reg FunctionBuilder::udiv(Reg a, Reg b) { return binop(Opcode::UDiv, a, b, width_of(a)); }
+Reg FunctionBuilder::urem(Reg a, Reg b) { return binop(Opcode::URem, a, b, width_of(a)); }
+Reg FunctionBuilder::band(Reg a, Reg b) { return binop(Opcode::And, a, b, width_of(a)); }
+Reg FunctionBuilder::bor(Reg a, Reg b) { return binop(Opcode::Or, a, b, width_of(a)); }
+Reg FunctionBuilder::bxor(Reg a, Reg b) { return binop(Opcode::Xor, a, b, width_of(a)); }
+Reg FunctionBuilder::shl(Reg a, Reg b) { return binop(Opcode::Shl, a, b, width_of(a)); }
+Reg FunctionBuilder::lshr(Reg a, Reg b) { return binop(Opcode::LShr, a, b, width_of(a)); }
+Reg FunctionBuilder::ashr(Reg a, Reg b) { return binop(Opcode::AShr, a, b, width_of(a)); }
+
+Reg FunctionBuilder::bnot(Reg a) {
+  const Reg dst = fresh(width_of(a));
+  Instr in;
+  in.op = Opcode::Not;
+  in.dst = dst;
+  in.a = a;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::neg(Reg a) {
+  const Reg dst = fresh(width_of(a));
+  Instr in;
+  in.op = Opcode::Neg;
+  in.dst = dst;
+  in.a = a;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::eq(Reg a, Reg b) { return binop(Opcode::Eq, a, b, 1); }
+Reg FunctionBuilder::ne(Reg a, Reg b) { return binop(Opcode::Ne, a, b, 1); }
+Reg FunctionBuilder::ult(Reg a, Reg b) { return binop(Opcode::Ult, a, b, 1); }
+Reg FunctionBuilder::ule(Reg a, Reg b) { return binop(Opcode::Ule, a, b, 1); }
+Reg FunctionBuilder::slt(Reg a, Reg b) { return binop(Opcode::Slt, a, b, 1); }
+Reg FunctionBuilder::sle(Reg a, Reg b) { return binop(Opcode::Sle, a, b, 1); }
+
+Reg FunctionBuilder::zext(Reg a, unsigned width) {
+  if (width == width_of(a)) return a;
+  const Reg dst = fresh(width);
+  Instr in;
+  in.op = Opcode::ZExt;
+  in.dst = dst;
+  in.a = a;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::sext(Reg a, unsigned width) {
+  if (width == width_of(a)) return a;
+  const Reg dst = fresh(width);
+  Instr in;
+  in.op = Opcode::SExt;
+  in.dst = dst;
+  in.a = a;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::trunc(Reg a, unsigned width) {
+  if (width == width_of(a)) return a;
+  const Reg dst = fresh(width);
+  Instr in;
+  in.op = Opcode::Trunc;
+  in.dst = dst;
+  in.a = a;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::select(Reg cond, Reg t, Reg f) {
+  const Reg dst = fresh(width_of(t));
+  Instr in;
+  in.op = Opcode::Select;
+  in.dst = dst;
+  in.a = cond;
+  in.b = t;
+  in.c = f;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::pkt_load(Reg offset_reg, uint64_t offset_imm,
+                              unsigned bytes, std::string name) {
+  const Reg dst = fresh(8 * bytes, std::move(name));
+  Instr in;
+  in.op = Opcode::PktLoad;
+  in.dst = dst;
+  in.a = offset_reg;
+  in.imm = offset_imm;
+  in.aux = bytes;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+void FunctionBuilder::pkt_store(Reg offset_reg, uint64_t offset_imm, Reg value,
+                                unsigned bytes) {
+  Instr in;
+  in.op = Opcode::PktStore;
+  in.a = offset_reg;
+  in.b = value;
+  in.imm = offset_imm;
+  in.aux = bytes;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+Reg FunctionBuilder::pkt_len() {
+  const Reg dst = fresh(32, "len");
+  Instr in;
+  in.op = Opcode::PktLen;
+  in.dst = dst;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+void FunctionBuilder::pkt_push(uint64_t bytes) {
+  Instr in;
+  in.op = Opcode::PktPush;
+  in.imm = bytes;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+void FunctionBuilder::pkt_pull(uint64_t bytes) {
+  Instr in;
+  in.op = Opcode::PktPull;
+  in.imm = bytes;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+Reg FunctionBuilder::meta_load(uint32_t slot) {
+  const Reg dst = fresh(32);
+  Instr in;
+  in.op = Opcode::MetaLoad;
+  in.dst = dst;
+  in.imm = slot;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+void FunctionBuilder::meta_store(uint32_t slot, Reg v) {
+  Instr in;
+  in.op = Opcode::MetaStore;
+  in.a = v;
+  in.imm = slot;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+Reg FunctionBuilder::static_load(TableId table, Reg index, std::string name) {
+  const Reg dst =
+      fresh(pb_.program_.static_tables[table].value_width, std::move(name));
+  Instr in;
+  in.op = Opcode::StaticLoad;
+  in.dst = dst;
+  in.a = index;
+  in.aux = table;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+Reg FunctionBuilder::kv_read(TableId table, Reg key, std::string name) {
+  const Reg dst =
+      fresh(pb_.program_.kv_tables[table].value_width, std::move(name));
+  Instr in;
+  in.op = Opcode::KvRead;
+  in.dst = dst;
+  in.a = key;
+  in.aux = table;
+  cur_block().instrs.push_back(std::move(in));
+  return dst;
+}
+
+void FunctionBuilder::kv_write(TableId table, Reg key, Reg value) {
+  Instr in;
+  in.op = Opcode::KvWrite;
+  in.a = key;
+  in.b = value;
+  in.aux = table;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+void FunctionBuilder::assert_true(Reg cond) {
+  Instr in;
+  in.op = Opcode::Assert;
+  in.a = cond;
+  cur_block().instrs.push_back(std::move(in));
+}
+
+void FunctionBuilder::run_loop(FuncId body, uint64_t max_trips,
+                               std::vector<Reg> state) {
+  Instr in;
+  in.op = Opcode::RunLoop;
+  in.aux = body;
+  in.imm = max_trips;
+  in.loop_state = std::move(state);
+  cur_block().instrs.push_back(std::move(in));
+}
+
+BlockId FunctionBuilder::new_block(std::string name) {
+  func().blocks.push_back(Block{std::move(name), {}, {}});
+  Block& b = func().blocks.back();
+  b.term.kind = Terminator::Kind::Trap;
+  b.term.trap = TrapKind::Unreachable;
+  return static_cast<BlockId>(func().blocks.size() - 1);
+}
+
+void FunctionBuilder::set_block(BlockId b) {
+  assert(b < func().blocks.size());
+  cur_ = b;
+}
+
+void FunctionBuilder::jump(BlockId target) {
+  cur_block().term = Terminator{Terminator::Kind::Jump, kNoReg, target, 0, 0,
+                                TrapKind::Unreachable, {}};
+}
+
+std::pair<BlockId, BlockId> FunctionBuilder::br(Reg cond,
+                                                std::string true_name,
+                                                std::string false_name) {
+  const BlockId t = new_block(std::move(true_name));
+  const BlockId f = new_block(std::move(false_name));
+  br_to(cond, t, f);
+  return {t, f};
+}
+
+void FunctionBuilder::br_to(Reg cond, BlockId t, BlockId f) {
+  cur_block().term = Terminator{Terminator::Kind::Br, cond, t, f, 0,
+                                TrapKind::Unreachable, {}};
+}
+
+void FunctionBuilder::emit(uint32_t port) {
+  cur_block().term = Terminator{Terminator::Kind::Emit, kNoReg, 0, 0, port,
+                                TrapKind::Unreachable, {}};
+}
+
+void FunctionBuilder::drop() {
+  cur_block().term = Terminator{Terminator::Kind::Drop, kNoReg, 0, 0, 0,
+                                TrapKind::Unreachable, {}};
+}
+
+void FunctionBuilder::trap(TrapKind kind) {
+  cur_block().term =
+      Terminator{Terminator::Kind::Trap, kNoReg, 0, 0, 0, kind, {}};
+}
+
+void FunctionBuilder::ret(std::vector<Reg> vals) {
+  Terminator t;
+  t.kind = Terminator::Kind::Return;
+  t.ret_vals = std::move(vals);
+  cur_block().term = t;
+}
+
+bool FunctionBuilder::block_sealed() const {
+  const Block& b = func().blocks[cur_];
+  return !(b.term.kind == Terminator::Kind::Trap &&
+           b.term.trap == TrapKind::Unreachable && b.instrs.empty());
+}
+
+ProgramBuilder::ProgramBuilder(std::string name, uint32_t num_output_ports) {
+  program_.name = std::move(name);
+  program_.num_output_ports = num_output_ports;
+  program_.functions.push_back(Function{"main", {}, {}, {}, {}});
+  program_.main_fn = 0;
+  builders_.push_back(std::make_unique<FunctionBuilder>(*this, 0));
+}
+
+FunctionBuilder& ProgramBuilder::new_loop_body(
+    std::string name, const std::vector<unsigned>& state_widths) {
+  Function f;
+  f.name = std::move(name);
+  f.ret_widths.push_back(1);  // continue flag
+  for (const unsigned w : state_widths) f.ret_widths.push_back(w);
+  program_.functions.push_back(std::move(f));
+  const FuncId id = static_cast<FuncId>(program_.functions.size() - 1);
+  builders_.push_back(std::make_unique<FunctionBuilder>(*this, id));
+  FunctionBuilder& fb = *builders_.back();
+  for (const unsigned w : state_widths) {
+    const Reg r = fb.fresh(w, "state");
+    program_.functions[id].params.push_back(r);
+  }
+  return fb;
+}
+
+TableId ProgramBuilder::add_static_table(std::string name,
+                                         unsigned value_width,
+                                         std::vector<uint64_t> values) {
+  program_.static_tables.push_back(
+      StaticTable{std::move(name), value_width, std::move(values)});
+  return static_cast<TableId>(program_.static_tables.size() - 1);
+}
+
+TableId ProgramBuilder::add_kv_table(std::string name, unsigned key_width,
+                                     unsigned value_width) {
+  program_.kv_tables.push_back(KvTable{std::move(name), key_width, value_width});
+  return static_cast<TableId>(program_.kv_tables.size() - 1);
+}
+
+Program ProgramBuilder::finish() {
+  const std::vector<std::string> problems = validate(program_);
+  if (!problems.empty()) {
+    std::ostringstream os;
+    os << "IR validation failed for @" << program_.name << ":";
+    for (const std::string& p : problems) os << "\n  " << p;
+    throw std::runtime_error(os.str());
+  }
+  return program_;
+}
+
+}  // namespace vsd::ir

@@ -1,0 +1,183 @@
+// Fluent construction API for dataplane IR programs.
+//
+// Elements build their logic once at configuration time:
+//
+//   ProgramBuilder pb("DecIPTTL");
+//   FunctionBuilder f = pb.main();
+//   Reg ttl = f.pkt_load8(/*offset=*/22);
+//   Reg ok = f.ugt(ttl, f.imm8(1));
+//   auto [then_b, else_b] = f.br(ok);
+//   ...
+//
+// The builder owns widths and block bookkeeping; finish() runs the IR
+// validator and returns the immutable Program.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace vsd::ir {
+
+class ProgramBuilder;
+
+// Builds one function. Maintains a "current block" cursor; control-flow
+// helpers create blocks and reposition the cursor.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(ProgramBuilder& pb, FuncId id);
+
+  FuncId id() const { return id_; }
+
+  // --- registers ---
+  Reg fresh(unsigned width, std::string name = "");
+  unsigned width_of(Reg r) const;
+
+  // --- constants ---
+  Reg imm(uint64_t v, unsigned width, std::string name = "");
+  Reg imm1(bool v) { return imm(v ? 1 : 0, 1); }
+  Reg imm8(uint64_t v) { return imm(v, 8); }
+  Reg imm16(uint64_t v) { return imm(v, 16); }
+  Reg imm32(uint64_t v) { return imm(v, 32); }
+  Reg imm64(uint64_t v) { return imm(v, 64); }
+
+  // --- arithmetic / logic (result width = operand width) ---
+  Reg add(Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg udiv(Reg a, Reg b);
+  Reg urem(Reg a, Reg b);
+  Reg band(Reg a, Reg b);
+  Reg bor(Reg a, Reg b);
+  Reg bxor(Reg a, Reg b);
+  Reg bnot(Reg a);
+  Reg neg(Reg a);
+  Reg shl(Reg a, Reg b);
+  Reg lshr(Reg a, Reg b);
+  Reg ashr(Reg a, Reg b);
+
+  // --- comparisons (result width 1) ---
+  Reg eq(Reg a, Reg b);
+  Reg ne(Reg a, Reg b);
+  Reg ult(Reg a, Reg b);
+  Reg ule(Reg a, Reg b);
+  Reg ugt(Reg a, Reg b) { return ult(b, a); }
+  Reg uge(Reg a, Reg b) { return ule(b, a); }
+  Reg slt(Reg a, Reg b);
+  Reg sle(Reg a, Reg b);
+  Reg sgt(Reg a, Reg b) { return slt(b, a); }
+  Reg sge(Reg a, Reg b) { return sle(b, a); }
+
+  // --- logical on width-1 regs ---
+  Reg land(Reg a, Reg b) { return band(a, b); }
+  Reg lor(Reg a, Reg b) { return bor(a, b); }
+  Reg lnot(Reg a) { return bnot(a); }
+
+  // --- width conversion ---
+  Reg zext(Reg a, unsigned width);
+  Reg sext(Reg a, unsigned width);
+  Reg trunc(Reg a, unsigned width);
+
+  Reg select(Reg cond, Reg t, Reg f);
+
+  // --- packet ---
+  // Loads `bytes` bytes big-endian at offset (reg + imm). dst width 8*bytes.
+  Reg pkt_load(Reg offset_reg, uint64_t offset_imm, unsigned bytes,
+               std::string name = "");
+  Reg pkt_load8(uint64_t off) { return pkt_load(kNoReg, off, 1); }
+  Reg pkt_load16(uint64_t off) { return pkt_load(kNoReg, off, 2); }
+  Reg pkt_load32(uint64_t off) { return pkt_load(kNoReg, off, 4); }
+  void pkt_store(Reg offset_reg, uint64_t offset_imm, Reg value,
+                 unsigned bytes);
+  void pkt_store8(uint64_t off, Reg v) { pkt_store(kNoReg, off, v, 1); }
+  void pkt_store16(uint64_t off, Reg v) { pkt_store(kNoReg, off, v, 2); }
+  void pkt_store32(uint64_t off, Reg v) { pkt_store(kNoReg, off, v, 4); }
+  Reg pkt_len();
+  void pkt_push(uint64_t bytes);
+  void pkt_pull(uint64_t bytes);
+
+  // --- metadata ---
+  Reg meta_load(uint32_t slot);
+  void meta_store(uint32_t slot, Reg v);
+
+  // --- state ---
+  Reg static_load(TableId table, Reg index, std::string name = "");
+  Reg kv_read(TableId table, Reg key, std::string name = "");
+  void kv_write(TableId table, Reg key, Reg value);
+
+  // --- assertions & loops ---
+  void assert_true(Reg cond);
+  // Runs `body` up to max_trips times with loop-carried `state` registers.
+  // The body function must take matching params and return
+  // (continue_flag:1, state'...). After the loop the registers in `state`
+  // hold the final values.
+  void run_loop(FuncId body, uint64_t max_trips, std::vector<Reg> state);
+
+  // --- control flow ---
+  BlockId new_block(std::string name = "");
+  void set_block(BlockId b);
+  BlockId current_block() const { return cur_; }
+  // Terminators (each seals the current block).
+  void jump(BlockId target);
+  // Creates (or uses) two successor blocks; returns {true_block, false_block}
+  // and leaves the cursor unset (caller must set_block next).
+  std::pair<BlockId, BlockId> br(Reg cond, std::string true_name = "",
+                                 std::string false_name = "");
+  void br_to(Reg cond, BlockId t, BlockId f);
+  void emit(uint32_t port);
+  void drop();
+  void trap(TrapKind kind);
+  void ret(std::vector<Reg> vals);
+
+  bool block_sealed() const;
+
+ private:
+  friend class ProgramBuilder;
+  Function& func();
+  const Function& func() const;
+  Block& cur_block();
+  Reg binop(Opcode op, Reg a, Reg b, unsigned dst_width);
+
+  ProgramBuilder& pb_;
+  FuncId id_;
+  BlockId cur_ = 0;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, uint32_t num_output_ports = 1);
+
+  // The main (packet entry) function builder; created on construction.
+  FunctionBuilder& main() { return *builders_[program_.main_fn]; }
+
+  // Declares a loop-body function with the given loop-state widths. The
+  // body's params are created automatically; fetch them via params().
+  FunctionBuilder& new_loop_body(std::string name,
+                                 const std::vector<unsigned>& state_widths);
+  const std::vector<Reg>& params(FuncId f) const {
+    return program_.functions[f].params;
+  }
+
+  TableId add_static_table(std::string name, unsigned value_width,
+                           std::vector<uint64_t> values);
+  TableId add_kv_table(std::string name, unsigned key_width,
+                       unsigned value_width);
+
+  // Validates and returns the finished program. Throws std::runtime_error
+  // listing problems if the program is malformed.
+  Program finish();
+
+  Program& program() { return program_; }
+
+ private:
+  friend class FunctionBuilder;
+  Program program_;
+  std::vector<std::unique_ptr<FunctionBuilder>> builders_;
+};
+
+}  // namespace vsd::ir

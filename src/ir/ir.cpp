@@ -1,0 +1,473 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace vsd::ir {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Const: return "const";
+    case Opcode::Not: return "not";
+    case Opcode::Neg: return "neg";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::UDiv: return "udiv";
+    case Opcode::URem: return "urem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::Eq: return "eq";
+    case Opcode::Ne: return "ne";
+    case Opcode::Ult: return "ult";
+    case Opcode::Ule: return "ule";
+    case Opcode::Slt: return "slt";
+    case Opcode::Sle: return "sle";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::Select: return "select";
+    case Opcode::PktLoad: return "pkt.load";
+    case Opcode::PktStore: return "pkt.store";
+    case Opcode::PktLen: return "pkt.len";
+    case Opcode::PktPush: return "pkt.push";
+    case Opcode::PktPull: return "pkt.pull";
+    case Opcode::MetaLoad: return "meta.load";
+    case Opcode::MetaStore: return "meta.store";
+    case Opcode::StaticLoad: return "static.load";
+    case Opcode::KvRead: return "kv.read";
+    case Opcode::KvWrite: return "kv.write";
+    case Opcode::Assert: return "assert";
+    case Opcode::RunLoop: return "loop";
+  }
+  return "?";
+}
+
+const char* trap_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::AssertFail: return "assert-fail";
+    case TrapKind::OobPacketRead: return "oob-packet-read";
+    case TrapKind::OobPacketWrite: return "oob-packet-write";
+    case TrapKind::OobTable: return "oob-table";
+    case TrapKind::DivByZero: return "div-by-zero";
+    case TrapKind::PullUnderflow: return "pull-underflow";
+    case TrapKind::LoopBound: return "loop-bound-exceeded";
+    case TrapKind::Unreachable: return "unreachable";
+  }
+  return "?";
+}
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Program& p) : p_(p) {}
+
+  std::vector<std::string> run() {
+    if (p_.functions.empty()) {
+      fail("program has no functions");
+      return errors_;
+    }
+    if (p_.main_fn >= p_.functions.size()) fail("main_fn out of range");
+    for (size_t fi = 0; fi < p_.functions.size(); ++fi) {
+      check_function(static_cast<FuncId>(fi));
+    }
+    return errors_;
+  }
+
+ private:
+  void fail(std::string msg) { errors_.push_back(std::move(msg)); }
+
+  void failf(const Function& f, const Block& b, const std::string& what) {
+    fail(f.name + "/" + b.name + ": " + what);
+  }
+
+  bool check_reg(const Function& f, const Block& b, Reg r, unsigned width,
+                 const char* role) {
+    if (r == kNoReg || r >= f.regs.size()) {
+      failf(f, b, std::string(role) + ": bad register");
+      return false;
+    }
+    if (width != 0 && f.regs[r].width != width) {
+      failf(f, b,
+            std::string(role) + ": width " + std::to_string(f.regs[r].width) +
+                " != expected " + std::to_string(width));
+      return false;
+    }
+    return true;
+  }
+
+  void check_function(FuncId fi) {
+    const Function& f = p_.functions[fi];
+    if (f.blocks.empty()) {
+      fail(f.name + ": no blocks");
+      return;
+    }
+    for (const Reg pr : f.params) {
+      if (pr >= f.regs.size()) fail(f.name + ": param register out of range");
+    }
+    for (const Block& b : f.blocks) {
+      for (const Instr& in : b.instrs) check_instr(fi, f, b, in);
+      check_terminator(fi, f, b);
+    }
+  }
+
+  void check_instr(FuncId fi, const Function& f, const Block& b,
+                   const Instr& in) {
+    const auto w = [&](Reg r) {
+      return r < f.regs.size() ? f.regs[r].width : 0u;
+    };
+    switch (in.op) {
+      case Opcode::Const:
+        check_reg(f, b, in.dst, 0, "const.dst");
+        break;
+      case Opcode::Not:
+      case Opcode::Neg:
+        if (check_reg(f, b, in.a, 0, "unop.a"))
+          check_reg(f, b, in.dst, w(in.a), "unop.dst");
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::UDiv: case Opcode::URem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        if (check_reg(f, b, in.a, 0, "binop.a")) {
+          check_reg(f, b, in.b, w(in.a), "binop.b");
+          check_reg(f, b, in.dst, w(in.a), "binop.dst");
+        }
+        break;
+      case Opcode::Eq: case Opcode::Ne:
+      case Opcode::Ult: case Opcode::Ule:
+      case Opcode::Slt: case Opcode::Sle:
+        if (check_reg(f, b, in.a, 0, "cmp.a")) {
+          check_reg(f, b, in.b, w(in.a), "cmp.b");
+          check_reg(f, b, in.dst, 1, "cmp.dst");
+        }
+        break;
+      case Opcode::ZExt:
+      case Opcode::SExt:
+        if (check_reg(f, b, in.a, 0, "ext.a") &&
+            check_reg(f, b, in.dst, 0, "ext.dst") &&
+            w(in.dst) < w(in.a)) {
+          failf(f, b, "extension narrows");
+        }
+        break;
+      case Opcode::Trunc:
+        if (check_reg(f, b, in.a, 0, "trunc.a") &&
+            check_reg(f, b, in.dst, 0, "trunc.dst") &&
+            w(in.dst) > w(in.a)) {
+          failf(f, b, "truncation widens");
+        }
+        break;
+      case Opcode::Select:
+        if (check_reg(f, b, in.a, 1, "select.cond") &&
+            check_reg(f, b, in.b, 0, "select.t")) {
+          check_reg(f, b, in.c, w(in.b), "select.f");
+          check_reg(f, b, in.dst, w(in.b), "select.dst");
+        }
+        break;
+      case Opcode::PktLoad:
+        if (in.aux != 1 && in.aux != 2 && in.aux != 4 && in.aux != 8)
+          failf(f, b, "pkt.load: bad byte count");
+        else
+          check_reg(f, b, in.dst, 8 * in.aux, "pkt.load.dst");
+        if (in.a != kNoReg) check_reg(f, b, in.a, 32, "pkt.load.offset");
+        break;
+      case Opcode::PktStore:
+        if (in.aux != 1 && in.aux != 2 && in.aux != 4 && in.aux != 8)
+          failf(f, b, "pkt.store: bad byte count");
+        else
+          check_reg(f, b, in.b, 8 * in.aux, "pkt.store.value");
+        if (in.a != kNoReg) check_reg(f, b, in.a, 32, "pkt.store.offset");
+        break;
+      case Opcode::PktLen:
+        check_reg(f, b, in.dst, 32, "pkt.len.dst");
+        break;
+      case Opcode::PktPush:
+      case Opcode::PktPull:
+        if (in.imm == 0 || in.imm > 256) failf(f, b, "push/pull: bad size");
+        break;
+      case Opcode::MetaLoad:
+        check_reg(f, b, in.dst, 32, "meta.load.dst");
+        if (in.imm >= 8) failf(f, b, "meta slot out of range");
+        break;
+      case Opcode::MetaStore:
+        check_reg(f, b, in.a, 32, "meta.store.src");
+        if (in.imm >= 8) failf(f, b, "meta slot out of range");
+        break;
+      case Opcode::StaticLoad:
+        if (in.aux >= p_.static_tables.size()) {
+          failf(f, b, "static.load: bad table id");
+        } else {
+          check_reg(f, b, in.dst, p_.static_tables[in.aux].value_width,
+                    "static.load.dst");
+          check_reg(f, b, in.a, 32, "static.load.index");
+        }
+        break;
+      case Opcode::KvRead:
+        if (in.aux >= p_.kv_tables.size()) {
+          failf(f, b, "kv.read: bad table id");
+        } else {
+          check_reg(f, b, in.dst, p_.kv_tables[in.aux].value_width,
+                    "kv.read.dst");
+          check_reg(f, b, in.a, p_.kv_tables[in.aux].key_width, "kv.read.key");
+        }
+        break;
+      case Opcode::KvWrite:
+        if (in.aux >= p_.kv_tables.size()) {
+          failf(f, b, "kv.write: bad table id");
+        } else {
+          check_reg(f, b, in.a, p_.kv_tables[in.aux].key_width, "kv.write.key");
+          check_reg(f, b, in.b, p_.kv_tables[in.aux].value_width,
+                    "kv.write.value");
+        }
+        break;
+      case Opcode::Assert:
+        check_reg(f, b, in.a, 1, "assert.cond");
+        break;
+      case Opcode::RunLoop: {
+        if (in.aux >= p_.functions.size()) {
+          failf(f, b, "loop: bad body function");
+          break;
+        }
+        if (in.aux == fi) {
+          failf(f, b, "loop: direct recursion not allowed");
+          break;
+        }
+        const Function& body = p_.functions[in.aux];
+        if (body.params.size() != in.loop_state.size()) {
+          failf(f, b, "loop: state arity mismatch");
+          break;
+        }
+        if (body.ret_widths.size() != in.loop_state.size() + 1 ||
+            (body.ret_widths.size() >= 1 && body.ret_widths[0] != 1)) {
+          failf(f, b, "loop: body must return (flag:1, state...)");
+          break;
+        }
+        for (size_t i = 0; i < in.loop_state.size(); ++i) {
+          if (!check_reg(f, b, in.loop_state[i], 0, "loop.state")) continue;
+          const unsigned sw = f.regs[in.loop_state[i]].width;
+          if (body.regs[body.params[i]].width != sw)
+            failf(f, b, "loop: state width mismatch");
+          if (body.ret_widths[i + 1] != sw)
+            failf(f, b, "loop: return width mismatch");
+        }
+        if (in.imm == 0 || in.imm > 1u << 20)
+          failf(f, b, "loop: bad trip bound");
+        break;
+      }
+    }
+  }
+
+  void check_terminator(FuncId fi, const Function& f, const Block& b) {
+    const bool is_main = fi == p_.main_fn;
+    switch (b.term.kind) {
+      case Terminator::Kind::Jump:
+        if (b.term.target >= f.blocks.size()) failf(f, b, "jump: bad target");
+        break;
+      case Terminator::Kind::Br:
+        check_reg(f, b, b.term.cond, 1, "br.cond");
+        if (b.term.target >= f.blocks.size() || b.term.alt >= f.blocks.size())
+          failf(f, b, "br: bad target");
+        break;
+      case Terminator::Kind::Emit:
+        if (!is_main) failf(f, b, "emit outside main function");
+        if (b.term.port >= p_.num_output_ports)
+          failf(f, b, "emit: port out of range");
+        break;
+      case Terminator::Kind::Drop:
+        if (!is_main) failf(f, b, "drop outside main function");
+        break;
+      case Terminator::Kind::Trap:
+        break;
+      case Terminator::Kind::Return: {
+        if (is_main) {
+          failf(f, b, "return from main function");
+          break;
+        }
+        if (b.term.ret_vals.size() != f.ret_widths.size()) {
+          failf(f, b, "return: arity mismatch");
+          break;
+        }
+        for (size_t i = 0; i < b.term.ret_vals.size(); ++i) {
+          check_reg(f, b, b.term.ret_vals[i], f.ret_widths[i], "return.val");
+        }
+        break;
+      }
+    }
+  }
+
+  const Program& p_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate(const Program& p) {
+  return Validator(p).run();
+}
+
+namespace {
+
+std::string reg_str(const Function& f, Reg r) {
+  if (r == kNoReg) return "_";
+  std::ostringstream os;
+  os << "%" << r;
+  if (!f.regs[r].name.empty()) os << "." << f.regs[r].name;
+  os << ":" << f.regs[r].width;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_string(const Function& f, const Program& p) {
+  std::ostringstream os;
+  os << "func @" << f.name << "(";
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << reg_str(f, f.params[i]);
+  }
+  os << ")\n";
+  for (size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    const Block& b = f.blocks[bi];
+    os << "  bb" << bi << (b.name.empty() ? "" : " <" + b.name + ">") << ":\n";
+    for (const Instr& in : b.instrs) {
+      os << "    ";
+      if (in.dst != kNoReg) os << reg_str(f, in.dst) << " = ";
+      os << opcode_name(in.op);
+      if (in.a != kNoReg) os << " " << reg_str(f, in.a);
+      if (in.b != kNoReg) os << ", " << reg_str(f, in.b);
+      if (in.c != kNoReg) os << ", " << reg_str(f, in.c);
+      switch (in.op) {
+        case Opcode::Const:
+        case Opcode::MetaLoad:
+        case Opcode::MetaStore:
+        case Opcode::PktPush:
+        case Opcode::PktPull:
+          os << " #" << in.imm;
+          break;
+        case Opcode::PktLoad:
+        case Opcode::PktStore:
+          os << " off+" << in.imm << " x" << in.aux;
+          break;
+        case Opcode::StaticLoad:
+          os << " @" << p.static_tables[in.aux].name;
+          break;
+        case Opcode::KvRead:
+        case Opcode::KvWrite:
+          os << " @" << p.kv_tables[in.aux].name;
+          break;
+        case Opcode::RunLoop: {
+          os << " @" << p.functions[in.aux].name << " max=" << in.imm
+             << " state=(";
+          for (size_t i = 0; i < in.loop_state.size(); ++i) {
+            if (i) os << ", ";
+            os << reg_str(f, in.loop_state[i]);
+          }
+          os << ")";
+          break;
+        }
+        default:
+          break;
+      }
+      os << "\n";
+    }
+    os << "    ";
+    switch (b.term.kind) {
+      case Terminator::Kind::Jump:
+        os << "jump bb" << b.term.target;
+        break;
+      case Terminator::Kind::Br:
+        os << "br " << reg_str(f, b.term.cond) << ", bb" << b.term.target
+           << ", bb" << b.term.alt;
+        break;
+      case Terminator::Kind::Emit:
+        os << "emit port=" << b.term.port;
+        break;
+      case Terminator::Kind::Drop:
+        os << "drop";
+        break;
+      case Terminator::Kind::Trap:
+        os << "trap " << trap_name(b.term.trap);
+        break;
+      case Terminator::Kind::Return:
+        os << "return (";
+        for (size_t i = 0; i < b.term.ret_vals.size(); ++i) {
+          if (i) os << ", ";
+          os << reg_str(f, b.term.ret_vals[i]);
+        }
+        os << ")";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+uint64_t program_hash(const Program& p) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  const auto mix_str = [&mix](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  };
+  mix_str(p.name);
+  mix(p.num_output_ports);
+  for (const StaticTable& t : p.static_tables) {
+    mix(t.value_width);
+    mix(t.values.size());
+    for (const uint64_t v : t.values) mix(v);
+  }
+  for (const KvTable& t : p.kv_tables) {
+    mix(t.key_width);
+    mix(t.value_width);
+  }
+  for (const Function& f : p.functions) {
+    mix(f.regs.size());
+    for (const RegInfo& r : f.regs) mix(r.width);
+    for (const Block& b : f.blocks) {
+      for (const Instr& in : b.instrs) {
+        mix(static_cast<uint64_t>(in.op));
+        mix(in.dst);
+        mix(in.a);
+        mix(in.b);
+        mix(in.c);
+        mix(in.imm);
+        mix(in.aux);
+        for (const Reg r : in.loop_state) mix(r);
+      }
+      mix(static_cast<uint64_t>(b.term.kind));
+      mix(b.term.cond);
+      mix(b.term.target);
+      mix(b.term.alt);
+      mix(b.term.port);
+      mix(static_cast<uint64_t>(b.term.trap));
+      for (const Reg r : b.term.ret_vals) mix(r);
+    }
+  }
+  return h;
+}
+
+std::string to_string(const Program& p) {
+  std::ostringstream os;
+  os << "program @" << p.name << " ports=" << p.num_output_ports << "\n";
+  for (const StaticTable& t : p.static_tables) {
+    os << "static @" << t.name << " x" << t.values.size() << " w"
+       << t.value_width << "\n";
+  }
+  for (const KvTable& t : p.kv_tables) {
+    os << "kv @" << t.name << " key:" << t.key_width << " val:"
+       << t.value_width << "\n";
+  }
+  for (const Function& f : p.functions) os << to_string(f, p);
+  return os.str();
+}
+
+}  // namespace vsd::ir

@@ -1,0 +1,169 @@
+// The dataplane IR.
+//
+// Packet-processing elements are written once against this IR (via
+// IrBuilder) and then executed two ways: concretely by vsd::interp (the
+// production fast path) and symbolically by vsd::symbex (the verification
+// path). Keeping a single program representation is what makes the paper's
+// claim meaningful — the verified artifact *is* the code that forwards
+// packets.
+//
+// The machine model, mirroring the paper's state taxonomy (§3):
+//   * Packet state  — the in-flight packet buffer plus a small array of
+//     metadata annotations; owned by exactly one element at a time.
+//   * Private state — per-element key/value tables (NAT map, NetFlow table),
+//     accessed only through KvRead/KvWrite so the verifier can model them.
+//   * Static state  — read-only tables (forwarding table, classifier
+//     patterns) fixed at configuration time.
+//
+// Registers are typed by width (1..64 bits). Control flow is a CFG of basic
+// blocks. Loops are *structured*: a RunLoop instruction applies a separate
+// body function up to a statically known trip bound, which is what enables
+// the paper's mini-element loop decomposition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vsd::ir {
+
+using Reg = uint32_t;
+using BlockId = uint32_t;
+using FuncId = uint32_t;
+using TableId = uint32_t;
+
+inline constexpr Reg kNoReg = std::numeric_limits<Reg>::max();
+
+enum class Opcode : uint8_t {
+  // dst = imm
+  Const,
+  // dst = op a [, b]
+  Not, Neg,
+  Add, Sub, Mul, UDiv, URem,
+  And, Or, Xor,
+  Shl, LShr, AShr,
+  // comparisons: dst is width 1
+  Eq, Ne, Ult, Ule, Slt, Sle,
+  // width changes: dst width encodes target
+  ZExt, SExt, Trunc,
+  // dst = a ? b : c
+  Select,
+  // packet access; aux = byte count (1/2/4/8), big-endian (network order);
+  // effective offset = regs[a] (if a != kNoReg) + imm
+  PktLoad,   // dst = packet[off .. off+aux)
+  PktStore,  // packet[off .. off+aux) = b
+  PktLen,    // dst = current packet length (32-bit dst)
+  PktPush,   // prepend imm zero bytes (encap)
+  PktPull,   // remove imm bytes from the front (decap); traps if imm > len
+  // metadata annotations; imm = slot index, 32-bit slots
+  MetaLoad, MetaStore,
+  // static (read-only) state; aux = table id; dst = table[regs[a]]
+  StaticLoad,
+  // private (per-element mutable) state; aux = table id
+  KvRead,   // dst = kv[aux].read(regs[a]); absent keys read as 0
+  KvWrite,  // kv[aux].write(regs[a], regs[b])
+  // traps if regs[a] == 0
+  Assert,
+  // structured loop: run function aux with loop-carried state `loop_state`
+  // at most imm times; the body returns (continue_flag, new_state...).
+  RunLoop,
+};
+
+const char* opcode_name(Opcode op);
+
+enum class TrapKind : uint8_t {
+  AssertFail,    // failed Assert instruction
+  OobPacketRead,  // packet load beyond current length
+  OobPacketWrite,
+  OobTable,      // static table index out of range
+  DivByZero,
+  PullUnderflow,  // PktPull larger than packet
+  LoopBound,     // loop wanted to continue past its static trip bound
+  Unreachable,   // explicit trap terminator
+};
+
+const char* trap_name(TrapKind k);
+
+struct Instr {
+  Opcode op{};
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  Reg c = kNoReg;
+  uint64_t imm = 0;
+  uint32_t aux = 0;
+  // RunLoop only: registers holding loop-carried state; the body function's
+  // parameters are (state...), and after the loop these registers hold the
+  // final state. Kept out-of-line because most instructions don't need it.
+  std::vector<Reg> loop_state;
+};
+
+struct Terminator {
+  enum class Kind : uint8_t { Jump, Br, Emit, Drop, Trap, Return } kind{};
+  Reg cond = kNoReg;   // Br
+  BlockId target = 0;  // Jump / Br true-edge
+  BlockId alt = 0;     // Br false-edge
+  uint32_t port = 0;   // Emit output port
+  TrapKind trap = TrapKind::Unreachable;
+  std::vector<Reg> ret_vals;  // Return
+};
+
+struct Block {
+  std::string name;
+  std::vector<Instr> instrs;
+  Terminator term;
+};
+
+struct RegInfo {
+  unsigned width = 0;
+  std::string name;
+};
+
+struct Function {
+  std::string name;
+  std::vector<RegInfo> regs;
+  std::vector<Reg> params;            // filled from caller (RunLoop state)
+  std::vector<unsigned> ret_widths;   // loop bodies: [1, state widths...]
+  std::vector<Block> blocks;          // blocks[0] is the entry
+};
+
+// Read-only configuration data (forwarding tables, patterns, ...).
+struct StaticTable {
+  std::string name;
+  unsigned value_width = 0;
+  std::vector<uint64_t> values;
+};
+
+// Declaration of a private mutable key/value table.
+struct KvTable {
+  std::string name;
+  unsigned key_width = 0;
+  unsigned value_width = 0;
+};
+
+// A complete element program.
+struct Program {
+  std::string name;
+  std::vector<Function> functions;
+  FuncId main_fn = 0;
+  std::vector<StaticTable> static_tables;
+  std::vector<KvTable> kv_tables;
+  uint32_t num_output_ports = 1;
+};
+
+// Structural validation: register widths, operand kinds, block targets,
+// loop-state arity, table ids. Returns a list of human-readable problems;
+// empty means the program is well-formed. The executors assume validity.
+std::vector<std::string> validate(const Program& p);
+
+// Pretty-printer for diagnostics and golden tests.
+std::string to_string(const Program& p);
+std::string to_string(const Function& f, const Program& p);
+
+// Structural hash covering instructions, tables, and configuration — used
+// to key element-summary caches so that identical element instances at
+// different pipeline positions are verified once (compositional reuse).
+uint64_t program_hash(const Program& p);
+
+}  // namespace vsd::ir

@@ -1,0 +1,59 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace vsd::net {
+
+uint64_t Packet::load_be(size_t off, unsigned bytes) const {
+  assert(off + bytes <= size());
+  uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    v = (v << 8) | data()[off + i];
+  }
+  return v;
+}
+
+void Packet::store_be(size_t off, unsigned bytes, uint64_t value) {
+  assert(off + bytes <= size());
+  for (unsigned i = 0; i < bytes; ++i) {
+    data()[off + bytes - 1 - i] = static_cast<uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+}
+
+void Packet::push_front(size_t n) {
+  if (n > head_) {
+    const size_t grow = n - head_ + kHeadroom;
+    buf_.insert(buf_.begin(), grow, 0);
+    head_ += grow;
+  }
+  head_ -= n;
+  std::memset(buf_.data() + head_, 0, n);
+}
+
+void Packet::pull_front(size_t n) {
+  assert(n <= size());
+  head_ += n;
+}
+
+void Packet::append(size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+void Packet::truncate(size_t n) {
+  assert(n <= size());
+  buf_.resize(head_ + n);
+}
+
+std::string Packet::hex(size_t max_bytes) const {
+  static const char* digits = "0123456789abcdef";
+  std::ostringstream os;
+  const size_t n = std::min(size(), max_bytes);
+  for (size_t i = 0; i < n; ++i) {
+    if (i) os << ' ';
+    os << digits[data()[i] >> 4] << digits[data()[i] & 0xf];
+  }
+  if (n < size()) os << " ...(" << size() << "B)";
+  return os.str();
+}
+
+}  // namespace vsd::net

@@ -1,0 +1,83 @@
+// Packet state: a byte buffer with headroom plus Click-style annotations.
+//
+// This is the "packet state" of the paper's taxonomy — owned by exactly one
+// element at a time, handed off down the pipeline. The pipeline runtime
+// enforces the ownership discipline; this class is the data carrier.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vsd::net {
+
+// Number of 32-bit annotation slots (paint, output port hints, flow ids...).
+inline constexpr size_t kMetaSlots = 8;
+
+// Conventional annotation slots used by the element library.
+enum MetaSlot : uint32_t {
+  kMetaPaint = 0,
+  kMetaEtherType = 1,
+  kMetaInputPort = 2,
+  kMetaFlowHint = 3,
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<uint8_t> bytes) { assign(std::move(bytes)); }
+
+  static Packet of_size(size_t n, uint8_t fill = 0) {
+    return Packet(std::vector<uint8_t>(n, fill));
+  }
+
+  void assign(std::vector<uint8_t> bytes) {
+    // Reserve headroom so encapsulation does not reallocate.
+    buf_.assign(kHeadroom, 0);
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    head_ = kHeadroom;
+  }
+
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  const uint8_t* data() const { return buf_.data() + head_; }
+  uint8_t* data() { return buf_.data() + head_; }
+  std::span<const uint8_t> bytes() const { return {data(), size()}; }
+  std::span<uint8_t> bytes() { return {data(), size()}; }
+
+  uint8_t& operator[](size_t i) { return data()[i]; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  // Big-endian (network order) scalar accessors. Callers must bounds-check;
+  // the IR interpreter does and converts violations into traps.
+  uint64_t load_be(size_t off, unsigned bytes) const;
+  void store_be(size_t off, unsigned bytes, uint64_t value);
+
+  // Prepends n zero bytes (encapsulation). Grows headroom if exhausted.
+  void push_front(size_t n);
+  // Removes n bytes from the front; n must be <= size().
+  void pull_front(size_t n);
+  // Appends n zero bytes.
+  void append(size_t n);
+  // Truncates to n bytes (n <= size()).
+  void truncate(size_t n);
+
+  uint32_t meta(size_t slot) const { return meta_.at(slot); }
+  void set_meta(size_t slot, uint32_t v) { meta_.at(slot) = v; }
+  const std::array<uint32_t, kMetaSlots>& all_meta() const { return meta_; }
+
+  // Hex dump ("0a 1b ..."), truncated to max_bytes, for diagnostics.
+  std::string hex(size_t max_bytes = 64) const;
+
+ private:
+  static constexpr size_t kHeadroom = 64;
+  std::vector<uint8_t> buf_ = std::vector<uint8_t>(kHeadroom, 0);
+  size_t head_ = kHeadroom;
+  std::array<uint32_t, kMetaSlots> meta_{};
+};
+
+}  // namespace vsd::net

@@ -1,0 +1,146 @@
+#include "net/workload.hpp"
+
+namespace vsd::net {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 seeding to decorrelate nearby seeds.
+  auto mix = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  s0_ = mix();
+  s1_ = mix();
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  return bound == 0 ? 0 : next() % bound;
+}
+
+namespace {
+
+uint32_t pick_dst(Rng& rng, const WorkloadConfig& cfg) {
+  if (!cfg.dst_pool.empty()) {
+    return cfg.dst_pool[rng.next_below(cfg.dst_pool.size())];
+  }
+  return static_cast<uint32_t>(rng.next());
+}
+
+std::vector<uint8_t> random_valid_options(Rng& rng) {
+  std::vector<uint8_t> opts;
+  const size_t budget = 4 * (1 + rng.next_below(10));  // 4..40 bytes
+  while (opts.size() < budget) {
+    switch (rng.next_below(4)) {
+      case 0:
+        opts.push_back(kIpOptNop);
+        break;
+      case 1: {  // record-route style: kind, len, pointer
+        const size_t room = budget - opts.size();
+        if (room < 3) { opts.push_back(kIpOptNop); break; }
+        const uint8_t len = static_cast<uint8_t>(3 + rng.next_below(room - 2));
+        opts.push_back(kIpOptRecordRoute);
+        opts.push_back(len);
+        opts.push_back(4);  // pointer
+        for (uint8_t i = 3; i < len; ++i) opts.push_back(0);
+        break;
+      }
+      case 2: {  // unknown-but-well-formed option
+        const size_t room = budget - opts.size();
+        if (room < 2) { opts.push_back(kIpOptNop); break; }
+        const uint8_t len = static_cast<uint8_t>(2 + rng.next_below(room - 1));
+        opts.push_back(200);  // unassigned kind
+        opts.push_back(len);
+        for (uint8_t i = 2; i < len; ++i) opts.push_back(rng.next_byte());
+        break;
+      }
+      default:
+        opts.push_back(kIpOptEnd);
+        while (opts.size() < budget) opts.push_back(0);
+        break;
+    }
+  }
+  opts.resize(budget);
+  return opts;
+}
+
+}  // namespace
+
+std::vector<Packet> generate_workload(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Packet> out;
+  out.reserve(config.count);
+  for (size_t i = 0; i < config.count; ++i) {
+    switch (config.traffic) {
+      case TrafficClass::WellFormed: {
+        PacketSpec spec;
+        spec.ip_src = static_cast<uint32_t>(rng.next());
+        spec.ip_dst = pick_dst(rng, config);
+        spec.ttl = static_cast<uint8_t>(2 + rng.next_below(253));
+        spec.src_port = static_cast<uint16_t>(rng.next());
+        spec.dst_port = static_cast<uint16_t>(rng.next());
+        spec.payload_len = 18 + rng.next_below(512);
+        out.push_back(make_packet(spec));
+        break;
+      }
+      case TrafficClass::WithIpOptions: {
+        PacketSpec spec;
+        spec.ip_dst = pick_dst(rng, config);
+        spec.ttl = static_cast<uint8_t>(2 + rng.next_below(253));
+        spec.ip_options = random_valid_options(rng);
+        out.push_back(make_packet(spec));
+        break;
+      }
+      case TrafficClass::MalformedHeader: {
+        PacketSpec spec;
+        spec.ip_dst = pick_dst(rng, config);
+        Packet p = make_packet(spec);
+        // Corrupt 1-4 random bytes in the first 34 bytes (eth+ip header).
+        const size_t hits = 1 + rng.next_below(4);
+        for (size_t h = 0; h < hits; ++h) {
+          const size_t off = rng.next_below(std::min<size_t>(p.size(), 34));
+          p[off] = rng.next_byte();
+        }
+        out.push_back(std::move(p));
+        break;
+      }
+      case TrafficClass::RandomBytes: {
+        const size_t len = rng.next_below(256);
+        Packet p = make_raw_packet(len);
+        for (size_t b = 0; b < len; ++b) p[b] = rng.next_byte();
+        out.push_back(std::move(p));
+        break;
+      }
+      case TrafficClass::TinyPackets: {
+        const size_t len = rng.next_below(20);
+        Packet p = make_raw_packet(len);
+        for (size_t b = 0; b < len; ++b) p[b] = rng.next_byte();
+        out.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Packet make_ip_options_packet(const std::vector<uint8_t>& options,
+                              uint32_t dst, uint8_t ttl) {
+  PacketSpec spec;
+  spec.ip_dst = dst;
+  spec.ttl = ttl;
+  spec.ip_options = options;
+  return make_packet(spec);
+}
+
+}  // namespace vsd::net

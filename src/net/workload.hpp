@@ -1,0 +1,56 @@
+// Synthetic traffic generation for tests and benchmarks.
+//
+// The paper's testbed replayed real traffic through SMPClick on a Xeon
+// server; we substitute deterministic synthetic generators that cover the
+// same input classes: well-formed forwarding traffic, malformed headers,
+// IP-options-bearing packets, and uniformly random byte soup (the closest
+// stand-in for "any sequence of incoming packets").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::net {
+
+// xorshift128+ PRNG: deterministic across platforms, seedable per test.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+  uint64_t next();
+  // Uniform in [0, bound).
+  uint64_t next_below(uint64_t bound);
+  uint8_t next_byte() { return static_cast<uint8_t>(next() & 0xff); }
+  bool next_bool() { return (next() & 1) != 0; }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+enum class TrafficClass {
+  WellFormed,       // valid eth+ipv4+udp, random addresses/ports
+  WithIpOptions,    // valid, carrying random (structurally valid) IP options
+  MalformedHeader,  // random corruption of version/ihl/len/checksum fields
+  RandomBytes,      // uniform random buffer of random length
+  TinyPackets,      // below-minimum lengths, stress bounds checks
+};
+
+struct WorkloadConfig {
+  TrafficClass traffic = TrafficClass::WellFormed;
+  size_t count = 100;
+  uint64_t seed = 1;
+  // Destination addresses are drawn from `dst_pool` when non-empty, so
+  // lookup elements can be exercised against a known forwarding table.
+  std::vector<uint32_t> dst_pool;
+};
+
+// Generates `config.count` packets of the requested class.
+std::vector<Packet> generate_workload(const WorkloadConfig& config);
+
+// Single adversarial packet exercising a specific IP option sequence.
+Packet make_ip_options_packet(const std::vector<uint8_t>& options,
+                              uint32_t dst = 0x0a000002, uint8_t ttl = 64);
+
+}  // namespace vsd::net

@@ -1,0 +1,67 @@
+// Element: one packet-processing stage, Click style.
+//
+// An element is an IR program plus its instantiated state:
+//   * the program's static tables are the element's static state (read-only);
+//   * a KvState instance is its private state (never shared — the paper's
+//     composability precondition, enforced by construction because each
+//     Element owns its KvState and the runtime never aliases them);
+//   * packet state flows through process().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::pipeline {
+
+struct ElementCounters {
+  uint64_t packets_in = 0;
+  uint64_t emitted = 0;
+  uint64_t dropped = 0;
+  uint64_t trapped = 0;
+  uint64_t instructions = 0;
+};
+
+class Element {
+ public:
+  Element(std::string name, ir::Program program)
+      : name_(std::move(name)),
+        program_(std::move(program)),
+        kv_(program_.kv_tables.size()) {}
+
+  const std::string& name() const { return name_; }
+  const ir::Program& program() const { return program_; }
+  uint32_t num_output_ports() const { return program_.num_output_ports; }
+
+  interp::KvState& kv() { return kv_; }
+  const interp::KvState& kv() const { return kv_; }
+
+  const ElementCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+  void reset_state() { kv_.clear(); }
+
+  // Processes one packet (concrete execution), updating counters.
+  interp::ExecResult process(net::Packet& p) {
+    ++counters_.packets_in;
+    const interp::ExecResult r = interp::run(program_, p, kv_);
+    counters_.instructions += r.instr_count;
+    switch (r.action) {
+      case interp::Action::Emit: ++counters_.emitted; break;
+      case interp::Action::Drop: ++counters_.dropped; break;
+      case interp::Action::Trap: ++counters_.trapped; break;
+    }
+    return r;
+  }
+
+ private:
+  std::string name_;
+  ir::Program program_;
+  interp::KvState kv_;
+  ElementCounters counters_;
+};
+
+}  // namespace vsd::pipeline

@@ -1,0 +1,135 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace vsd::pipeline {
+
+size_t Pipeline::add(std::string name, ir::Program program) {
+  const uint32_t ports = program.num_output_ports;
+  elements_.push_back(
+      std::make_unique<Element>(std::move(name), std::move(program)));
+  edges_.emplace_back(ports, kNone);
+  return elements_.size() - 1;
+}
+
+void Pipeline::connect(size_t from, uint32_t port, size_t to) {
+  edges_.at(from).at(port) = to;
+}
+
+void Pipeline::chain(const std::vector<size_t>& elems) {
+  for (size_t i = 0; i + 1 < elems.size(); ++i) {
+    const size_t from = elems[i];
+    for (uint32_t p = 0; p < elements_[from]->num_output_ports(); ++p) {
+      connect(from, p, elems[i + 1]);
+    }
+  }
+}
+
+std::optional<size_t> Pipeline::downstream(size_t element,
+                                           uint32_t port) const {
+  const size_t d = edges_.at(element).at(port);
+  if (d == kNone) return std::nullopt;
+  return d;
+}
+
+std::vector<std::string> Pipeline::validate() const {
+  std::vector<std::string> problems;
+  if (elements_.empty()) {
+    problems.push_back("pipeline has no elements");
+    return problems;
+  }
+  for (size_t e = 0; e < elements_.size(); ++e) {
+    for (size_t p = 0; p < edges_[e].size(); ++p) {
+      if (edges_[e][p] != kNone && edges_[e][p] >= elements_.size()) {
+        problems.push_back(elements_[e]->name() + ": dangling edge on port " +
+                           std::to_string(p));
+      }
+    }
+  }
+  // Cycle detection (DFS colors). A cyclic packet path would violate the
+  // ownership-transfer rule: once handed off, an element never sees the
+  // same packet again.
+  enum class Color { White, Grey, Black };
+  std::vector<Color> color(elements_.size(), Color::White);
+  bool cyclic = false;
+  std::function<void(size_t)> dfs = [&](size_t v) {
+    color[v] = Color::Grey;
+    for (const size_t d : edges_[v]) {
+      if (d == kNone || d >= elements_.size()) continue;
+      if (color[d] == Color::Grey) cyclic = true;
+      else if (color[d] == Color::White) dfs(d);
+    }
+    color[v] = Color::Black;
+  };
+  dfs(0);
+  if (cyclic) problems.push_back("pipeline graph has a cycle");
+  return problems;
+}
+
+PipelineResult Pipeline::process(net::Packet& p) {
+  PipelineResult result;
+  size_t cur = 0;
+  for (;;) {
+    result.trace.push_back(cur);
+    const interp::ExecResult r = elements_[cur]->process(p);
+    result.instructions += r.instr_count;
+    switch (r.action) {
+      case interp::Action::Drop:
+        result.action = FinalAction::Dropped;
+        result.exit_element = cur;
+        return result;
+      case interp::Action::Trap:
+        result.action = FinalAction::Trapped;
+        result.exit_element = cur;
+        result.trap = r.trap;
+        return result;
+      case interp::Action::Emit: {
+        const auto next = downstream(cur, r.port);
+        if (!next) {
+          result.action = FinalAction::Delivered;
+          result.exit_element = cur;
+          result.exit_port = r.port;
+          return result;
+        }
+        cur = *next;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<size_t>> Pipeline::element_paths() const {
+  std::vector<std::vector<size_t>> paths;
+  std::vector<size_t> cur;
+  std::function<void(size_t)> walk = [&](size_t v) {
+    cur.push_back(v);
+    // Distinct downstream targets (several ports may go to the same place).
+    std::vector<size_t> succs;
+    bool exits = false;
+    for (const size_t d : edges_[v]) {
+      if (d == kNone) {
+        exits = true;
+      } else if (std::find(succs.begin(), succs.end(), d) == succs.end()) {
+        succs.push_back(d);
+      }
+    }
+    // Drop/trap can end the path at any element, and an unconnected port
+    // exits; either way the prefix is a complete traversal.
+    if (exits || succs.empty()) paths.push_back(cur);
+    for (const size_t s : succs) walk(s);
+    cur.pop_back();
+  };
+  if (!elements_.empty()) walk(0);
+  return paths;
+}
+
+void Pipeline::reset() {
+  for (auto& e : elements_) {
+    e->reset_counters();
+    e->reset_state();
+  }
+}
+
+}  // namespace vsd::pipeline

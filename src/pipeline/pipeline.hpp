@@ -1,0 +1,82 @@
+// The pipeline: a directed graph of elements with single-owner packet flow.
+//
+// Packets enter at the entry element and travel along port edges. An Emit on
+// a port with no downstream edge delivers the packet out of the pipeline
+// (like a ToDevice); Drop and Trap terminate processing. The runtime is the
+// concrete counterpart of what the verifier reasons about: the verifier
+// enumerates exactly the element sequences this graph can route a packet
+// through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "pipeline/element.hpp"
+
+namespace vsd::pipeline {
+
+struct PortRef {
+  size_t element = 0;
+  uint32_t port = 0;
+};
+
+enum class FinalAction : uint8_t { Delivered, Dropped, Trapped };
+
+struct PipelineResult {
+  FinalAction action = FinalAction::Dropped;
+  // Delivered: which element/port emitted out of the pipeline.
+  size_t exit_element = 0;
+  uint32_t exit_port = 0;
+  // Trapped: where and why.
+  ir::TrapKind trap = ir::TrapKind::Unreachable;
+  // Total instructions across all traversed elements (the paper's
+  // per-packet "bounded execution" metric).
+  uint64_t instructions = 0;
+  // Element indices the packet traversed, in order.
+  std::vector<size_t> trace;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  // Adds an element; returns its index. The first added element is the entry.
+  size_t add(std::string name, ir::Program program);
+
+  // Connects `from.port` to the input of element `to`.
+  void connect(size_t from, uint32_t port, size_t to);
+  // Convenience for linear chains: connects port 0 of each to the next.
+  void chain(const std::vector<size_t>& elems);
+
+  size_t size() const { return elements_.size(); }
+  Element& element(size_t i) { return *elements_.at(i); }
+  const Element& element(size_t i) const { return *elements_.at(i); }
+  // Downstream element index for (element, port); nullopt = exits pipeline.
+  std::optional<size_t> downstream(size_t element, uint32_t port) const;
+
+  // Structural checks: port ranges valid, graph is acyclic (a packet must
+  // not revisit an element — ownership can never return). Returns problems.
+  std::vector<std::string> validate() const;
+
+  // Runs one packet through the pipeline (concrete execution).
+  PipelineResult process(net::Packet& p);
+
+  // All distinct element-index sequences a packet can traverse from the
+  // entry to an exit, in graph order. This is the path skeleton both
+  // verifiers iterate over. Guarded by validate()'s acyclicity.
+  std::vector<std::vector<size_t>> element_paths() const;
+
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Element>> elements_;
+  // edges_[element][port] = downstream element index or npos.
+  std::vector<std::vector<size_t>> edges_;
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+}  // namespace vsd::pipeline

@@ -1,0 +1,431 @@
+#include "solver/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vsd::sat {
+
+namespace {
+
+// Luby restart sequence (unit = base conflicts).
+uint64_t luby(uint64_t i) {
+  // Find the finite subsequence containing index i, then the value.
+  uint64_t k = 1;
+  while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+  while ((uint64_t{1} << k) - 1 != i + 1) {
+    i -= (uint64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return uint64_t{1} << (k - 1);
+}
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr uint64_t kRestartBase = 100;
+
+}  // namespace
+
+SatSolver::SatSolver() = default;
+SatSolver::~SatSolver() = default;
+
+Var SatSolver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::Undef);
+  phase_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool SatSolver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(trail_lim_.empty() && "clauses must be added at decision level 0");
+
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    if (!out.empty() && l == out.back()) continue;       // duplicate
+    if (!out.empty() && l == ~out.back()) return true;   // tautology
+    if (value(l) == LBool::True) return true;            // already satisfied
+    if (value(l) == LBool::False) continue;              // falsified literal
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], -1)) {
+      ok_ = false;
+      return false;
+    }
+    ok_ = propagate() == -1;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(out), 0.0, false});
+  attach_clause(static_cast<int>(clauses_.size()) - 1);
+  return true;
+}
+
+void SatSolver::attach_clause(int idx) {
+  const Clause& c = clauses_[idx];
+  assert(c.lits.size() >= 2);
+  watches_[(~c.lits[0]).code()].push_back({idx, c.lits[1]});
+  watches_[(~c.lits[1]).code()].push_back({idx, c.lits[0]});
+}
+
+bool SatSolver::enqueue(Lit l, int reason_idx) {
+  if (value(l) == LBool::False) return false;
+  if (value(l) == LBool::True) return true;
+  assigns_[l.var()] = lbool_from(!l.negated());
+  phase_[l.var()] = !l.negated();
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason_idx;
+  trail_.push_back(l);
+  return true;
+}
+
+int SatSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p.code()];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause_idx];
+      // Normalize: the falsified literal goes to position 1.
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      if (value(c.lits[0]) == LBool::True) {
+        ws[keep++] = {w.clause_idx, c.lits[0]};
+        continue;
+      }
+      // Look for a new watch.
+      bool found = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code()].push_back({w.clause_idx, c.lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Unit or conflicting.
+      ws[keep++] = w;
+      if (value(c.lits[0]) == LBool::False) {
+        // Conflict: keep the remaining watchers and report.
+        for (size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.clause_idx;
+      }
+      enqueue(c.lits[0], w.clause_idx);
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_update(v);
+}
+
+void SatSolver::bump_clause(int idx) {
+  Clause& c = clauses_[idx];
+  c.activity += clause_inc_;
+  if (c.activity > kRescaleLimit) {
+    for (int li : learnt_indices_) clauses_[li].activity *= 1e-100;
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decay_activities() {
+  var_inc_ /= kVarDecay;
+  clause_inc_ /= kClauseDecay;
+}
+
+void SatSolver::analyze(int conflict_idx, std::vector<Lit>& learnt,
+                        int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+
+  // `seen_` must stay set for every variable touched until analysis ends:
+  // clearing it mid-resolution lets a variable that appears in several
+  // antecedents be counted (and resolved) twice, which learns an
+  // over-strong clause and makes the solver unsound.
+  std::vector<Var> to_clear;
+  const auto mark = [&](Var v) {
+    seen_[v] = 1;
+    to_clear.push_back(v);
+  };
+
+  int counter = 0;
+  Lit p = kLitUndef;
+  int idx = static_cast<int>(trail_.size()) - 1;
+  int clause_idx = conflict_idx;
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    assert(clause_idx != -1);
+    Clause& c = clauses_[clause_idx];
+    if (c.learnt) bump_clause(clause_idx);
+    const size_t start = (p == kLitUndef) ? 0 : 1;
+    for (size_t i = start; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      if (seen_[q.var()] == 0 && level_[q.var()] > 0) {
+        mark(q.var());
+        bump_var(q.var());
+        if (level_[q.var()] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select the next still-marked literal on the trail to resolve on.
+    while (seen_[trail_[idx].var()] == 0) --idx;
+    p = trail_[idx];
+    clause_idx = reason_[p.var()];
+    --counter;
+    --idx;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization (local): drop literals whose entire reason
+  // is already covered by the learnt clause / marked set.
+  const auto redundant = [&](Lit l) {
+    const int r = reason_[l.var()];
+    if (r == -1) return false;
+    for (size_t i = 1; i < clauses_[r].lits.size(); ++i) {
+      const Lit q = clauses_[r].lits[i];
+      if (seen_[q.var()] == 0 && level_[q.var()] > 0) return false;
+    }
+    return true;
+  };
+  size_t keep = 1;
+  for (size_t i = 1; i < learnt.size(); ++i) {
+    if (!redundant(learnt[i])) learnt[keep++] = learnt[i];
+  }
+  learnt.resize(keep);
+
+  // Compute the backtrack level: highest level among non-asserting literals.
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[learnt[1].var()];
+  }
+  for (const Var v : to_clear) seen_[v] = 0;
+}
+
+void SatSolver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const size_t bound = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    assigns_[v] = LBool::Undef;
+    reason_[v] = -1;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+Lit SatSolver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value(v) == LBool::Undef) {
+      return Lit(v, !phase_[v]);
+    }
+  }
+  return kLitUndef;
+}
+
+void SatSolver::reduce_learnt_db() {
+  std::sort(learnt_indices_.begin(), learnt_indices_.end(),
+            [this](int a, int b) {
+              return clauses_[a].activity < clauses_[b].activity;
+            });
+  // Remove the lower-activity half, except clauses that are reasons.
+  const size_t target = learnt_indices_.size() / 2;
+  std::vector<int> kept;
+  kept.reserve(learnt_indices_.size());
+  size_t removed = 0;
+  for (size_t i = 0; i < learnt_indices_.size(); ++i) {
+    const int idx = learnt_indices_[i];
+    Clause& c = clauses_[idx];
+    const bool is_reason =
+        value(c.lits[0]) == LBool::True && reason_[c.lits[0].var()] == idx;
+    if (removed < target && !is_reason && c.lits.size() > 2) {
+      // Detach: lazily via tombstone (empty lits) — watches checked below.
+      for (const Lit wl : {~c.lits[0], ~c.lits[1]}) {
+        auto& ws = watches_[wl.code()];
+        ws.erase(std::remove_if(
+                     ws.begin(), ws.end(),
+                     [idx](const Watcher& w) { return w.clause_idx == idx; }),
+                 ws.end());
+      }
+      c.lits.clear();
+      ++removed;
+      ++stats_.removed_clauses;
+    } else {
+      kept.push_back(idx);
+    }
+  }
+  learnt_indices_ = std::move(kept);
+}
+
+SatResult SatSolver::solve(uint64_t max_conflicts) {
+  if (!ok_) return SatResult::Unsat;
+  if (propagate() != -1) {
+    ok_ = false;
+    return SatResult::Unsat;
+  }
+
+  uint64_t conflicts_total = 0;
+  uint64_t restart_epoch = 0;
+  uint64_t restart_budget = kRestartBase * luby(restart_epoch);
+  uint64_t conflicts_since_restart = 0;
+  uint64_t learnt_limit = std::max<size_t>(clauses_.size() / 3, 2000);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const int conflict = propagate();
+    if (conflict != -1) {
+      ++stats_.conflicts;
+      ++conflicts_total;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SatResult::Unsat;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back(Clause{learnt, 0.0, true});
+        const int idx = static_cast<int>(clauses_.size()) - 1;
+        learnt_indices_.push_back(idx);
+        ++stats_.learnt_clauses;
+        attach_clause(idx);
+        bump_clause(idx);
+        enqueue(learnt[0], idx);
+      }
+      decay_activities();
+      if (conflicts_total >= max_conflicts) return SatResult::Unknown;
+      continue;
+    }
+    // No conflict.
+    if (conflicts_since_restart >= restart_budget) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_budget = kRestartBase * luby(++restart_epoch);
+      backtrack(0);
+      continue;
+    }
+    if (learnt_indices_.size() >= learnt_limit) {
+      reduce_learnt_db();
+      learnt_limit = learnt_limit + learnt_limit / 2;
+    }
+    const Lit next = pick_branch_lit();
+    if (next == kLitUndef) return SatResult::Sat;  // all vars assigned
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, -1);
+  }
+}
+
+bool SatSolver::model_value(Var v) const {
+  assert(value(v) != LBool::Undef);
+  return value(v) == LBool::True;
+}
+
+// --- order heap -----------------------------------------------------------
+
+void SatSolver::heap_insert(Var v) {
+  if (heap_contains(v)) return;
+  heap_index_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_index_[v]);
+}
+
+void SatSolver::heap_update(Var v) {
+  heap_sift_up(heap_index_[v]);
+  heap_sift_down(heap_index_[v]);
+}
+
+Var SatSolver::heap_pop() {
+  assert(!heap_.empty());
+  const Var top = heap_[0];
+  heap_index_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_index_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void SatSolver::heap_sift_up(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+void SatSolver::heap_sift_down(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_index_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+}  // namespace vsd::sat

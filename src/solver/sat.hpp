@@ -1,0 +1,152 @@
+// A self-contained CDCL SAT solver in the MiniSat lineage: two-watched
+// literals, first-UIP clause learning, VSIDS decision heuristic with an
+// indexed binary heap, phase saving, Luby restarts, and learnt-clause
+// reduction. This is the decision backend for the bit-blasted bit-vector
+// constraints produced during dataplane verification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vsd::sat {
+
+// Propositional variable index, 0-based.
+using Var = int;
+
+// Literal: variable with polarity, encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  static Lit from_code(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return (code_ & 1) != 0; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  int code() const { return code_; }
+
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+
+ private:
+  int code_;
+};
+
+inline const Lit kLitUndef = Lit::from_code(-2);
+
+// Three-valued assignment.
+enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool lbool_negate(LBool v) {
+  if (v == LBool::Undef) return v;
+  return v == LBool::True ? LBool::False : LBool::True;
+}
+
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learnt_clauses = 0;
+  uint64_t removed_clauses = 0;
+};
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+// CDCL solver. Typical use:
+//   SatSolver s;
+//   Var a = s.new_var(); ...
+//   s.add_clause({Lit(a,false), Lit(b,true)});
+//   SatResult r = s.solve();
+//   if (r == SatResult::Sat) bool va = s.model_value(a);
+class SatSolver {
+ public:
+  SatSolver();
+  ~SatSolver();
+  SatSolver(const SatSolver&) = delete;
+  SatSolver& operator=(const SatSolver&) = delete;
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  // Adds a clause; returns false if the instance is already unsatisfiable.
+  // Duplicate literals are removed; tautologies are dropped silently.
+  bool add_clause(std::vector<Lit> lits);
+
+  // Solves, optionally bounded by a conflict budget (Unknown on exhaustion).
+  SatResult solve(uint64_t max_conflicts = UINT64_MAX);
+
+  // Valid after solve() returns Sat.
+  bool model_value(Var v) const;
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+  };
+
+  struct Watcher {
+    int clause_idx;
+    Lit blocker;
+  };
+
+  LBool value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    return l.negated() ? lbool_negate(v) : v;
+  }
+  LBool value(Var v) const { return assigns_[v]; }
+
+  bool enqueue(Lit l, int reason_idx);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int conflict_idx, std::vector<Lit>& learnt, int& backtrack_level);
+  void backtrack(int level);
+  Lit pick_branch_lit();
+  void attach_clause(int idx);
+  void reduce_learnt_db();
+  void bump_var(Var v);
+  void bump_clause(int idx);
+  void decay_activities();
+
+  // Order heap (max-heap on activity) -------------------------------------
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_contains(Var v) const { return heap_index_[v] >= 0; }
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+
+  std::vector<Clause> clauses_;          // problem + learnt clauses
+  std::vector<int> learnt_indices_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+  std::vector<LBool> assigns_;
+  std::vector<bool> phase_;              // saved phases
+  std::vector<int> level_;
+  std::vector<int> reason_;              // clause index or -1
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  std::vector<Var> heap_;
+  std::vector<int> heap_index_;
+
+  std::vector<uint8_t> seen_;  // scratch for analyze()
+
+  bool ok_ = true;
+  SolverStats stats_;
+};
+
+}  // namespace vsd::sat

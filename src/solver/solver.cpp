@@ -1,0 +1,83 @@
+#include "solver/solver.hpp"
+
+#include "solver/bitblast.hpp"
+#include "solver/sat.hpp"
+
+namespace vsd::solver {
+
+const char* result_name(Result r) {
+  switch (r) {
+    case Result::Sat: return "sat";
+    case Result::Unsat: return "unsat";
+    case Result::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+Solver::Solver() = default;
+
+CheckResult Solver::check(const bv::ExprRef& e) {
+  ++stats_.queries;
+  auto it = cache_.find(e->uid());
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  CheckResult r = check_uncached(e);
+  cache_.emplace(e->uid(), r);
+  return r;
+}
+
+CheckResult Solver::check_uncached(const bv::ExprRef& e) {
+  CheckResult out;
+  // Layer 1: the factories already folded; a constant decides immediately.
+  if (e->is_true()) {
+    ++stats_.decided_by_folding;
+    out.result = Result::Sat;
+    return out;  // empty model: all variables unconstrained, pick zeros
+  }
+  if (e->is_false()) {
+    ++stats_.decided_by_folding;
+    out.result = Result::Unsat;
+    return out;
+  }
+  // Layer 2: interval reasoning.
+  if (auto decided = bv::decide_by_interval(e)) {
+    ++stats_.decided_by_interval;
+    out.result = *decided ? Result::Sat : Result::Unsat;
+    return out;  // Sat-by-interval means *every* assignment satisfies it
+  }
+  // Layer 3: bit-blast + CDCL.
+  sat::SatSolver sat_solver;
+  BitBlaster blaster(sat_solver);
+  blaster.assert_true(e);
+  const sat::SatResult r = sat_solver.solve(max_conflicts_);
+  ++stats_.decided_by_sat;
+  stats_.sat_conflicts += sat_solver.stats().conflicts;
+  stats_.sat_decisions += sat_solver.stats().decisions;
+  switch (r) {
+    case sat::SatResult::Unsat:
+      out.result = Result::Unsat;
+      return out;
+    case sat::SatResult::Unknown:
+      out.result = Result::Unknown;
+      return out;
+    case sat::SatResult::Sat:
+      break;
+  }
+  out.result = Result::Sat;
+  for (const bv::ExprRef& v : bv::free_variables(e)) {
+    out.model.emplace(v->var_id(), blaster.model_value(v));
+  }
+  return out;
+}
+
+bool Solver::maybe_sat(const bv::ExprRef& e) {
+  return check(e).result != Result::Unsat;
+}
+
+bool Solver::is_unsat(const bv::ExprRef& e) {
+  return check(e).result == Result::Unsat;
+}
+
+}  // namespace vsd::solver

@@ -1,0 +1,72 @@
+// Top-level decision procedure for bv constraints.
+//
+// Layered strategy, mirroring the paper's observation that most stitched
+// path constraints collapse syntactically:
+//   1. constant folding already happened in the expression factories, so a
+//      constraint that simplifies to true/false is decided for free;
+//   2. a cheap unsigned-interval pass decides most remaining comparisons;
+//   3. otherwise the constraint is bit-blasted and handed to the CDCL SAT
+//      solver, which also produces a model (a concrete packet witness).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "bv/analysis.hpp"
+#include "bv/expr.hpp"
+
+namespace vsd::solver {
+
+enum class Result { Sat, Unsat, Unknown };
+
+const char* result_name(Result r);
+
+struct CheckStats {
+  uint64_t queries = 0;
+  uint64_t decided_by_folding = 0;
+  uint64_t decided_by_interval = 0;
+  uint64_t decided_by_sat = 0;
+  uint64_t cache_hits = 0;
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_decisions = 0;
+};
+
+struct CheckResult {
+  Result result = Result::Unknown;
+  // Populated on Sat: concrete value per free-variable id of the query.
+  bv::Assignment model;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  // Decides satisfiability of a width-1 expression. The model covers every
+  // free variable of `e` (variables not mentioned are unconstrained).
+  CheckResult check(const bv::ExprRef& e);
+
+  // Convenience: true iff `e` is satisfiable. Treats Unknown as satisfiable
+  // (conservative for proof soundness: we never prune a maybe-feasible path).
+  bool maybe_sat(const bv::ExprRef& e);
+
+  // Convenience: true iff `e` is provably unsatisfiable.
+  bool is_unsat(const bv::ExprRef& e);
+
+  // Budget for the SAT backend, to keep monolithic-baseline benches bounded.
+  void set_max_conflicts(uint64_t m) { max_conflicts_ = m; }
+
+  const CheckStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  CheckResult check_uncached(const bv::ExprRef& e);
+
+  uint64_t max_conflicts_ = UINT64_MAX;
+  CheckStats stats_;
+  // Result cache keyed by node identity; models are cached too because the
+  // Step-2 composition frequently re-queries identical stitched constraints.
+  std::unordered_map<uint64_t, CheckResult> cache_;
+};
+
+}  // namespace vsd::solver

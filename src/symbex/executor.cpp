@@ -1,0 +1,828 @@
+#include "symbex/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "bv/analysis.hpp"
+#include "bv/printer.hpp"
+
+namespace vsd::symbex {
+
+using bv::ExprRef;
+using ir::BlockId;
+using ir::FuncId;
+using ir::Opcode;
+using ir::Reg;
+using ir::TrapKind;
+
+const char* seg_action_name(SegAction a) {
+  switch (a) {
+    case SegAction::Emit: return "emit";
+    case SegAction::Drop: return "drop";
+    case SegAction::Trap: return "trap";
+  }
+  return "?";
+}
+
+std::string Segment::describe() const {
+  std::string s = seg_action_name(action);
+  if (action == SegAction::Emit) s += "(" + std::to_string(port) + ")";
+  if (action == SegAction::Trap) s += std::string("(") + trap_name(trap) + ")";
+  s += " #instr=" + std::to_string(instr_count);
+  if (count_is_bound) s += "(bound)";
+  s += " C=" + bv::to_string_compact(constraint, 160);
+  return s;
+}
+
+namespace {
+
+// Per-path symbolic state. Copied at forks; everything inside is either an
+// immutable ExprRef or a small vector, so copies are cheap relative to
+// constraint solving.
+struct State {
+  SymPacket pkt;
+  std::vector<ExprRef> conjuncts;
+  ExprRef folded = bv::mk_bool(true);
+  uint64_t count = 0;
+  bool count_is_bound = false;
+  std::vector<KvReadRecord> kv_reads;
+  std::vector<KvWriteRecord> kv_writes;
+  // Packet-byte write footprint (absolute offsets) and metadata writes,
+  // tracked for the loop-summarization havoc.
+  size_t store_lo = SIZE_MAX;
+  size_t store_hi = 0;
+  std::array<bool, net::kMetaSlots> meta_written{};
+};
+
+class Engine {
+ public:
+  Engine(const ExecOptions& opts, const ir::Program& p, ExploreResult& out)
+      : opts_(opts), p_(p), out_(out) {
+    if (opts_.time_budget_seconds > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          opts_.time_budget_seconds));
+      has_deadline_ = true;
+    }
+  }
+
+  void run_main(State st) {
+    exec_function(p_.main_fn, std::move(st), {}, nullptr);
+  }
+
+  struct ReturnPath {
+    State st;
+    std::vector<ExprRef> rets;
+  };
+  using RetSink = std::vector<ReturnPath>;
+
+ private:
+  enum class StepOutcome { Continue, PathEnded };
+
+  // --- feasibility -------------------------------------------------------
+
+  // Conjoins `c` onto the path constraint; returns false when the extended
+  // constraint is known-unsatisfiable (the arm is pruned).
+  bool add_constraint(State& st, const ExprRef& c) {
+    if (c->is_true()) return true;
+    // Cheap interval decision on the new conjunct alone: prunes arms like
+    // "15 < n" when n is structurally bounded below 16 (loop exits, masked
+    // fields) without touching the solver.
+    if (const auto decided = bv::decide_by_interval(c)) {
+      if (*decided) return true;
+      ++out_.stats.pruned_infeasible;
+      return false;
+    }
+    ExprRef folded = bv::mk_land(st.folded, c);
+    if (folded->is_false()) {
+      ++out_.stats.pruned_infeasible;
+      return false;
+    }
+    st.conjuncts.push_back(c);
+    st.folded = std::move(folded);
+    if (opts_.fork_check == ForkCheck::Solver && opts_.solver != nullptr) {
+      ++out_.stats.solver_queries;
+      if (opts_.solver->is_unsat(st.folded)) {
+        ++out_.stats.pruned_infeasible;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void finalize(State st, SegAction action, uint32_t port, TrapKind trap) {
+    Segment seg;
+    seg.constraint = st.folded;
+    seg.conjuncts = std::move(st.conjuncts);
+    seg.action = action;
+    seg.port = port;
+    seg.trap = trap;
+    seg.exit_packet = std::move(st.pkt);
+    seg.instr_count = st.count;
+    seg.count_is_bound = st.count_is_bound;
+    seg.kv_reads = std::move(st.kv_reads);
+    seg.kv_writes = std::move(st.kv_writes);
+    out_.segments.push_back(std::move(seg));
+    ++out_.stats.segments;
+    if (out_.segments.size() >= opts_.max_segments) {
+      out_.truncated = true;
+      stop_ = true;
+    }
+  }
+
+  // --- function execution -------------------------------------------------
+
+  void exec_function(FuncId fid, State st, const std::vector<ExprRef>& args,
+                     RetSink* ret_sink) {
+    const ir::Function& f = p_.functions[fid];
+    std::vector<ExprRef> regs(f.regs.size());
+    for (size_t i = 0; i < regs.size(); ++i) {
+      regs[i] = bv::mk_const(0, f.regs[i].width);
+    }
+    assert(args.size() == f.params.size());
+    for (size_t i = 0; i < args.size(); ++i) regs[f.params[i]] = args[i];
+    exec_from(fid, std::move(regs), 0, 0, std::move(st), ret_sink);
+  }
+
+  std::vector<ReturnPath> call_function(FuncId fid, State st,
+                                        const std::vector<ExprRef>& args) {
+    RetSink sink;
+    exec_function(fid, std::move(st), args, &sink);
+    return sink;
+  }
+
+  void exec_from(FuncId fid, std::vector<ExprRef> regs, BlockId bb, size_t ip,
+                 State st, RetSink* ret_sink) {
+    if (stop_) return;
+    const ir::Function& f = p_.functions[fid];
+    for (;;) {
+      const ir::Block& blk = f.blocks[bb];
+      while (ip < blk.instrs.size()) {
+        if (stop_) return;
+        const ir::Instr& in = blk.instrs[ip];
+        ++st.count;
+        if (++out_.stats.instructions_interpreted > opts_.max_instructions) {
+          out_.truncated = true;
+          stop_ = true;
+          return;
+        }
+        if (has_deadline_ &&
+            (out_.stats.instructions_interpreted & 0x3ff) == 0 &&
+            std::chrono::steady_clock::now() >= deadline_) {
+          out_.truncated = true;
+          stop_ = true;
+          return;
+        }
+        if (in.op == Opcode::RunLoop) {
+          handle_runloop(fid, regs, bb, ip, std::move(st), ret_sink, in);
+          return;  // all continuations were spawned inside
+        }
+        if (in.op == Opcode::StaticLoad && opts_.naive_table_model &&
+            !regs[in.a]->is_const()) {
+          naive_table_fork(fid, regs, bb, ip, std::move(st), ret_sink, in);
+          return;
+        }
+        if (step_instr(f, in, regs, st) == StepOutcome::PathEnded) return;
+        ++ip;
+      }
+      // Terminator.
+      ++st.count;
+      const ir::Terminator& t = blk.term;
+      switch (t.kind) {
+        case ir::Terminator::Kind::Jump:
+          bb = t.target;
+          ip = 0;
+          continue;
+        case ir::Terminator::Kind::Br: {
+          const ExprRef cond = regs[t.cond];
+          State true_state = st;  // copy; `st` becomes the false arm
+          const bool t_feasible = add_constraint(true_state, cond);
+          const bool f_feasible = add_constraint(st, bv::mk_lnot(cond));
+          if (t_feasible && f_feasible) ++out_.stats.forks;
+          if (t_feasible) {
+            exec_from(fid, regs, t.target, 0, std::move(true_state), ret_sink);
+          }
+          if (f_feasible) {
+            bb = t.alt;
+            ip = 0;
+            continue;
+          }
+          return;
+        }
+        case ir::Terminator::Kind::Emit:
+          finalize(std::move(st), SegAction::Emit, t.port,
+                   TrapKind::Unreachable);
+          return;
+        case ir::Terminator::Kind::Drop:
+          finalize(std::move(st), SegAction::Drop, 0, TrapKind::Unreachable);
+          return;
+        case ir::Terminator::Kind::Trap:
+          finalize(std::move(st), SegAction::Trap, 0, t.trap);
+          return;
+        case ir::Terminator::Kind::Return: {
+          assert(ret_sink != nullptr && "return outside loop body");
+          ReturnPath rp;
+          rp.st = std::move(st);
+          rp.rets.reserve(t.ret_vals.size());
+          for (const Reg r : t.ret_vals) rp.rets.push_back(regs[r]);
+          ret_sink->push_back(std::move(rp));
+          return;
+        }
+      }
+    }
+  }
+
+  // Forks a trap arm guarded by `trap_cond`; returns false when the
+  // continuing arm (¬trap_cond) is infeasible and the path must end.
+  bool fork_trap(State& st, const ExprRef& trap_cond, TrapKind kind) {
+    if (trap_cond->is_false()) return true;
+    State trap_state = st;
+    if (add_constraint(trap_state, trap_cond)) {
+      ++out_.stats.forks;
+      finalize(std::move(trap_state), SegAction::Trap, 0, kind);
+    }
+    return add_constraint(st, bv::mk_lnot(trap_cond));
+  }
+
+  StepOutcome step_instr(const ir::Function& f, const ir::Instr& in,
+                         std::vector<ExprRef>& regs, State& st) {
+    const auto w = [&](Reg r) { return f.regs[r].width; };
+    const auto v = [&](Reg r) -> const ExprRef& { return regs[r]; };
+    switch (in.op) {
+      case Opcode::Const:
+        regs[in.dst] = bv::mk_const(in.imm, w(in.dst));
+        return StepOutcome::Continue;
+      case Opcode::Not: regs[in.dst] = bv::mk_not(v(in.a)); return StepOutcome::Continue;
+      case Opcode::Neg: regs[in.dst] = bv::mk_neg(v(in.a)); return StepOutcome::Continue;
+      case Opcode::Add: regs[in.dst] = bv::mk_add(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Sub: regs[in.dst] = bv::mk_sub(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Mul: regs[in.dst] = bv::mk_mul(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::UDiv:
+      case Opcode::URem: {
+        const ExprRef den = v(in.b);
+        const ExprRef dz = bv::mk_eq(den, bv::mk_const(0, den->width()));
+        if (!fork_trap(st, dz, TrapKind::DivByZero)) return StepOutcome::PathEnded;
+        regs[in.dst] = in.op == Opcode::UDiv ? bv::mk_udiv(v(in.a), den)
+                                             : bv::mk_urem(v(in.a), den);
+        return StepOutcome::Continue;
+      }
+      case Opcode::And: regs[in.dst] = bv::mk_and(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Or: regs[in.dst] = bv::mk_or(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Xor: regs[in.dst] = bv::mk_xor(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Shl: regs[in.dst] = bv::mk_shl(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::LShr: regs[in.dst] = bv::mk_lshr(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::AShr: regs[in.dst] = bv::mk_ashr(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Eq: regs[in.dst] = bv::mk_eq(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Ne: regs[in.dst] = bv::mk_ne(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Ult: regs[in.dst] = bv::mk_ult(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Ule: regs[in.dst] = bv::mk_ule(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Slt: regs[in.dst] = bv::mk_slt(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::Sle: regs[in.dst] = bv::mk_sle(v(in.a), v(in.b)); return StepOutcome::Continue;
+      case Opcode::ZExt: regs[in.dst] = bv::mk_zext(v(in.a), w(in.dst)); return StepOutcome::Continue;
+      case Opcode::SExt: regs[in.dst] = bv::mk_sext(v(in.a), w(in.dst)); return StepOutcome::Continue;
+      case Opcode::Trunc:
+        regs[in.dst] = bv::mk_extract(v(in.a), 0, w(in.dst));
+        return StepOutcome::Continue;
+      case Opcode::Select:
+        regs[in.dst] = bv::mk_ite(v(in.a), v(in.b), v(in.c));
+        return StepOutcome::Continue;
+      case Opcode::PktLoad: {
+        const ExprRef off = effective_offset(in, regs);
+        const SymPacket::LoadResult lr = st.pkt.load(off, in.aux);
+        if (!fork_trap(st, bv::mk_lnot(lr.in_bounds), TrapKind::OobPacketRead))
+          return StepOutcome::PathEnded;
+        regs[in.dst] = lr.value;
+        return StepOutcome::Continue;
+      }
+      case Opcode::PktStore: {
+        const ExprRef off = effective_offset(in, regs);
+        // Record the footprint before mutating.
+        const bv::Interval iv = bv::interval_of(off);
+        st.store_lo = std::min<size_t>(st.store_lo, iv.lo);
+        st.store_hi = std::max<size_t>(
+            st.store_hi, std::min<uint64_t>(iv.hi + in.aux, st.pkt.size()));
+        const ExprRef in_bounds = st.pkt.store(off, in.aux, v(in.b));
+        if (!fork_trap(st, bv::mk_lnot(in_bounds), TrapKind::OobPacketWrite))
+          return StepOutcome::PathEnded;
+        return StepOutcome::Continue;
+      }
+      case Opcode::PktLen:
+        regs[in.dst] = bv::mk_const(st.pkt.size(), 32);
+        return StepOutcome::Continue;
+      case Opcode::PktPush:
+        st.pkt.push_front(in.imm);
+        return StepOutcome::Continue;
+      case Opcode::PktPull:
+        if (in.imm > st.pkt.size()) {
+          finalize(std::move(st), SegAction::Trap, 0, TrapKind::PullUnderflow);
+          return StepOutcome::PathEnded;
+        }
+        st.pkt.pull_front(in.imm);
+        return StepOutcome::Continue;
+      case Opcode::MetaLoad:
+        regs[in.dst] = st.pkt.meta(in.imm);
+        return StepOutcome::Continue;
+      case Opcode::MetaStore:
+        st.pkt.set_meta(in.imm, v(in.a));
+        st.meta_written[in.imm] = true;
+        return StepOutcome::Continue;
+      case Opcode::StaticLoad: {
+        const ir::StaticTable& t = p_.static_tables[in.aux];
+        const ExprRef idx = v(in.a);
+        const ExprRef oob =
+            bv::mk_uge(idx, bv::mk_const(t.values.size(), 32));
+        if (!fork_trap(st, oob, TrapKind::OobTable)) return StepOutcome::PathEnded;
+        regs[in.dst] = static_value(t, idx, st);
+        return StepOutcome::Continue;
+      }
+      case Opcode::KvRead: {
+        const ExprRef key = v(in.a);
+        // Read-after-write within the same path: return the latest write to
+        // a syntactically identical key (sound precision boost; fresh-var
+        // fallback is the paper's over-approximating model).
+        for (auto it = st.kv_writes.rbegin(); it != st.kv_writes.rend(); ++it) {
+          if (it->table == in.aux && it->key.get() == key.get()) {
+            regs[in.dst] = it->value;
+            return StepOutcome::Continue;
+          }
+        }
+        const ir::KvTable& t = p_.kv_tables[in.aux];
+        ExprRef fresh = bv::mk_var("kv." + t.name, t.value_width);
+        st.kv_reads.push_back(KvReadRecord{in.aux, key, fresh});
+        regs[in.dst] = std::move(fresh);
+        return StepOutcome::Continue;
+      }
+      case Opcode::KvWrite:
+        st.kv_writes.push_back(KvWriteRecord{in.aux, v(in.a), v(in.b)});
+        return StepOutcome::Continue;
+      case Opcode::Assert:
+        if (!fork_trap(st, bv::mk_lnot(v(in.a)), TrapKind::AssertFail))
+          return StepOutcome::PathEnded;
+        return StepOutcome::Continue;
+      case Opcode::RunLoop:
+        assert(false && "RunLoop handled in exec_from");
+        return StepOutcome::PathEnded;
+    }
+    return StepOutcome::Continue;
+  }
+
+  ExprRef effective_offset(const ir::Instr& in,
+                           const std::vector<ExprRef>& regs) {
+    if (in.a == ir::kNoReg) return bv::mk_const(in.imm, 32);
+    ExprRef off = regs[in.a];
+    if (in.imm != 0) off = bv::mk_add(off, bv::mk_const(in.imm, 32));
+    return off;
+  }
+
+  // --- static-table modeling ----------------------------------------------
+
+  ExprRef static_value(const ir::StaticTable& t, const ExprRef& idx,
+                       State& st) {
+    if (idx->is_const()) {
+      const uint64_t i = idx->value();
+      return bv::mk_const(i < t.values.size() ? t.values[i] : 0,
+                          t.value_width);
+    }
+    // Run-length encode the table; small encodings become exact ite-chains.
+    struct RunRec {
+      uint64_t end;  // inclusive index where this run stops
+      uint64_t val;
+    };
+    std::vector<RunRec> runs;
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      if (runs.empty() || runs.back().val != t.values[i]) {
+        runs.push_back(RunRec{i, t.values[i]});
+      } else {
+        runs.back().end = i;
+      }
+    }
+    if (runs.size() <= opts_.max_table_runs) {
+      ExprRef e = bv::mk_const(runs.back().val, t.value_width);
+      for (size_t r = runs.size() - 1; r-- > 0;) {
+        e = bv::mk_ite(bv::mk_ule(idx, bv::mk_const(runs[r].end, 32)),
+                       bv::mk_const(runs[r].val, t.value_width), e);
+      }
+      return e;
+    }
+    // Large table: model the read as a fresh symbol constrained to the
+    // table's actual value set (few distinct values) or range. Sound: every
+    // real read satisfies the constraint; enough to prove downstream
+    // array-index and port-dispatch safety.
+    std::vector<uint64_t> distinct;
+    for (const RunRec& r : runs) {
+      if (std::find(distinct.begin(), distinct.end(), r.val) == distinct.end())
+        distinct.push_back(r.val);
+      if (distinct.size() > 16) break;
+    }
+    ExprRef fresh = bv::mk_var("tbl." + t.name, t.value_width);
+    if (distinct.size() <= 16) {
+      ExprRef any = bv::mk_bool(false);
+      for (const uint64_t d : distinct) {
+        any = bv::mk_lor(any,
+                         bv::mk_eq(fresh, bv::mk_const(d, t.value_width)));
+      }
+      add_constraint(st, any);
+    } else {
+      uint64_t lo = ~uint64_t{0}, hi = 0;
+      for (const RunRec& r : runs) {
+        lo = std::min(lo, r.val);
+        hi = std::max(hi, r.val);
+      }
+      add_constraint(st, bv::mk_uge(fresh, bv::mk_const(lo, t.value_width)));
+      add_constraint(st, bv::mk_ule(fresh, bv::mk_const(hi, t.value_width)));
+    }
+    return fresh;
+  }
+
+  // Ablation: per-entry forking on a symbolic table index, as a symbex
+  // engine without data-structure modeling would behave. One segment per
+  // feasible index value — path count scales with table size.
+  void naive_table_fork(FuncId fid, const std::vector<ExprRef>& regs,
+                        BlockId bb, size_t ip, State st, RetSink* ret_sink,
+                        const ir::Instr& in) {
+    const ir::StaticTable& t = p_.static_tables[in.aux];
+    const ExprRef idx = regs[in.a];
+    // Out-of-bounds arm first.
+    {
+      State oob = st;
+      if (add_constraint(oob,
+                         bv::mk_uge(idx, bv::mk_const(t.values.size(), 32)))) {
+        finalize(std::move(oob), SegAction::Trap, 0, TrapKind::OobTable);
+      }
+    }
+    const bv::Interval iv = bv::interval_of(idx);
+    const uint64_t lo = iv.lo;
+    const uint64_t hi = std::min<uint64_t>(iv.hi, t.values.size() - 1);
+    for (uint64_t k = lo; k <= hi && !stop_; ++k) {
+      State arm = st;
+      if (!add_constraint(arm, bv::mk_eq(idx, bv::mk_const(k, 32)))) continue;
+      ++out_.stats.forks;
+      std::vector<ExprRef> regs2 = regs;
+      regs2[in.dst] = bv::mk_const(t.values[k], t.value_width);
+      exec_from(fid, std::move(regs2), bb, ip + 1, std::move(arm), ret_sink);
+    }
+  }
+
+  // --- loops ---------------------------------------------------------------
+
+  void handle_runloop(FuncId fid, const std::vector<ExprRef>& regs,
+                      BlockId bb, size_t ip, State st, RetSink* ret_sink,
+                      const ir::Instr& in) {
+    std::vector<ExprRef> entry_vals;
+    entry_vals.reserve(in.loop_state.size());
+    for (const Reg r : in.loop_state) entry_vals.push_back(regs[r]);
+
+    std::vector<std::pair<State, std::vector<ExprRef>>> done;
+    const bool body_has_kv = function_touches_kv(in.aux);
+    if (opts_.loop_mode == LoopMode::Summarize && !body_has_kv) {
+      summarize_loop(in, std::move(st), entry_vals, done);
+    } else {
+      unroll_loop(in, std::move(st), entry_vals, done);
+    }
+    for (auto& [s2, vals] : done) {
+      if (stop_) return;
+      std::vector<ExprRef> regs2 = regs;
+      for (size_t i = 0; i < in.loop_state.size(); ++i) {
+        regs2[in.loop_state[i]] = vals[i];
+      }
+      exec_from(fid, std::move(regs2), bb, ip + 1, std::move(s2), ret_sink);
+    }
+  }
+
+  bool function_touches_kv(FuncId fid) const {
+    for (const ir::Block& b : p_.functions[fid].blocks) {
+      for (const ir::Instr& in : b.instrs) {
+        if (in.op == Opcode::KvRead || in.op == Opcode::KvWrite) return true;
+        if (in.op == Opcode::RunLoop && function_touches_kv(in.aux))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  void unroll_loop(const ir::Instr& in, State st,
+                   const std::vector<ExprRef>& entry_vals,
+                   std::vector<std::pair<State, std::vector<ExprRef>>>& done) {
+    ++out_.stats.loops_unrolled;
+    std::vector<std::pair<State, std::vector<ExprRef>>> frontier;
+    frontier.emplace_back(std::move(st), entry_vals);
+    for (uint64_t trip = 0; trip < in.imm && !frontier.empty(); ++trip) {
+      if (stop_) return;
+      std::vector<std::pair<State, std::vector<ExprRef>>> next;
+      for (auto& [s, vals] : frontier) {
+        if (stop_) return;
+        for (ReturnPath& r : call_function(in.aux, s, vals)) {
+          const ExprRef flag = r.rets[0];
+          std::vector<ExprRef> new_vals(r.rets.begin() + 1, r.rets.end());
+          State stop_state = r.st;  // copy
+          if (add_constraint(stop_state, bv::mk_lnot(flag))) {
+            done.emplace_back(std::move(stop_state), new_vals);
+          }
+          if (add_constraint(r.st, flag)) {
+            next.emplace_back(std::move(r.st), std::move(new_vals));
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    // Anything still wanting to continue at the bound is a LoopBound trap.
+    for (auto& [s, vals] : frontier) {
+      (void)vals;
+      finalize(std::move(s), SegAction::Trap, 0, TrapKind::LoopBound);
+    }
+  }
+
+  struct BodySummary {
+    std::vector<ExprRef> args;   // fresh loop-state variables
+    std::vector<ReturnPath> rets;
+    std::vector<Segment> traps;  // trap segments relative to fresh inputs
+    size_t store_lo = SIZE_MAX;
+    size_t store_hi = 0;
+    std::array<bool, net::kMetaSlots> meta_written{};
+    uint64_t max_ret_count = 0;
+    // Which state slots are loop-invariant (kept as real entry expressions).
+    std::vector<bool> constant_state;
+    // A proven variant relation: state slot var_i strictly increases on
+    // every continuing path and is bounded by the constant slot var_j.
+    // The concrete iteration bound is derived per call site from the entry
+    // expressions' intervals (the relation itself is entry-independent).
+    bool variant_proven = false;
+    size_t var_i = 0;
+    size_t var_j = 0;
+  };
+
+  // True when state slot i of the loop provably never changes: every return
+  // hands back the parameter register untouched and nothing assigns it.
+  std::vector<bool> syntactically_constant_state(const ir::Instr& in) const {
+    const ir::Function& body = p_.functions[in.aux];
+    std::vector<bool> is_const(in.loop_state.size(), true);
+    const auto param_index = [&](Reg r) -> int {
+      for (size_t i = 0; i < body.params.size(); ++i) {
+        if (body.params[i] == r) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    for (const ir::Block& b : body.blocks) {
+      for (const ir::Instr& bi : b.instrs) {
+        if (bi.dst != ir::kNoReg) {
+          const int pi = param_index(bi.dst);
+          if (pi >= 0) is_const[pi] = false;
+        }
+        if (bi.op == Opcode::RunLoop) {
+          for (const Reg r : bi.loop_state) {
+            const int pi = param_index(r);
+            if (pi >= 0) is_const[pi] = false;
+          }
+        }
+      }
+      if (b.term.kind == ir::Terminator::Kind::Return) {
+        for (size_t i = 0; i < in.loop_state.size(); ++i) {
+          if (b.term.ret_vals[i + 1] != body.params[i]) is_const[i] = false;
+        }
+      }
+    }
+    return is_const;
+  }
+
+  bool function_stores_packet(FuncId fid) const {
+    for (const ir::Block& b : p_.functions[fid].blocks) {
+      for (const ir::Instr& in : b.instrs) {
+        if (in.op == Opcode::PktStore || in.op == Opcode::PktPush ||
+            in.op == Opcode::PktPull) {
+          return true;
+        }
+        if (in.op == Opcode::RunLoop && function_stores_packet(in.aux)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Summarizes the loop body as a mini-element *rooted at this call site*:
+  // loop-constant state slots keep their real entry expressions, the
+  // current path constraint is a precondition, and (when the body never
+  // writes the packet) the body reads the caller's symbolic packet bytes.
+  // Varying slots become fresh symbols covering any iteration. This is
+  // what lets the feasibility check on body traps eliminate cross-segment
+  // false positives exactly like Step 2 does across elements.
+  const BodySummary& body_summary(const ir::Instr& in, const State& st,
+                                  const std::vector<ExprRef>& entry_vals) {
+    const std::vector<bool> is_const = syntactically_constant_state(in);
+    uint64_t key = 0xcbf29ce484222325ULL;
+    const auto mix = [&key](uint64_t v) {
+      key ^= v;
+      key *= 0x100000001b3ULL;
+    };
+    mix(in.aux);
+    mix(st.folded->uid());
+    mix(st.pkt.size());
+    for (const ExprRef& b : st.pkt.bytes()) mix(b->uid());
+    for (size_t i = 0; i < entry_vals.size(); ++i) {
+      mix(is_const[i] ? entry_vals[i]->uid() : 0);
+    }
+    auto it = body_cache_.find(key);
+    if (it != body_cache_.end()) return it->second;
+
+    BodySummary bs;
+    const ir::Function& body = p_.functions[in.aux];
+    const bool writes_packet = function_stores_packet(in.aux);
+    for (size_t i = 0; i < body.params.size(); ++i) {
+      if (is_const[i]) {
+        bs.args.push_back(entry_vals[i]);
+      } else {
+        bs.args.push_back(bv::mk_var("loop.s" + std::to_string(i),
+                                     body.regs[body.params[i]].width));
+      }
+    }
+    ExploreResult body_out;
+    Engine sub(opts_, p_, body_out);
+    State entry;
+    // A body that writes the packet sees fully fresh bytes (any-iteration
+    // over-approximation); a read-only body sees the caller's bytes.
+    entry.pkt = writes_packet ? SymPacket::symbolic(st.pkt.size(), "looppkt")
+                              : st.pkt;
+    entry.conjuncts = st.conjuncts;
+    entry.folded = st.folded;
+    RetSink sink;
+    sub.exec_function(in.aux, std::move(entry), bs.args, &sink);
+    ++out_.stats.loops_summarized;
+    out_.stats.instructions_interpreted +=
+        body_out.stats.instructions_interpreted;
+    out_.stats.solver_queries += body_out.stats.solver_queries;
+    if (body_out.truncated) out_.truncated = true;
+
+    bs.traps = std::move(body_out.segments);  // only traps can land here
+    for (ReturnPath& r : sink) {
+      bs.store_lo = std::min(bs.store_lo, r.st.store_lo);
+      bs.store_hi = std::max(bs.store_hi, r.st.store_hi);
+      for (size_t s = 0; s < net::kMetaSlots; ++s) {
+        if (r.st.meta_written[s]) bs.meta_written[s] = true;
+      }
+      bs.max_ret_count = std::max(bs.max_ret_count, r.st.count);
+      bs.rets.push_back(std::move(r));
+    }
+    bs.constant_state = is_const;
+    prove_variant(bs);
+    return body_cache_.emplace(key, std::move(bs)).first->second;
+  }
+
+  // Attempts to find a loop variant: a state slot that strictly increases
+  // on every continuing path and is bounded above by a constant slot.
+  void prove_variant(BodySummary& bs) {
+    if (opts_.solver == nullptr) return;
+    solver::Solver& solver = *opts_.solver;
+    const size_t n = bs.args.size();
+    for (size_t i = 0; i < n && !bs.variant_proven; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (bs.args[i]->width() != bs.args[j]->width()) continue;
+        bool ok = true;
+        for (const ReturnPath& r : bs.rets) {
+          const ExprRef c = r.st.folded;
+          const ExprRef go = bv::mk_land(c, r.rets[0]);
+          ++out_.stats.solver_queries;
+          if (solver.is_unsat(go)) continue;  // never continues
+          const ExprRef old_i = bs.args[i];
+          const ExprRef new_i = r.rets[1 + i];
+          const ExprRef old_j = bs.args[j];
+          const ExprRef new_j = r.rets[1 + j];
+          const unsigned wd = old_i->width();
+          // Progress: continuing implies new_i >= old_i + 1 (no wrap:
+          // guard also requires old_i < old_j <= max, so old_i + 1 is safe).
+          const ExprRef progress = bv::mk_uge(
+              new_i, bv::mk_add(old_i, bv::mk_const(1, wd)));
+          ++out_.stats.solver_queries;
+          if (!solver.is_unsat(bv::mk_land(go, bv::mk_lnot(progress)))) {
+            ok = false;
+            break;
+          }
+          // Guard: continuing implies old_i < old_j.
+          ++out_.stats.solver_queries;
+          if (!solver.is_unsat(bv::mk_land(go, bv::mk_uge(old_i, old_j)))) {
+            ok = false;
+            break;
+          }
+          // Frame: the bound slot never changes (on any returning path).
+          ++out_.stats.solver_queries;
+          if (!solver.is_unsat(bv::mk_land(c, bv::mk_ne(new_j, old_j)))) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        bs.variant_proven = true;
+        bs.var_i = i;
+        bs.var_j = j;
+        break;
+      }
+    }
+  }
+
+  // Iteration bound for a proven variant at a concrete call site:
+  // ub(bound slot) - lb(counter slot) + 1 body calls. Returns 0 when the
+  // bound does not fit the loop's static trip count (treat as unproven).
+  static uint64_t call_site_iterations(const BodySummary& bs,
+                                       const std::vector<ExprRef>& entry_vals,
+                                       uint64_t max_trips) {
+    const bv::Interval ic = bv::interval_of(entry_vals[bs.var_i]);
+    const bv::Interval bc = bv::interval_of(entry_vals[bs.var_j]);
+    const uint64_t iters = bc.hi < ic.lo ? 1 : bc.hi - ic.lo + 1;
+    return iters <= max_trips ? iters : 0;
+  }
+
+  void summarize_loop(
+      const ir::Instr& in, State st, const std::vector<ExprRef>& entry_vals,
+      std::vector<std::pair<State, std::vector<ExprRef>>>& done) {
+    const BodySummary& bs = body_summary(in, st, entry_vals);
+    const uint64_t proven_iters =
+        bs.variant_proven ? call_site_iterations(bs, entry_vals, in.imm) : 0;
+
+    // Step-1-style conservative tagging: a body trap whose (call-site
+    // rooted) constraint is satisfiable becomes a suspect trap of the whole
+    // loop. Constant state slots and the path precondition are already in
+    // the constraint, so guarded loops eliminate their own false positives
+    // here — exactly the Step-2 move applied at mini-element granularity.
+    for (const Segment& trap_seg : bs.traps) {
+      bool feasible = !trap_seg.constraint->is_false();
+      if (feasible && opts_.solver != nullptr) {
+        ++out_.stats.solver_queries;
+        feasible = !opts_.solver->is_unsat(trap_seg.constraint);
+      }
+      if (feasible) {
+        State suspect = st;
+        suspect.folded = trap_seg.constraint;
+        suspect.conjuncts = trap_seg.conjuncts;
+        suspect.count_is_bound = true;
+        finalize(std::move(suspect), SegAction::Trap, 0, trap_seg.trap);
+      }
+    }
+    if (proven_iters == 0) {
+      // Termination within the trip bound not established: LoopBound
+      // remains a suspect.
+      State suspect = st;
+      suspect.count_is_bound = true;
+      finalize(std::move(suspect), SegAction::Trap, 0, TrapKind::LoopBound);
+    }
+
+    // Post-loop state: havoc everything the body may write; instruction
+    // count becomes a sound upper bound. Loop-constant slots keep their
+    // real expressions.
+    const uint64_t iters = proven_iters != 0 ? proven_iters : in.imm;
+    st.count += iters * (bs.max_ret_count + 1);
+    st.count_is_bound = true;
+    if (bs.store_lo < bs.store_hi) {
+      st.pkt.havoc_range(bs.store_lo, bs.store_hi, "loop");
+    }
+    for (size_t s = 0; s < net::kMetaSlots; ++s) {
+      if (bs.meta_written[s]) st.pkt.havoc_meta(s, "loop");
+    }
+    std::vector<ExprRef> out_vals;
+    for (size_t i = 0; i < in.loop_state.size(); ++i) {
+      if (bs.constant_state[i]) {
+        out_vals.push_back(entry_vals[i]);
+      } else {
+        out_vals.push_back(bv::mk_var("loopout.s" + std::to_string(i),
+                                      bs.args[i]->width()));
+      }
+    }
+    done.emplace_back(std::move(st), std::move(out_vals));
+  }
+
+  const ExecOptions& opts_;
+  const ir::Program& p_;
+  ExploreResult& out_;
+  bool stop_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  std::unordered_map<uint64_t, BodySummary> body_cache_;
+};
+
+}  // namespace
+
+Executor::Executor(ExecOptions opts) : opts_(std::move(opts)) {}
+
+ExploreResult Executor::explore(const ir::Program& program,
+                                const SymPacket& entry,
+                                std::vector<bv::ExprRef> preconditions) {
+  ExploreResult out;
+  Engine engine(opts_, program, out);
+  State st;
+  st.pkt = entry;
+  bool feasible = true;
+  for (ExprRef& c : preconditions) {
+    ExprRef folded = bv::mk_land(st.folded, c);
+    st.conjuncts.push_back(std::move(c));
+    st.folded = std::move(folded);
+    if (st.folded->is_false()) feasible = false;
+  }
+  if (feasible) engine.run_main(std::move(st));
+  return out;
+}
+
+}  // namespace vsd::symbex

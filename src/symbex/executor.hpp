@@ -1,0 +1,87 @@
+// The symbolic executor over dataplane IR.
+//
+// Explores every feasible path ("segment") of an element program with
+// symbolic packet input and produces the segment summaries of the paper's
+// Step 1. The same engine, pointed at a chain of element programs by the
+// monolithic verifier, reproduces classic whole-pipeline symbolic
+// execution (the paper's >12h baseline).
+//
+// Two capabilities distinguish this from a generic engine (paper §3,
+// "Element Verification"):
+//   * loop decomposition — RunLoop bodies can be summarized once as
+//     "mini-elements" and composed, instead of unrolled trip by trip;
+//   * data-structure modeling — private state reads return fresh symbols
+//     and writes are logged, so table size never multiplies path count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bv/expr.hpp"
+#include "ir/ir.hpp"
+#include "solver/solver.hpp"
+#include "symbex/segment.hpp"
+#include "symbex/sym_packet.hpp"
+
+namespace vsd::symbex {
+
+enum class LoopMode : uint8_t {
+  Unroll,     // inline up to the trip bound (exact; path count grows)
+  Summarize,  // mini-element decomposition (paper §3); over-approximates
+              // post-loop state, proves termination via a variant check
+};
+
+enum class ForkCheck : uint8_t {
+  FoldOnly,  // prune a fork arm only when folding collapses it to false
+  Solver,    // full satisfiability check at every fork (S2E-style)
+};
+
+struct ExecOptions {
+  LoopMode loop_mode = LoopMode::Unroll;
+  ForkCheck fork_check = ForkCheck::FoldOnly;
+  // Required for ForkCheck::Solver and for Summarize-mode variant checks.
+  solver::Solver* solver = nullptr;
+  // Exploration budgets; exceeding any sets `truncated` on the result.
+  uint64_t max_segments = 1u << 20;
+  uint64_t max_instructions = 1ull << 32;
+  // Wall-clock budget (seconds) for one explore() call; 0 = unlimited.
+  // Needed because path explosion shows up as expression-building time,
+  // not only as interpreted-instruction count.
+  double time_budget_seconds = 0.0;
+  // Static tables whose run-length encoding has at most this many runs are
+  // modeled precisely as ite-chains; larger ones as bounded fresh symbols.
+  size_t max_table_runs = 128;
+  // Ablation switch: model a symbolic-index table read the way a symbex
+  // engine without data-structure semantics would — fork one path per
+  // feasible index (the paper's "1 million different segments" regime).
+  bool naive_table_model = false;
+};
+
+struct ExploreResult {
+  std::vector<Segment> segments;
+  ExploreStats stats;
+  // True when an exploration budget was exhausted: the segment list is then
+  // incomplete and must not be used as a proof.
+  bool truncated = false;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecOptions opts = {});
+
+  // Explores `program`'s main function from a symbolic entry state.
+  // `preconditions` constrain the entry (used when composing monolithically
+  // and when verifying under an input predicate).
+  ExploreResult explore(const ir::Program& program, const SymPacket& entry,
+                        std::vector<bv::ExprRef> preconditions = {});
+
+  const ExecOptions& options() const { return opts_; }
+
+ private:
+  ExecOptions opts_;
+};
+
+}  // namespace vsd::symbex

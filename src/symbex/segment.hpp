@@ -1,0 +1,85 @@
+// Segment summaries — the paper's central artifact.
+//
+// A segment is one feasible path through one element (§3 "Pipeline
+// Decomposition"). Step 1 distills each segment into its essence: the path
+// constraint C over the element's symbolic input, and the symbolic state S
+// at exit (output packet bytes, metadata, action). Step 2 composes these
+// without ever re-executing the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bv/expr.hpp"
+#include "ir/ir.hpp"
+#include "symbex/sym_packet.hpp"
+
+namespace vsd::symbex {
+
+enum class SegAction : uint8_t { Emit, Drop, Trap };
+
+const char* seg_action_name(SegAction a);
+
+// Private-state access records, used by the stateful (bad-value) analysis.
+struct KvReadRecord {
+  ir::TableId table = 0;
+  bv::ExprRef key;
+  bv::ExprRef value;  // the fresh variable modeling the read result
+};
+
+struct KvWriteRecord {
+  ir::TableId table = 0;
+  bv::ExprRef key;
+  bv::ExprRef value;
+};
+
+struct Segment {
+  // Path constraint over the element's input variables (plus fresh KV-read
+  // variables): the set of inputs that drive execution down this segment.
+  bv::ExprRef constraint;
+  // The same constraint as individual conjuncts, for diagnostics.
+  std::vector<bv::ExprRef> conjuncts;
+
+  SegAction action = SegAction::Drop;
+  uint32_t port = 0;                                // Emit
+  ir::TrapKind trap = ir::TrapKind::Unreachable;    // Trap
+
+  // Symbolic exit state (valid for Emit segments): what the element hands
+  // to its successor, as expressions over this element's inputs.
+  SymPacket exit_packet;
+
+  // Instructions executed along this segment. When a loop was summarized
+  // rather than unrolled, this is a sound upper bound and is_bound is set.
+  uint64_t instr_count = 0;
+  bool count_is_bound = false;
+
+  std::vector<KvReadRecord> kv_reads;
+  std::vector<KvWriteRecord> kv_writes;
+
+  // Human-readable one-liner for reports.
+  std::string describe() const;
+};
+
+struct ExploreStats {
+  uint64_t segments = 0;
+  uint64_t forks = 0;
+  uint64_t pruned_infeasible = 0;
+  uint64_t instructions_interpreted = 0;
+  uint64_t solver_queries = 0;
+  uint64_t loops_summarized = 0;
+  uint64_t loops_unrolled = 0;
+
+  ExploreStats& operator+=(const ExploreStats& o) {
+    segments += o.segments;
+    forks += o.forks;
+    pruned_infeasible += o.pruned_infeasible;
+    instructions_interpreted += o.instructions_interpreted;
+    solver_queries += o.solver_queries;
+    loops_summarized += o.loops_summarized;
+    loops_unrolled += o.loops_unrolled;
+    return *this;
+  }
+};
+
+}  // namespace vsd::symbex

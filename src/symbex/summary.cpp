@@ -1,0 +1,36 @@
+#include "symbex/summary.hpp"
+
+namespace vsd::symbex {
+
+ElementSummary summarize_element(const ir::Program& program, size_t packet_len,
+                                 Executor& executor) {
+  ElementSummary s;
+  s.element_name = program.name;
+  s.packet_len = packet_len;
+  s.entry = SymPacket::symbolic(packet_len, program.name);
+  const auto t0 = std::chrono::steady_clock::now();
+  ExploreResult r = executor.explore(program, s.entry);
+  const auto t1 = std::chrono::steady_clock::now();
+  s.segments = std::move(r.segments);
+  s.stats = r.stats;
+  s.truncated = r.truncated;
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return s;
+}
+
+const ElementSummary& SummaryCache::get(const ir::Program& program,
+                                        size_t packet_len,
+                                        Executor& executor) {
+  const Key key{ir::program_hash(program), packet_len};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return cache_
+      .emplace(key, summarize_element(program, packet_len, executor))
+      .first->second;
+}
+
+}  // namespace vsd::symbex

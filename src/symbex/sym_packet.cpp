@@ -1,0 +1,149 @@
+#include "symbex/sym_packet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsd::symbex {
+
+using bv::ExprRef;
+
+SymPacket SymPacket::symbolic(size_t len, const std::string& prefix) {
+  SymPacket p;
+  p.bytes_.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    ExprRef v = bv::mk_var(prefix + "[" + std::to_string(i) + "]", 8);
+    p.input_byte_vars_.push_back(v);
+    p.bytes_.push_back(std::move(v));
+  }
+  for (size_t s = 0; s < net::kMetaSlots; ++s) {
+    ExprRef v = bv::mk_var(prefix + ".meta" + std::to_string(s), 32);
+    p.input_meta_vars_.push_back(v);
+    p.meta_[s] = std::move(v);
+  }
+  return p;
+}
+
+SymPacket SymPacket::from_bytes(
+    std::vector<ExprRef> bytes, std::array<ExprRef, net::kMetaSlots> meta) {
+  SymPacket p;
+  p.bytes_ = std::move(bytes);
+  p.meta_ = std::move(meta);
+  return p;
+}
+
+SymPacket SymPacket::concrete(const net::Packet& pkt) {
+  SymPacket p;
+  p.bytes_.reserve(pkt.size());
+  for (size_t i = 0; i < pkt.size(); ++i) {
+    p.bytes_.push_back(bv::mk_const(pkt[i], 8));
+  }
+  for (size_t s = 0; s < net::kMetaSlots; ++s) {
+    p.meta_[s] = bv::mk_const(pkt.meta(s), 32);
+  }
+  return p;
+}
+
+SymPacket::LoadResult SymPacket::load(size_t offset, unsigned nbytes) const {
+  if (offset + nbytes > bytes_.size()) {
+    return {bv::mk_const(0, 8 * nbytes), bv::mk_bool(false)};
+  }
+  ExprRef v = bytes_[offset];
+  for (unsigned i = 1; i < nbytes; ++i) {
+    v = bv::mk_concat(v, bytes_[offset + i]);
+  }
+  return {v, bv::mk_bool(true)};
+}
+
+SymPacket::LoadResult SymPacket::load(const ExprRef& offset,
+                                      unsigned nbytes) const {
+  assert(offset->width() == 32);
+  if (offset->is_const()) return load(offset->value(), nbytes);
+  const size_t len = bytes_.size();
+  if (len < nbytes) {
+    return {bv::mk_const(0, 8 * nbytes), bv::mk_bool(false)};
+  }
+  const size_t max_off = len - nbytes;
+  const ExprRef in_bounds = bv::mk_ule(offset, bv::mk_const(max_off, 32));
+  // Clamp the candidate range with the interval analysis.
+  const bv::Interval iv = bv::interval_of(offset);
+  const size_t lo = std::min<uint64_t>(iv.lo, max_off);
+  const size_t hi = std::min<uint64_t>(iv.hi, max_off);
+  ExprRef v = load(hi, nbytes).value;
+  // ite-chain from hi-1 down to lo; offsets outside [lo,hi] are either
+  // out-of-bounds (guarded by in_bounds) or excluded by the interval.
+  for (size_t k = hi; k-- > lo;) {
+    const ExprRef here = bv::mk_eq(offset, bv::mk_const(k, 32));
+    v = bv::mk_ite(here, load(k, nbytes).value, v);
+  }
+  return {v, in_bounds};
+}
+
+ExprRef SymPacket::store(size_t offset, unsigned nbytes,
+                         const ExprRef& value) {
+  assert(value->width() == 8 * nbytes);
+  if (offset + nbytes > bytes_.size()) return bv::mk_bool(false);
+  for (unsigned i = 0; i < nbytes; ++i) {
+    const unsigned lo_bit = 8 * (nbytes - 1 - i);
+    bytes_[offset + i] = bv::mk_extract(value, lo_bit, 8);
+  }
+  return bv::mk_bool(true);
+}
+
+ExprRef SymPacket::store(const ExprRef& offset, unsigned nbytes,
+                         const ExprRef& value) {
+  assert(offset->width() == 32);
+  if (offset->is_const()) return store(offset->value(), nbytes, value);
+  const size_t len = bytes_.size();
+  if (len < nbytes) return bv::mk_bool(false);
+  const size_t max_off = len - nbytes;
+  const ExprRef in_bounds = bv::mk_ule(offset, bv::mk_const(max_off, 32));
+  const bv::Interval iv = bv::interval_of(offset);
+  const size_t lo = std::min<uint64_t>(iv.lo, max_off);
+  const size_t hi = std::min<uint64_t>(iv.hi, max_off);
+  // Guarded per-byte update for each feasible concrete position.
+  for (size_t k = lo; k <= hi; ++k) {
+    const ExprRef here = bv::mk_eq(offset, bv::mk_const(k, 32));
+    for (unsigned i = 0; i < nbytes; ++i) {
+      const unsigned lo_bit = 8 * (nbytes - 1 - i);
+      bytes_[k + i] = bv::mk_ite(here, bv::mk_extract(value, lo_bit, 8),
+                                 bytes_[k + i]);
+    }
+  }
+  return in_bounds;
+}
+
+void SymPacket::push_front(size_t n) {
+  std::vector<ExprRef> zeros(n, bv::mk_const(0, 8));
+  bytes_.insert(bytes_.begin(), zeros.begin(), zeros.end());
+}
+
+void SymPacket::pull_front(size_t n) {
+  assert(n <= bytes_.size());
+  bytes_.erase(bytes_.begin(), bytes_.begin() + static_cast<long>(n));
+}
+
+void SymPacket::havoc_range(size_t lo, size_t hi, const std::string& why) {
+  hi = std::min(hi, bytes_.size());
+  for (size_t i = lo; i < hi; ++i) {
+    bytes_[i] = bv::mk_var("havoc." + why + "[" + std::to_string(i) + "]", 8);
+  }
+}
+
+void SymPacket::havoc_meta(size_t slot, const std::string& why) {
+  meta_[slot] = bv::mk_var("havoc." + why + ".meta", 32);
+}
+
+net::Packet SymPacket::to_concrete(const bv::Assignment& model) const {
+  net::Packet p = net::Packet::of_size(bytes_.size());
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    p[i] = static_cast<uint8_t>(bv::evaluate(bytes_[i], model));
+  }
+  for (size_t s = 0; s < net::kMetaSlots; ++s) {
+    if (meta_[s]) {
+      p.set_meta(s, static_cast<uint32_t>(bv::evaluate(meta_[s], model)));
+    }
+  }
+  return p;
+}
+
+}  // namespace vsd::symbex

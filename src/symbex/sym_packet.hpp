@@ -1,0 +1,89 @@
+// Symbolic packet state: the packet as a vector of 8-bit expressions.
+//
+// The paper treats the input packet as "a symbolic bit vector"; we realize
+// that as one bv variable per byte at a concrete length (verification runs
+// sweep the interesting lengths). Loads/stores at symbolic offsets are
+// lowered to ite-chains over the feasible offset range, bounded by the
+// cheap interval analysis, so the solver never needs an array theory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bv/analysis.hpp"
+#include "bv/expr.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::symbex {
+
+class SymPacket {
+ public:
+  SymPacket() = default;
+
+  // A fully symbolic packet of `len` bytes: fresh variables for every byte
+  // and every metadata slot. `prefix` names the variables for diagnostics.
+  static SymPacket symbolic(size_t len, const std::string& prefix = "pkt");
+
+  // A packet whose bytes are the given expressions (used when composing:
+  // the previous element's symbolic output becomes this element's input).
+  static SymPacket from_bytes(std::vector<bv::ExprRef> bytes,
+                              std::array<bv::ExprRef, net::kMetaSlots> meta);
+
+  // A fully concrete packet (for symbolically executing on a known input).
+  static SymPacket concrete(const net::Packet& p);
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<bv::ExprRef>& bytes() const { return bytes_; }
+  const bv::ExprRef& byte(size_t i) const { return bytes_[i]; }
+  void set_byte(size_t i, bv::ExprRef e) { bytes_[i] = std::move(e); }
+
+  const std::array<bv::ExprRef, net::kMetaSlots>& meta() const { return meta_; }
+  const bv::ExprRef& meta(size_t slot) const { return meta_[slot]; }
+  void set_meta(size_t slot, bv::ExprRef e) { meta_[slot] = std::move(e); }
+
+  // The fresh variables created by symbolic(), in byte order. Empty for
+  // packets built by from_bytes()/concrete().
+  const std::vector<bv::ExprRef>& input_byte_vars() const {
+    return input_byte_vars_;
+  }
+  const std::vector<bv::ExprRef>& input_meta_vars() const {
+    return input_meta_vars_;
+  }
+
+  struct LoadResult {
+    bv::ExprRef value;      // width 8*nbytes; meaningful when in_bounds
+    bv::ExprRef in_bounds;  // width 1
+  };
+  // Big-endian load of nbytes at concrete offset.
+  LoadResult load(size_t offset, unsigned nbytes) const;
+  // Big-endian load at a symbolic 32-bit offset expression.
+  LoadResult load(const bv::ExprRef& offset, unsigned nbytes) const;
+
+  // Stores return the in-bounds condition; the executor turns its negation
+  // into an OobPacketWrite trap path. The store itself is applied only to
+  // in-range offsets (guarded per byte for symbolic offsets).
+  bv::ExprRef store(size_t offset, unsigned nbytes, const bv::ExprRef& value);
+  bv::ExprRef store(const bv::ExprRef& offset, unsigned nbytes,
+                    const bv::ExprRef& value);
+
+  void push_front(size_t n);  // prepend n zero bytes
+  void pull_front(size_t n);  // n must be <= size(); caller checks
+
+  // Replaces bytes in [lo, hi) with fresh unconstrained variables — the
+  // over-approximation applied to a summarized loop's write footprint.
+  void havoc_range(size_t lo, size_t hi, const std::string& why);
+  void havoc_meta(size_t slot, const std::string& why);
+
+  // Concretizes under a model (unassigned vars read as 0).
+  net::Packet to_concrete(const bv::Assignment& model) const;
+
+ private:
+  std::vector<bv::ExprRef> bytes_;
+  std::array<bv::ExprRef, net::kMetaSlots> meta_;
+  std::vector<bv::ExprRef> input_byte_vars_;
+  std::vector<bv::ExprRef> input_meta_vars_;
+};
+
+}  // namespace vsd::symbex

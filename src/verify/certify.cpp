@@ -1,0 +1,74 @@
+#include "verify/certify.hpp"
+
+#include <sstream>
+
+#include "elements/common.hpp"
+#include "elements/registry.hpp"
+
+namespace vsd::verify {
+
+namespace {
+
+// Rebuilds "A -> B -> C" with `candidate` spliced in after stage
+// `insert_after` (0-based).
+std::string splice_config(const std::string& base, const std::string& cand,
+                          size_t insert_after) {
+  std::vector<std::string> stages;
+  size_t pos = 0;
+  while (pos < base.size()) {
+    const size_t arrow = base.find("->", pos);
+    stages.push_back(base.substr(
+        pos, arrow == std::string::npos ? std::string::npos : arrow - pos));
+    pos = arrow == std::string::npos ? base.size() : arrow + 2;
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i) os << " -> ";
+    os << elements::trim(stages[i]);
+    if (i == insert_after) os << " -> " << cand;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CertificationReport certify_element(DecomposedVerifier& verifier,
+                                    const std::string& base_config,
+                                    const std::string& candidate_config,
+                                    size_t insert_after) {
+  CertificationReport report;
+  pipeline::Pipeline base = elements::parse_pipeline(base_config);
+  const std::string upgraded_config =
+      splice_config(base_config, candidate_config, insert_after);
+  pipeline::Pipeline upgraded = elements::parse_pipeline(upgraded_config);
+
+  report.bound_before = verifier.verify_instruction_bound(base);
+  report.crash = verifier.verify_crash_freedom(upgraded);
+  report.bound_after = verifier.verify_instruction_bound(upgraded);
+
+  const bool bounds_ok = report.bound_before.verdict == Verdict::Proven &&
+                         report.bound_after.verdict == Verdict::Proven;
+  report.certified =
+      report.crash.verdict == Verdict::Proven && bounds_ok;
+  if (bounds_ok &&
+      report.bound_after.max_instructions >=
+          report.bound_before.max_instructions) {
+    report.max_added_instructions = report.bound_after.max_instructions -
+                                    report.bound_before.max_instructions;
+  }
+
+  std::ostringstream os;
+  os << "candidate: " << candidate_config << "\n"
+     << "pipeline:  " << upgraded_config << "\n"
+     << "crash-freedom: " << verdict_name(report.crash.verdict) << "\n"
+     << "instruction bound: " << report.bound_before.max_instructions
+     << " -> " << report.bound_after.max_instructions;
+  if (bounds_ok) {
+    os << " (max added per packet: " << report.max_added_instructions << ")";
+  }
+  os << "\nverdict: " << (report.certified ? "CERTIFIED" : "REJECTED");
+  report.summary = os.str();
+  return report;
+}
+
+}  // namespace vsd::verify

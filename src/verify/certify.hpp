@@ -1,0 +1,39 @@
+// The app-market certifier (§2, third use case): before an operator drops a
+// third-party element into a running pipeline, certify that the upgraded
+// pipeline (a) still cannot crash and (b) how much per-packet work the new
+// element can add — "the maximum increase in latency ... the new element
+// would introduce".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "pipeline/pipeline.hpp"
+#include "verify/decomposed.hpp"
+#include "verify/report.hpp"
+
+namespace vsd::verify {
+
+struct CertificationReport {
+  // Crash freedom of the upgraded pipeline.
+  CrashFreedomReport crash;
+  // Instruction bounds before and after insertion.
+  InstructionBoundReport bound_before;
+  InstructionBoundReport bound_after;
+  // Convenience verdict: certified iff crash-free and both bounds proven.
+  bool certified = false;
+  // Worst-case added instructions per packet.
+  uint64_t max_added_instructions = 0;
+  std::string summary;  // human-readable certificate text
+};
+
+// Builds the upgraded pipeline by inserting `candidate` after position
+// `insert_after` of a linear pipeline description, re-verifies, and
+// reports. `base_config` / element list use the registry config syntax.
+CertificationReport certify_element(DecomposedVerifier& verifier,
+                                    const std::string& base_config,
+                                    const std::string& candidate_config,
+                                    size_t insert_after);
+
+}  // namespace vsd::verify

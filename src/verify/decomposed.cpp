@@ -1,0 +1,684 @@
+#include "verify/decomposed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bv/analysis.hpp"
+#include "bv/printer.hpp"
+#include "interp/interp.hpp"
+
+namespace vsd::verify {
+
+using bv::ExprRef;
+using symbex::ElementSummary;
+using symbex::SegAction;
+using symbex::Segment;
+using symbex::SymPacket;
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Proven: return "proven";
+    case Verdict::Violated: return "violated";
+    case Verdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Timer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+};
+
+// Runs a packet through the pipeline with scratch private state, returning
+// the total executed instruction count without touching the live elements.
+uint64_t replay_instruction_count(const pipeline::Pipeline& pl,
+                                  const net::Packet& input) {
+  net::Packet pkt = input;
+  size_t cur = 0;
+  uint64_t total = 0;
+  for (;;) {
+    const ir::Program& prog = pl.element(cur).program();
+    interp::KvState scratch(prog.kv_tables.size());
+    const interp::ExecResult r = interp::run(prog, pkt, scratch);
+    total += r.instr_count;
+    if (r.action != interp::Action::Emit) break;
+    const auto d = pl.downstream(cur, r.port);
+    if (!d) break;
+    cur = *d;
+  }
+  return total;
+}
+
+}  // namespace
+
+class DecomposedVerifier::Impl {
+ public:
+  explicit Impl(DecomposedConfig config) : cfg(config) {
+    solver.set_max_conflicts(cfg.max_solver_conflicts);
+  }
+
+  DecomposedConfig cfg;
+  solver::Solver solver;
+  symbex::SummaryCache cache_summarize;
+  symbex::SummaryCache cache_unroll;
+  VerifyStats stats;  // accumulated per verification call (reset each call)
+
+  // ---------------------------------------------------------------------
+  // Step 1: element summaries (cached; loop-suspect fallback to unrolling)
+  // ---------------------------------------------------------------------
+
+  // How much loop-summary over-approximation a property can tolerate.
+  enum class Precision {
+    AcceptBounds,     // instruction bounds: summarized counts are fine
+    ExactDropsTraps,  // reachability: Drop/Trap decisions must not depend
+                      // on havocked loop outputs
+    ExactAll,         // path enumeration: no summarized loops anywhere, so
+                      // the composed constraints partition the input space
+  };
+
+  const ElementSummary& summary_for(const ir::Program& prog, size_t len,
+                                    Precision precision) {
+    if (cfg.loop_mode == symbex::LoopMode::Unroll) {
+      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len);
+    }
+    const ElementSummary& s =
+        get_summary(cache_summarize, symbex::LoopMode::Summarize, prog, len);
+    // Any remaining trap suspect in a summarized element gets the exact
+    // (unrolled) treatment before we conclude anything — regardless of
+    // property, because trap constraints may be loop-over-approximated.
+    const bool has_trap = std::any_of(
+        s.segments.begin(), s.segments.end(),
+        [](const Segment& g) { return g.action == SegAction::Trap; });
+    const bool has_lossy_drop = std::any_of(
+        s.segments.begin(), s.segments.end(), [](const Segment& g) {
+          return g.action == SegAction::Drop && g.count_is_bound;
+        });
+    const bool has_any_bound = std::any_of(
+        s.segments.begin(), s.segments.end(),
+        [](const Segment& g) { return g.count_is_bound; });
+    const bool need_unroll =
+        has_trap ||
+        (precision == Precision::ExactDropsTraps && has_lossy_drop) ||
+        (precision == Precision::ExactAll && has_any_bound);
+    if (cfg.unroll_fallback && need_unroll) {
+      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len);
+    }
+    return s;
+  }
+
+  const ElementSummary& get_summary(symbex::SummaryCache& cache,
+                                    symbex::LoopMode mode,
+                                    const ir::Program& prog, size_t len) {
+    const size_t misses_before = cache.misses();
+    symbex::ExecOptions eo;
+    eo.loop_mode = mode;
+    // Summarize mode relies on folding + intervals (cheap, and the loop
+    // summarizer handles precision); exact unrolling needs solver pruning
+    // at forks or infeasible loop-path combinations multiply unchecked.
+    eo.fork_check = mode == symbex::LoopMode::Unroll
+                        ? symbex::ForkCheck::Solver
+                        : symbex::ForkCheck::FoldOnly;
+    eo.solver = &solver;
+    symbex::Executor exec(eo);
+    const ElementSummary& s = cache.get(prog, len, exec);
+    if (cache.misses() != misses_before) {
+      ++stats.elements_summarized;
+      stats.segments_total += s.segments.size();
+      stats.instructions_interpreted += s.stats.instructions_interpreted;
+      stats.forks += s.stats.forks;
+    } else {
+      ++stats.summary_cache_hits;
+    }
+    return s;
+  }
+
+  // ---------------------------------------------------------------------
+  // Step 2: composition by substitution
+  // ---------------------------------------------------------------------
+
+  // A KV read accumulated along a composed path, remembering which element
+  // instance performed it and at what packet length that element was
+  // summarized (the history constraint must use the same summary).
+  struct PathKvRead {
+    size_t elem = 0;
+    size_t len = 0;
+    symbex::KvReadRecord rec;
+  };
+
+  struct ComposeState {
+    std::vector<ExprRef> bytes;
+    std::array<ExprRef, net::kMetaSlots> meta;
+    ExprRef constraint = bv::mk_bool(true);
+    uint64_t count = 0;
+    bool count_is_bound = false;
+    std::vector<PathKvRead> kv_reads;  // renamed per instantiation
+    std::vector<size_t> elem_trace;    // pipeline element indices
+  };
+
+  struct Instantiated {
+    ExprRef constraint;  // composed (entry-rooted) constraint
+    std::vector<ExprRef> out_bytes;
+    std::array<ExprRef, net::kMetaSlots> out_meta;
+    std::vector<symbex::KvReadRecord> kv_reads;
+  };
+
+  // Variables of a segment that are not the element's declared inputs:
+  // KV-read symbols, havoc symbols, table-model symbols. They must be
+  // renamed per pipeline instantiation (two instances of the same element
+  // type have distinct private state).
+  const std::vector<ExprRef>& aux_vars(const ElementSummary& sum,
+                                       const Segment& g) {
+    auto it = aux_cache_.find(&g);
+    if (it != aux_cache_.end()) return it->second;
+    std::unordered_set<uint64_t> inputs;
+    for (const ExprRef& v : sum.entry.input_byte_vars()) {
+      inputs.insert(v->var_id());
+    }
+    for (const ExprRef& v : sum.entry.input_meta_vars()) {
+      inputs.insert(v->var_id());
+    }
+    std::unordered_set<uint64_t> seen;
+    std::vector<ExprRef> aux;
+    const auto scan = [&](const ExprRef& e) {
+      if (!e) return;
+      for (const ExprRef& v : bv::free_variables(e)) {
+        if (inputs.count(v->var_id()) == 0 && seen.insert(v->var_id()).second) {
+          aux.push_back(v);
+        }
+      }
+    };
+    scan(g.constraint);
+    for (const ExprRef& b : g.exit_packet.bytes()) scan(b);
+    for (const ExprRef& m : g.exit_packet.meta()) scan(m);
+    for (const auto& r : g.kv_reads) {
+      scan(r.key);
+      scan(r.value);
+    }
+    return aux_cache_.emplace(&g, std::move(aux)).first->second;
+  }
+
+  // Rebases segment `g` of `sum` onto the given element-input expressions.
+  // Returns nullopt when the stitched constraint folds to false.
+  std::optional<Instantiated> instantiate(const ElementSummary& sum,
+                                          const Segment& g,
+                                          const ComposeState& st,
+                                          bool need_outputs) {
+    bv::Substitution sub;
+    const auto& in_vars = sum.entry.input_byte_vars();
+    for (size_t i = 0; i < in_vars.size() && i < st.bytes.size(); ++i) {
+      sub.emplace(in_vars[i]->var_id(), st.bytes[i]);
+    }
+    const auto& meta_vars = sum.entry.input_meta_vars();
+    for (size_t i = 0; i < meta_vars.size(); ++i) {
+      sub.emplace(meta_vars[i]->var_id(), st.meta[i]);
+    }
+    for (const ExprRef& a : aux_vars(sum, g)) {
+      sub.emplace(a->var_id(), bv::mk_var(a->name(), a->width()));
+    }
+    Instantiated out;
+    const ExprRef c = bv::substitute(g.constraint, sub);
+    out.constraint = bv::mk_land(st.constraint, c);
+    if (out.constraint->is_false()) return std::nullopt;
+    for (const auto& r : g.kv_reads) {
+      out.kv_reads.push_back(symbex::KvReadRecord{
+          r.table, bv::substitute(r.key, sub), bv::substitute(r.value, sub)});
+    }
+    if (need_outputs) {
+      out.out_bytes.reserve(g.exit_packet.size());
+      for (const ExprRef& b : g.exit_packet.bytes()) {
+        out.out_bytes.push_back(bv::substitute(b, sub));
+      }
+      for (size_t i = 0; i < net::kMetaSlots; ++i) {
+        out.out_meta[i] = g.exit_packet.meta(i)
+                              ? bv::substitute(g.exit_packet.meta(i), sub)
+                              : bv::mk_const(0, 32);
+      }
+    }
+    return out;
+  }
+
+  // Generic DAG walk. on_terminal(state, element_index, segment) is invoked
+  // for every composed terminal (Drop, Trap, or Emit leaving the pipeline).
+  // `should_visit` prunes subtrees (e.g. elements that cannot reach a
+  // suspect). Returns false if the path budget was exhausted.
+  template <typename TerminalFn, typename VisitFn>
+  bool walk(const pipeline::Pipeline& pl, size_t elem, ComposeState st,
+            const TerminalFn& on_terminal, const VisitFn& should_visit,
+            Precision precision) {
+    if (!should_visit(elem)) return true;
+    const ElementSummary& sum = summary_for(pl.element(elem).program(),
+                                            st.bytes.size(), precision);
+    if (sum.truncated) {
+      truncated_ = true;
+      return false;
+    }
+    for (const Segment& g : sum.segments) {
+      if (budget_exhausted_) return false;
+      const bool is_emit = g.action == SegAction::Emit;
+      const std::optional<size_t> down =
+          is_emit ? pl.downstream(elem, g.port) : std::nullopt;
+      auto inst = instantiate(sum, g, st, is_emit && down.has_value());
+      if (!inst) {
+        // The stitched constraint folded to false. For a suspect (trap)
+        // segment this IS the Step-2 elimination — the paper's p1 case,
+        // where (in < 0) ∧ (0 < 0) collapses syntactically.
+        if (g.action == SegAction::Trap) ++stats.suspects_eliminated;
+        continue;
+      }
+      ComposeState next;
+      next.constraint = inst->constraint;
+      next.count = st.count + g.instr_count;
+      next.count_is_bound = st.count_is_bound || g.count_is_bound;
+      next.kv_reads = st.kv_reads;
+      for (const auto& r : inst->kv_reads) {
+        next.kv_reads.push_back(PathKvRead{elem, st.bytes.size(), r});
+      }
+      next.elem_trace = st.elem_trace;
+      next.elem_trace.push_back(elem);
+      if (is_emit && down.has_value()) {
+        next.bytes = std::move(inst->out_bytes);
+        next.meta = inst->out_meta;
+        if (!walk(pl, *down, std::move(next), on_terminal, should_visit,
+                  precision)) {
+          return false;
+        }
+        continue;
+      }
+      ++stats.composed_paths_checked;
+      if (stats.composed_paths_checked > cfg.max_composed_paths) {
+        budget_exhausted_ = true;
+        return false;
+      }
+      on_terminal(next, elem, g);
+    }
+    return true;
+  }
+
+  // ---------------------------------------------------------------------
+  // Stateful refinement: the bad-value analysis for private state
+  // ---------------------------------------------------------------------
+
+  // History constraint for one renamed KV read: the value is the table's
+  // default (0) or a value some feasible execution of this element could
+  // have written (writer inputs fully fresh — an arbitrary earlier packet).
+  ExprRef kv_history_constraint(const pipeline::Pipeline& pl,
+                                const PathKvRead& pr) {
+    const symbex::KvReadRecord& read = pr.rec;
+    const ElementSummary& sum =
+        summary_for(pl.element(pr.elem).program(), pr.len,
+                    Precision::AcceptBounds);
+    ExprRef any = bv::mk_eq(read.value,
+                            bv::mk_const(0, read.value->width()));
+    for (const Segment& g : sum.segments) {
+      for (const auto& wr : g.kv_writes) {
+        if (wr.table != read.table) continue;
+        // Fresh-rename the writer's entire variable set.
+        bv::Substitution sub;
+        std::unordered_set<uint64_t> seen;
+        const auto rename_all = [&](const ExprRef& e) {
+          for (const ExprRef& v : bv::free_variables(e)) {
+            if (seen.insert(v->var_id()).second) {
+              sub.emplace(v->var_id(), bv::mk_var("wrt." + v->name(),
+                                                  v->width()));
+            }
+          }
+        };
+        rename_all(g.constraint);
+        rename_all(wr.value);
+        const ExprRef writer_feasible = bv::substitute(g.constraint, sub);
+        const ExprRef written = bv::substitute(wr.value, sub);
+        any = bv::mk_lor(
+            any, bv::mk_land(writer_feasible,
+                             bv::mk_eq(read.value, written)));
+      }
+    }
+    return any;
+  }
+
+  // Decides a suspect's stitched constraint, applying the KV history
+  // refinement when private-state reads are involved. On Sat, fills the
+  // model and state note.
+  solver::Result decide_suspect(const pipeline::Pipeline& pl,
+                                const ComposeState& st,
+                                bv::Assignment* model_out,
+                                std::string* state_note) {
+    ++stats.solver_queries;
+    solver::CheckResult r = solver.check(st.constraint);
+    if (r.result != solver::Result::Sat || st.kv_reads.empty()) {
+      if (r.result == solver::Result::Sat && model_out != nullptr) {
+        *model_out = std::move(r.model);
+      }
+      return r.result;
+    }
+    // The violation may hinge on values read from private state; ask
+    // whether the required values are reachable through any write history.
+    ExprRef refined = st.constraint;
+    for (const PathKvRead& pr : st.kv_reads) {
+      refined = bv::mk_land(refined, kv_history_constraint(pl, pr));
+    }
+    ++stats.solver_queries;
+    solver::CheckResult r2 = solver.check(refined);
+    if (r2.result == solver::Result::Sat) {
+      if (model_out != nullptr) *model_out = std::move(r2.model);
+      if (state_note != nullptr) {
+        *state_note =
+            "requires private state reachable via a prior packet sequence "
+            "(KV bad-value analysis: a feasible write history produces the "
+            "required value)";
+      }
+    }
+    return r2.result;
+  }
+
+  // ---------------------------------------------------------------------
+  // Helpers shared by the public property drivers
+  // ---------------------------------------------------------------------
+
+  // Elements from which any suspect-bearing element is reachable.
+  std::vector<bool> reachability_filter(
+      const pipeline::Pipeline& pl, const std::vector<bool>& is_target) {
+    const size_t n = pl.size();
+    std::vector<bool> can_reach(is_target);
+    // Fixed-point over the DAG (small graphs; no need for topo order).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t e = 0; e < n; ++e) {
+        if (can_reach[e]) continue;
+        for (uint32_t p = 0; p < pl.element(e).num_output_ports(); ++p) {
+          const auto d = pl.downstream(e, p);
+          if (d && can_reach[*d]) {
+            can_reach[e] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return can_reach;
+  }
+
+  Counterexample make_counterexample(const pipeline::Pipeline& pl,
+                                     const SymPacket& entry,
+                                     const ComposeState& st,
+                                     const bv::Assignment& model,
+                                     ir::TrapKind trap,
+                                     std::string note) {
+    Counterexample ce;
+    ce.packet = entry.to_concrete(model);
+    for (const size_t e : st.elem_trace) {
+      ce.element_path.push_back(pl.element(e).name());
+    }
+    ce.trap = trap;
+    ce.state_note = std::move(note);
+    return ce;
+  }
+
+  void begin_call() {
+    stats = {};
+    truncated_ = false;
+    budget_exhausted_ = false;
+    solver.reset_stats();
+  }
+
+  void snapshot_solver_stats() {
+    stats.solver_queries += solver.stats().queries;
+  }
+
+  std::unordered_map<const Segment*, std::vector<ExprRef>> aux_cache_;
+  bool truncated_ = false;
+  bool budget_exhausted_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+DecomposedVerifier::DecomposedVerifier(DecomposedConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+DecomposedVerifier::~DecomposedVerifier() = default;
+
+symbex::SummaryCache& DecomposedVerifier::cache() {
+  return impl_->cache_summarize;
+}
+solver::Solver& DecomposedVerifier::solver() { return impl_->solver; }
+const DecomposedConfig& DecomposedVerifier::config() const {
+  return impl_->cfg;
+}
+
+CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
+    const pipeline::Pipeline& pl) {
+  Impl& im = *impl_;
+  Timer timer;
+  im.begin_call();
+  CrashFreedomReport report;
+
+  // Step 1: summarize every element; find suspects (feasible trap segments
+  // under unconstrained element input).
+  std::vector<bool> has_suspect(pl.size(), false);
+  bool any_truncated = false;
+  for (size_t e = 0; e < pl.size(); ++e) {
+    const ElementSummary& sum =
+        im.summary_for(pl.element(e).program(), im.cfg.packet_len,
+                       Impl::Precision::AcceptBounds);
+    if (sum.truncated) any_truncated = true;
+    for (const Segment& g : sum.segments) {
+      if (g.action != SegAction::Trap) continue;
+      ++im.stats.suspects_found;
+      if (!g.constraint->is_false()) has_suspect[e] = true;
+    }
+  }
+  if (any_truncated) {
+    report.verdict = Verdict::Unknown;
+    report.stats = im.stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+  const bool none = std::none_of(has_suspect.begin(), has_suspect.end(),
+                                 [](bool b) { return b; });
+  if (none) {
+    // No element can trap for any input: the pipeline provably never
+    // crashes, no composition needed.
+    report.verdict = Verdict::Proven;
+    report.stats = im.stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  // Step 2: compose paths that can reach a suspect element and decide each
+  // suspect trap with the full stitched constraint.
+  const std::vector<bool> filter = im.reachability_filter(pl, has_suspect);
+  const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  Impl::ComposeState root;
+  root.bytes = entry.bytes();
+  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+
+  bool violated = false;
+  const bool complete = im.walk(
+      pl, 0, std::move(root),
+      [&](const Impl::ComposeState& st, size_t /*elem*/, const Segment& g) {
+        if (g.action != SegAction::Trap) return;
+        bv::Assignment model;
+        std::string note;
+        const solver::Result r = im.decide_suspect(pl, st, &model, &note);
+        if (r == solver::Result::Unsat) {
+          ++im.stats.suspects_eliminated;
+          return;
+        }
+        if (r == solver::Result::Unknown) {
+          im.truncated_ = true;
+          return;
+        }
+        violated = true;
+        report.counterexamples.push_back(im.make_counterexample(
+            pl, entry, st, model, g.trap, std::move(note)));
+      },
+      [&](size_t e) { return filter[e]; },
+      Impl::Precision::AcceptBounds);
+
+  if (violated) {
+    report.verdict = Verdict::Violated;
+  } else if (!complete || im.truncated_) {
+    report.verdict = Verdict::Unknown;
+  } else {
+    report.verdict = Verdict::Proven;
+  }
+  report.stats = im.stats;
+  report.seconds = timer.seconds();
+  return report;
+}
+
+InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
+    const pipeline::Pipeline& pl) {
+  Impl& im = *impl_;
+  Timer timer;
+  im.begin_call();
+  InstructionBoundReport report;
+
+  const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  Impl::ComposeState root;
+  root.bytes = entry.bytes();
+  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+
+  uint64_t best = 0;
+  bool best_is_bound = false;
+  bv::Assignment best_model;
+  bool saw_unknown = false;
+
+  const bool complete = im.walk(
+      pl, 0, std::move(root),
+      [&](const Impl::ComposeState& st, size_t /*elem*/, const Segment& g) {
+        // st already includes the terminal segment's count (walk adds it
+        // before invoking the callback).
+        (void)g;
+        const uint64_t total = st.count;
+        if (total <= best) return;  // cannot improve the max
+        ++im.stats.solver_queries;
+        const solver::CheckResult r = im.solver.check(st.constraint);
+        if (r.result == solver::Result::Unsat) return;
+        if (r.result == solver::Result::Unknown) {
+          saw_unknown = true;
+          return;
+        }
+        best = total;
+        best_is_bound = st.count_is_bound || g.count_is_bound;
+        best_model = r.model;
+      },
+      [](size_t) { return true; },
+      Impl::Precision::AcceptBounds);
+
+  report.max_instructions = best;
+  report.bound_is_exact = !best_is_bound;
+  if (!complete || im.truncated_ || saw_unknown) {
+    report.verdict = Verdict::Unknown;
+  } else {
+    report.verdict = Verdict::Proven;
+    net::Packet witness = entry.to_concrete(best_model);
+    // Replay the witness concretely (scratch private state, the live
+    // pipeline is untouched) to report the achieved count: equals the bound
+    // when exact, a measured value under the bound otherwise.
+    report.witness_instructions = replay_instruction_count(pl, witness);
+    report.witness = std::move(witness);
+  }
+  report.stats = im.stats;
+  report.seconds = timer.seconds();
+  return report;
+}
+
+ComposedPaths DecomposedVerifier::enumerate_paths(
+    const pipeline::Pipeline& pl) {
+  Impl& im = *impl_;
+  im.begin_call();
+  ComposedPaths out;
+  out.entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  Impl::ComposeState root;
+  root.bytes = out.entry.bytes();
+  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = out.entry.meta(i);
+
+  const bool complete = im.walk(
+      pl, 0, std::move(root),
+      [&](const Impl::ComposeState& st, size_t /*elem*/, const Segment& g) {
+        ComposedPath cp;
+        cp.constraint = st.constraint;
+        for (const size_t e : st.elem_trace) {
+          cp.element_path.push_back(pl.element(e).name());
+        }
+        cp.action = g.action;
+        cp.port = g.port;
+        cp.trap = g.trap;
+        cp.instr_count = st.count;
+        cp.count_is_bound = st.count_is_bound;
+        out.paths.push_back(std::move(cp));
+      },
+      [](size_t) { return true; }, Impl::Precision::ExactAll);
+  out.complete = complete && !im.truncated_;
+  return out;
+}
+
+ReachabilityReport DecomposedVerifier::verify_never_dropped(
+    const pipeline::Pipeline& pl, const InputPredicate& predicate) {
+  Impl& im = *impl_;
+  Timer timer;
+  im.begin_call();
+  ReachabilityReport report;
+
+  const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  Impl::ComposeState root;
+  root.bytes = entry.bytes();
+  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+  root.constraint = predicate(entry);
+  if (root.constraint->is_false()) {
+    report.verdict = Verdict::Proven;  // vacuous: no packet matches
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  bool violated = false;
+  const bool complete = im.walk(
+      pl, 0, std::move(root),
+      [&](const Impl::ComposeState& st, size_t /*elem*/, const Segment& g) {
+        // Both explicit drops and traps lose the packet.
+        if (g.action == SegAction::Emit) return;
+        ++im.stats.suspects_found;
+        bv::Assignment model;
+        std::string note;
+        const solver::Result r = im.decide_suspect(pl, st, &model, &note);
+        if (r == solver::Result::Unsat) {
+          ++im.stats.suspects_eliminated;
+          return;
+        }
+        if (r == solver::Result::Unknown) {
+          im.truncated_ = true;
+          return;
+        }
+        violated = true;
+        report.counterexamples.push_back(im.make_counterexample(
+            pl, entry, st, model,
+            g.action == SegAction::Trap ? g.trap : ir::TrapKind::Unreachable,
+            std::move(note)));
+      },
+      [](size_t) { return true; },
+      Impl::Precision::ExactDropsTraps);
+
+  if (violated) {
+    report.verdict = Verdict::Violated;
+  } else if (!complete || im.truncated_) {
+    report.verdict = Verdict::Unknown;
+  } else {
+    report.verdict = Verdict::Proven;
+  }
+  report.stats = im.stats;
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace vsd::verify

@@ -1,0 +1,104 @@
+// The decomposed pipeline verifier — the paper's contribution.
+//
+// Step 1: symbolically execute each element in isolation (once per element
+// type+config, via the summary cache) and conservatively tag suspect
+// segments for the target property.
+//
+// Step 2: for every pipeline path that can reach a suspect segment, stitch
+// the path constraint by substituting each element's symbolic output into
+// the next element's constraint, and decide feasibility — without ever
+// executing the composed code. Composition work is O(k · 2^n) rather than
+// the monolithic O(2^(k·n)).
+//
+// For suspects that depend on private state (fresh KV-read symbols), a
+// third refinement asks the paper's stateful question: could any input
+// packet have caused the required "bad value" to be written? The read is
+// constrained to (default ∨ some feasible write's value) and re-decided.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bv/expr.hpp"
+#include "pipeline/pipeline.hpp"
+#include "solver/solver.hpp"
+#include "symbex/executor.hpp"
+#include "symbex/summary.hpp"
+#include "verify/report.hpp"
+
+namespace vsd::verify {
+
+struct DecomposedConfig {
+  // Packet length for the symbolic input ("in is a symbolic bit vector").
+  size_t packet_len = 64;
+  symbex::LoopMode loop_mode = symbex::LoopMode::Summarize;
+  // When a summarized loop yields suspects, re-verify that element with
+  // unrolling before concluding (precision fallback).
+  bool unroll_fallback = true;
+  // Budget for Step 2 path stitching.
+  uint64_t max_composed_paths = 1u << 20;
+  // Conflict budget per SAT query.
+  uint64_t max_solver_conflicts = 1u << 22;
+};
+
+// A predicate over the pipeline's symbolic input packet, used by
+// reachability properties ("any packet with destination X ...").
+using InputPredicate =
+    std::function<bv::ExprRef(const symbex::SymPacket& entry)>;
+
+// One fully stitched end-to-end path through the pipeline: the composed
+// constraint over the entry packet, the elements traversed, and the final
+// disposition. This is the verifier's working material (Step 2) exposed as
+// an API — useful for tooling, coverage analysis, and differential testing
+// against concrete execution.
+struct ComposedPath {
+  bv::ExprRef constraint;  // over the entry packet's byte/meta variables
+  std::vector<std::string> element_path;
+  symbex::SegAction action = symbex::SegAction::Drop;
+  uint32_t port = 0;                              // Emit leaving the pipeline
+  ir::TrapKind trap = ir::TrapKind::Unreachable;  // Trap
+  uint64_t instr_count = 0;
+  bool count_is_bound = false;
+};
+
+struct ComposedPaths {
+  // The symbolic entry packet the constraints are expressed over.
+  symbex::SymPacket entry;
+  std::vector<ComposedPath> paths;
+  bool complete = true;  // false if a budget truncated enumeration
+};
+
+class DecomposedVerifier {
+ public:
+  explicit DecomposedVerifier(DecomposedConfig config = {});
+  ~DecomposedVerifier();
+
+  // Property 1 (§1): no input packet can make the pipeline stop executing.
+  CrashFreedomReport verify_crash_freedom(const pipeline::Pipeline& pl);
+
+  // Property 2: a bound on instructions executed per packet, with the
+  // input packet that attains the most expensive feasible path.
+  InstructionBoundReport verify_instruction_bound(const pipeline::Pipeline& pl);
+
+  // Property 3: no packet satisfying `predicate` is ever dropped.
+  ReachabilityReport verify_never_dropped(const pipeline::Pipeline& pl,
+                                          const InputPredicate& predicate);
+
+  // Enumerates every composed end-to-end path (Step 2's stitched view of
+  // the pipeline) without deciding any property. Exact loop handling
+  // (unroll fallback) is used so constraints partition the input space.
+  ComposedPaths enumerate_paths(const pipeline::Pipeline& pl);
+
+  // Summaries survive across calls — verifying many pipelines built from
+  // the same element library reuses Step 1 work (the app-market use case).
+  symbex::SummaryCache& cache();
+  solver::Solver& solver();
+
+  const DecomposedConfig& config() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vsd::verify

@@ -1,0 +1,193 @@
+#include "verify/monolithic.hpp"
+
+#include <chrono>
+
+#include "bv/analysis.hpp"
+
+namespace vsd::verify {
+
+using bv::ExprRef;
+using symbex::SegAction;
+using symbex::Segment;
+using symbex::SymPacket;
+
+class MonolithicVerifier::Impl {
+ public:
+  explicit Impl(MonolithicConfig config) : cfg(config) {
+    solver.set_max_conflicts(cfg.max_solver_conflicts);
+  }
+
+  MonolithicConfig cfg;
+  solver::Solver solver;
+  MonolithicStats mstats;
+  std::chrono::steady_clock::time_point deadline;
+  bool out_of_time = false;
+
+  void begin() {
+    mstats = {};
+    out_of_time = false;
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(cfg.time_budget_seconds));
+  }
+
+  bool expired() {
+    if (out_of_time) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      out_of_time = true;
+      mstats.budget_exhausted = true;
+    }
+    return out_of_time;
+  }
+
+  symbex::Executor make_executor() {
+    symbex::ExecOptions eo;
+    eo.loop_mode = symbex::LoopMode::Unroll;  // no decomposition, ever
+    eo.fork_check = cfg.solver_at_forks ? symbex::ForkCheck::Solver
+                                        : symbex::ForkCheck::FoldOnly;
+    eo.solver = &solver;
+    eo.max_instructions = cfg.max_instructions;
+    // A single whole-element exploration must not outlive the verifier's
+    // wall-clock budget: hand it the remaining time.
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    eo.time_budget_seconds = std::max(remaining, 0.001);
+    return symbex::Executor(eo);
+  }
+
+  // Explores the pipeline as one program: element `elem` is symbolically
+  // executed under the accumulated path constraint, and every Emit segment
+  // recursively continues into its downstream element. No summaries are
+  // reused — exactly the 2^(k·n) regime. Returns false on budget
+  // exhaustion.
+  template <typename TerminalFn>
+  bool explore_chain(const pipeline::Pipeline& pl, size_t elem,
+                     const SymPacket& pkt, std::vector<ExprRef> conjuncts,
+                     uint64_t count, const TerminalFn& on_terminal) {
+    if (expired()) return false;
+    symbex::Executor exec = make_executor();
+    symbex::ExploreResult r = exec.explore(pl.element(elem).program(), pkt,
+                                           conjuncts);
+    mstats.instructions_interpreted += r.stats.instructions_interpreted;
+    mstats.forks += r.stats.forks;
+    mstats.solver_queries += r.stats.solver_queries;
+    if (r.truncated) {
+      mstats.budget_exhausted = true;
+      return false;
+    }
+    for (Segment& g : r.segments) {
+      if (expired()) return false;
+      if (g.action == SegAction::Emit) {
+        const auto down = pl.downstream(elem, g.port);
+        if (down) {
+          if (!explore_chain(pl, *down, g.exit_packet,
+                             std::move(g.conjuncts), count + g.instr_count,
+                             on_terminal)) {
+            return false;
+          }
+          continue;
+        }
+      }
+      ++mstats.paths_explored;
+      if (mstats.paths_explored > cfg.max_paths) {
+        mstats.budget_exhausted = true;
+        return false;
+      }
+      on_terminal(elem, g, count + g.instr_count);
+    }
+    return true;
+  }
+};
+
+MonolithicVerifier::MonolithicVerifier(MonolithicConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+MonolithicVerifier::~MonolithicVerifier() = default;
+
+const MonolithicStats& MonolithicVerifier::last_stats() const {
+  return impl_->mstats;
+}
+
+CrashFreedomReport MonolithicVerifier::verify_crash_freedom(
+    const pipeline::Pipeline& pl) {
+  Impl& im = *impl_;
+  im.begin();
+  const auto t0 = std::chrono::steady_clock::now();
+  CrashFreedomReport report;
+
+  const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  bool violated = false;
+  const bool complete = im.explore_chain(
+      pl, 0, entry, {}, 0,
+      [&](size_t /*elem*/, const Segment& g, uint64_t /*count*/) {
+        if (g.action != SegAction::Trap) return;
+        const solver::CheckResult r = im.solver.check(g.constraint);
+        ++im.mstats.solver_queries;
+        if (r.result != solver::Result::Sat) return;
+        violated = true;
+        Counterexample ce;
+        ce.packet = entry.to_concrete(r.model);
+        ce.trap = g.trap;
+        report.counterexamples.push_back(std::move(ce));
+      });
+
+  if (violated) {
+    report.verdict = Verdict::Violated;
+  } else if (!complete || im.mstats.budget_exhausted) {
+    report.verdict = Verdict::Unknown;  // "did not complete"
+  } else {
+    report.verdict = Verdict::Proven;
+  }
+  report.stats.solver_queries = im.mstats.solver_queries;
+  report.stats.instructions_interpreted = im.mstats.instructions_interpreted;
+  report.stats.forks = im.mstats.forks;
+  report.stats.composed_paths_checked = im.mstats.paths_explored;
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+InstructionBoundReport MonolithicVerifier::verify_instruction_bound(
+    const pipeline::Pipeline& pl) {
+  Impl& im = *impl_;
+  im.begin();
+  const auto t0 = std::chrono::steady_clock::now();
+  InstructionBoundReport report;
+
+  const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
+  uint64_t best = 0;
+  bv::Assignment best_model;
+  const bool complete = im.explore_chain(
+      pl, 0, entry, {}, 0,
+      [&](size_t /*elem*/, const Segment& g, uint64_t total) {
+        if (total <= best) return;
+        const solver::CheckResult r = im.solver.check(g.constraint);
+        ++im.mstats.solver_queries;
+        if (r.result != solver::Result::Sat) return;
+        best = total;
+        best_model = r.model;
+      });
+
+  report.max_instructions = best;
+  report.bound_is_exact = true;  // unrolled: every count is exact
+  if (!complete || im.mstats.budget_exhausted) {
+    report.verdict = Verdict::Unknown;
+  } else {
+    report.verdict = Verdict::Proven;
+    report.witness = entry.to_concrete(best_model);
+    report.witness_instructions = best;
+  }
+  report.stats.solver_queries = im.mstats.solver_queries;
+  report.stats.instructions_interpreted = im.mstats.instructions_interpreted;
+  report.stats.forks = im.mstats.forks;
+  report.stats.composed_paths_checked = im.mstats.paths_explored;
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace vsd::verify

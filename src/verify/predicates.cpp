@@ -1,0 +1,60 @@
+#include "verify/predicates.hpp"
+
+namespace vsd::verify {
+
+using bv::ExprRef;
+
+namespace {
+
+ExprRef load_be(const symbex::SymPacket& p, size_t off, unsigned bytes) {
+  return p.load(off, bytes).value;
+}
+
+}  // namespace
+
+bv::ExprRef wellformed_ipv4(const symbex::SymPacket& p, size_t eth_offset) {
+  const size_t ip = eth_offset + net::kEtherHeaderSize;
+  if (p.size() < ip + net::kIpv4MinHeaderSize) return bv::mk_bool(false);
+  ExprRef c = bv::mk_bool(true);
+  c = bv::mk_land(c, bv::mk_eq(load_be(p, eth_offset + 12, 2),
+                               bv::mk_const(net::kEtherTypeIpv4, 16)));
+  const ExprRef ver_ihl = load_be(p, ip + 0, 1);
+  c = bv::mk_land(c, bv::mk_eq(ver_ihl, bv::mk_const(0x45, 8)));  // v4, ihl 5
+  const ExprRef totlen = load_be(p, ip + 2, 2);
+  c = bv::mk_land(c, bv::mk_uge(totlen, bv::mk_const(20, 16)));
+  // total_len must not exceed the bytes actually present after the MAC hdr.
+  const uint64_t avail = p.size() - ip;
+  c = bv::mk_land(
+      c, bv::mk_ule(totlen, bv::mk_const(std::min<uint64_t>(avail, 0xffff), 16)));
+  // Not a fragment (fragments may legitimately bypass L4 processing).
+  const ExprRef frag = load_be(p, ip + 6, 2);
+  c = bv::mk_land(c, bv::mk_eq(bv::mk_and(frag, bv::mk_const(0x3fff, 16)),
+                               bv::mk_const(0, 16)));
+  const ExprRef ttl = load_be(p, ip + 8, 1);
+  c = bv::mk_land(c, bv::mk_ugt(ttl, bv::mk_const(1, 8)));
+  return c;
+}
+
+bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
+                                        size_t eth_offset) {
+  ExprRef c = wellformed_ipv4(p, eth_offset);
+  if (c->is_false()) return c;
+  const size_t ip = eth_offset + net::kEtherHeaderSize;
+  ExprRef sum = bv::mk_const(0, 32);
+  for (size_t w = 0; w < 10; ++w) {  // ihl == 5 per wellformed_ipv4
+    sum = bv::mk_add(sum, bv::mk_zext(load_be(p, ip + 2 * w, 2), 32));
+  }
+  for (int fold = 0; fold < 3; ++fold) {
+    sum = bv::mk_add(bv::mk_and(sum, bv::mk_const(0xffff, 32)),
+                     bv::mk_lshr(sum, bv::mk_const(16, 32)));
+  }
+  return bv::mk_land(c, bv::mk_eq(sum, bv::mk_const(0xffff, 32)));
+}
+
+bv::ExprRef dst_ip_is(const symbex::SymPacket& p, uint32_t addr,
+                      size_t ip_offset) {
+  if (p.size() < ip_offset + 20) return bv::mk_bool(false);
+  return bv::mk_eq(load_be(p, ip_offset + 16, 4), bv::mk_const(addr, 32));
+}
+
+}  // namespace vsd::verify

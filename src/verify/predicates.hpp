@@ -1,0 +1,35 @@
+// Ready-made input predicates for reachability properties, e.g. the
+// paper's "any packet with destination IP address X will never be dropped
+// unless it is malformed" (§1).
+#pragma once
+
+#include <cstdint>
+
+#include "bv/expr.hpp"
+#include "net/headers.hpp"
+#include "symbex/sym_packet.hpp"
+
+namespace vsd::verify {
+
+// True when the packet is a structurally well-formed Ethernet+IPv4 frame:
+// EtherType 0x0800, version 4, 5 <= ihl, header fits, total_len consistent,
+// TTL > 1, and no IP options (ihl == 5) so the fast path applies. The IP
+// header starts at `eth_offset + 14`.
+bv::ExprRef wellformed_ipv4(const symbex::SymPacket& p,
+                            size_t eth_offset = 0);
+
+// As above plus valid header checksum (one's-complement sum over the
+// 20-byte header equals 0xffff).
+bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
+                                        size_t eth_offset = 0);
+
+// Destination address equality, IP header at `ip_offset`.
+bv::ExprRef dst_ip_is(const symbex::SymPacket& p, uint32_t addr,
+                      size_t ip_offset);
+
+// Conjunction helper.
+inline bv::ExprRef both(const bv::ExprRef& a, const bv::ExprRef& b) {
+  return bv::mk_land(a, b);
+}
+
+}  // namespace vsd::verify

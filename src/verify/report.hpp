@@ -1,0 +1,74 @@
+// Verification verdicts and reports.
+//
+// Every proof attempt ends in one of three ways, mirroring §1: the property
+// is Proven for all packet sequences; it is Violated and we hold a concrete
+// counterexample packet (plus, for stateful violations, a note that a
+// packet *sequence* is needed to build the private state); or the result is
+// Unknown because an exploration budget was exhausted (the honest outcome
+// the monolithic baseline hits on long pipelines).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::verify {
+
+enum class Verdict : uint8_t { Proven, Violated, Unknown };
+
+const char* verdict_name(Verdict v);
+
+struct Counterexample {
+  net::Packet packet;  // concrete input that triggers the violation
+  std::vector<std::string> element_path;  // element names traversed
+  ir::TrapKind trap = ir::TrapKind::Unreachable;
+  // Non-empty when the violation additionally depends on private state
+  // reachable only through a prior packet sequence (KV bad-value analysis).
+  std::string state_note;
+};
+
+struct VerifyStats {
+  size_t elements_summarized = 0;
+  size_t summary_cache_hits = 0;
+  uint64_t segments_total = 0;
+  uint64_t suspects_found = 0;         // Step 1 conservative tags
+  uint64_t suspects_eliminated = 0;    // killed by Step 2 composition
+  uint64_t composed_paths_checked = 0; // stitched paths examined in Step 2
+  uint64_t solver_queries = 0;
+  uint64_t instructions_interpreted = 0;
+  uint64_t forks = 0;
+};
+
+struct CrashFreedomReport {
+  Verdict verdict = Verdict::Unknown;
+  std::vector<Counterexample> counterexamples;
+  VerifyStats stats;
+  double seconds = 0.0;
+};
+
+struct InstructionBoundReport {
+  Verdict verdict = Verdict::Unknown;  // Proven: bound holds for all inputs
+  uint64_t max_instructions = 0;
+  // True when every composed path had an exact count (no summarized loop
+  // contributed an upper bound instead of an exact value).
+  bool bound_is_exact = true;
+  // A packet driving execution down the most expensive feasible path, plus
+  // the instruction count it concretely achieves.
+  std::optional<net::Packet> witness;
+  uint64_t witness_instructions = 0;
+  VerifyStats stats;
+  double seconds = 0.0;
+};
+
+struct ReachabilityReport {
+  Verdict verdict = Verdict::Unknown;  // Proven: no matching packet dropped
+  std::vector<Counterexample> counterexamples;
+  VerifyStats stats;
+  double seconds = 0.0;
+};
+
+}  // namespace vsd::verify

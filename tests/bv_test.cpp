@@ -1,0 +1,387 @@
+// Unit tests for the bit-vector expression layer: construction, folding,
+// substitution, evaluation, intervals, printing.
+#include <gtest/gtest.h>
+
+#include "bv/analysis.hpp"
+#include "bv/expr.hpp"
+#include "bv/printer.hpp"
+
+namespace vsd::bv {
+namespace {
+
+TEST(BvConst, TruncatesToWidth) {
+  EXPECT_EQ(mk_const(0x1ff, 8)->value(), 0xffu);
+  EXPECT_EQ(mk_const(0x100, 8)->value(), 0u);
+  EXPECT_EQ(mk_const(~uint64_t{0}, 64)->value(), ~uint64_t{0});
+}
+
+TEST(BvConst, Interning) {
+  EXPECT_EQ(mk_const(42, 16).get(), mk_const(42, 16).get());
+  EXPECT_NE(mk_const(42, 16).get(), mk_const(42, 32).get());
+}
+
+TEST(BvVar, FreshVariablesAreDistinct) {
+  const ExprRef a = mk_var("x", 8);
+  const ExprRef b = mk_var("x", 8);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a->var_id(), b->var_id());
+}
+
+TEST(BvFold, AddIdentities) {
+  const ExprRef x = mk_var("x", 32);
+  EXPECT_EQ(mk_add(x, mk_const(0, 32)).get(), x.get());
+  EXPECT_EQ(mk_add(mk_const(0, 32), x).get(), x.get());
+  EXPECT_EQ(mk_add(mk_const(3, 32), mk_const(4, 32))->value(), 7u);
+}
+
+TEST(BvFold, AddConstantChainsCollapse) {
+  const ExprRef x = mk_var("x", 32);
+  const ExprRef e = mk_add(mk_add(x, mk_const(5, 32)), mk_const(7, 32));
+  ASSERT_EQ(e->kind(), Kind::Add);
+  EXPECT_EQ(e->operand(1)->value(), 12u);
+}
+
+TEST(BvFold, SubSelfIsZero) {
+  const ExprRef x = mk_var("x", 16);
+  EXPECT_TRUE(mk_sub(x, x)->is_const_value(0));
+}
+
+TEST(BvFold, MulIdentities) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_EQ(mk_mul(x, mk_const(1, 8)).get(), x.get());
+  EXPECT_TRUE(mk_mul(x, mk_const(0, 8))->is_const_value(0));
+}
+
+TEST(BvFold, AndOrIdentities) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_TRUE(mk_and(x, mk_const(0, 8))->is_const_value(0));
+  EXPECT_EQ(mk_and(x, mk_const(0xff, 8)).get(), x.get());
+  EXPECT_EQ(mk_or(x, mk_const(0, 8)).get(), x.get());
+  EXPECT_TRUE(mk_or(x, mk_const(0xff, 8))->is_const_value(0xff));
+  EXPECT_EQ(mk_and(x, x).get(), x.get());
+}
+
+TEST(BvFold, XorSelfIsZero) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_TRUE(mk_xor(x, x)->is_const_value(0));
+}
+
+TEST(BvFold, NotNot) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_EQ(mk_not(mk_not(x)).get(), x.get());
+}
+
+TEST(BvFold, ShiftByZeroAndOversized) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_EQ(mk_shl(x, mk_const(0, 8)).get(), x.get());
+  EXPECT_TRUE(mk_shl(x, mk_const(9, 8))->is_const_value(0));
+  EXPECT_TRUE(mk_lshr(x, mk_const(8, 8))->is_const_value(0));
+}
+
+TEST(BvFold, ShiftConstants) {
+  EXPECT_EQ(mk_shl(mk_const(1, 8), mk_const(3, 8))->value(), 8u);
+  EXPECT_EQ(mk_lshr(mk_const(0x80, 8), mk_const(7, 8))->value(), 1u);
+  // Arithmetic shift preserves sign.
+  EXPECT_EQ(mk_ashr(mk_const(0x80, 8), mk_const(7, 8))->value(), 0xffu);
+}
+
+TEST(BvFold, CompareConstants) {
+  EXPECT_TRUE(mk_ult(mk_const(3, 8), mk_const(4, 8))->is_true());
+  EXPECT_TRUE(mk_ult(mk_const(4, 8), mk_const(4, 8))->is_false());
+  EXPECT_TRUE(mk_ule(mk_const(4, 8), mk_const(4, 8))->is_true());
+  // Signed: 0xff is -1 at width 8.
+  EXPECT_TRUE(mk_slt(mk_const(0xff, 8), mk_const(0, 8))->is_true());
+  EXPECT_TRUE(mk_sle(mk_const(0, 8), mk_const(0x7f, 8))->is_true());
+}
+
+TEST(BvFold, UltAgainstZeroAndOne) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_TRUE(mk_ult(x, mk_const(0, 8))->is_false());
+  // x < 1 (unsigned) is x == 0.
+  const ExprRef e = mk_ult(x, mk_const(1, 8));
+  EXPECT_EQ(e->kind(), Kind::Eq);
+}
+
+TEST(BvFold, EqSelf) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_TRUE(mk_eq(x, x)->is_true());
+  EXPECT_TRUE(mk_ule(x, x)->is_true());
+  EXPECT_TRUE(mk_ult(x, x)->is_false());
+}
+
+TEST(BvFold, EqThroughIte) {
+  const ExprRef c = mk_var("c", 1);
+  const ExprRef e = mk_ite(c, mk_const(3, 8), mk_const(7, 8));
+  // eq(ite(c,3,7), 3) == c ; eq(.., 7) == !c ; eq(.., 9) == false.
+  EXPECT_EQ(mk_eq(e, mk_const(3, 8)).get(), c.get());
+  EXPECT_EQ(mk_eq(e, mk_const(7, 8))->kind(), Kind::Not);
+  EXPECT_TRUE(mk_eq(e, mk_const(9, 8))->is_false());
+}
+
+TEST(BvFold, IteCollapses) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef y = mk_var("y", 8);
+  EXPECT_EQ(mk_ite(mk_bool(true), x, y).get(), x.get());
+  EXPECT_EQ(mk_ite(mk_bool(false), x, y).get(), y.get());
+  EXPECT_EQ(mk_ite(mk_var("c", 1), x, x).get(), x.get());
+}
+
+TEST(BvFold, BooleanContradiction) {
+  const ExprRef c = mk_var("c", 1);
+  EXPECT_TRUE(mk_land(c, mk_lnot(c))->is_false());
+  EXPECT_TRUE(mk_lor(c, mk_lnot(c))->is_true());
+}
+
+TEST(BvFold, ZextOfZextCollapses) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef e = mk_zext(mk_zext(x, 16), 32);
+  EXPECT_EQ(e->kind(), Kind::ZExt);
+  EXPECT_EQ(e->operand(0).get(), x.get());
+}
+
+TEST(BvFold, ExtractOfConcat) {
+  const ExprRef hi = mk_var("hi", 8);
+  const ExprRef lo = mk_var("lo", 8);
+  const ExprRef cc = mk_concat(hi, lo);
+  EXPECT_EQ(mk_extract(cc, 0, 8).get(), lo.get());
+  EXPECT_EQ(mk_extract(cc, 8, 8).get(), hi.get());
+}
+
+TEST(BvFold, ExtractOfExtract) {
+  const ExprRef x = mk_var("x", 32);
+  const ExprRef e = mk_extract(mk_extract(x, 8, 16), 4, 8);
+  EXPECT_EQ(e->kind(), Kind::Extract);
+  EXPECT_EQ(e->extract_lo(), 12u);
+  EXPECT_EQ(e->operand(0).get(), x.get());
+}
+
+TEST(BvFold, ConcatOfAdjacentExtracts) {
+  const ExprRef x = mk_var("x", 32);
+  const ExprRef e = mk_concat(mk_extract(x, 8, 8), mk_extract(x, 0, 8));
+  EXPECT_EQ(e->kind(), Kind::Extract);
+  EXPECT_EQ(e->extract_lo(), 0u);
+  EXPECT_EQ(e->width(), 16u);
+}
+
+TEST(BvFold, SextConstant) {
+  EXPECT_EQ(mk_sext(mk_const(0x80, 8), 16)->value(), 0xff80u);
+  EXPECT_EQ(mk_sext(mk_const(0x7f, 8), 16)->value(), 0x7fu);
+}
+
+TEST(BvFold, UdivByConstant) {
+  EXPECT_EQ(mk_udiv(mk_const(10, 8), mk_const(3, 8))->value(), 3u);
+  EXPECT_EQ(mk_urem(mk_const(10, 8), mk_const(3, 8))->value(), 1u);
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_EQ(mk_udiv(x, mk_const(1, 8)).get(), x.get());
+}
+
+TEST(BvSubstitute, ReplacesVariables) {
+  const ExprRef x = mk_var("x", 32);
+  const ExprRef y = mk_var("y", 32);
+  const ExprRef e = mk_add(x, mk_mul(y, mk_const(2, 32)));
+  Substitution sub;
+  sub.emplace(x->var_id(), mk_const(5, 32));
+  sub.emplace(y->var_id(), mk_const(3, 32));
+  EXPECT_TRUE(substitute(e, sub)->is_const_value(11));
+}
+
+TEST(BvSubstitute, FoldsAfterSubstitution) {
+  // The Fig. 2 stitching example: C1(in)=(in<0), C3(x)=(x<0) with x:=0
+  // must collapse to false syntactically.
+  const ExprRef in = mk_var("in", 32);
+  const ExprRef x = mk_var("x", 32);
+  const ExprRef c3 = mk_slt(x, mk_const(0, 32));
+  Substitution sub;
+  sub.emplace(x->var_id(), mk_const(0, 32));
+  const ExprRef stitched =
+      mk_land(mk_slt(in, mk_const(0, 32)), substitute(c3, sub));
+  EXPECT_TRUE(stitched->is_false());
+}
+
+TEST(BvSubstitute, UntouchedVarsRemain) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef y = mk_var("y", 8);
+  const ExprRef e = mk_add(x, y);
+  Substitution sub;
+  sub.emplace(x->var_id(), mk_const(1, 8));
+  const ExprRef out = substitute(e, sub);
+  const auto vars = free_variables(out);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0]->var_id(), y->var_id());
+}
+
+TEST(BvEvaluate, MatchesSemantics) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef y = mk_var("y", 8);
+  Assignment a{{x->var_id(), 200}, {y->var_id(), 100}};
+  EXPECT_EQ(evaluate(mk_add(x, y), a), (200 + 100) & 0xffu);
+  EXPECT_EQ(evaluate(mk_ult(y, x), a), 1u);
+  EXPECT_EQ(evaluate(mk_slt(x, y), a), 1u);  // 200 is negative at w8
+  EXPECT_EQ(evaluate(mk_concat(x, y), a), 200u * 256 + 100);
+  EXPECT_EQ(evaluate(mk_lshr(x, mk_const(3, 8)), a), 200u >> 3);
+}
+
+TEST(BvEvaluate, UnassignedVarsAreZero) {
+  const ExprRef x = mk_var("x", 8);
+  EXPECT_EQ(evaluate(mk_add(x, mk_const(7, 8)), {}), 7u);
+}
+
+TEST(BvInterval, ConstAndVar) {
+  EXPECT_EQ(interval_of(mk_const(42, 8)).lo, 42u);
+  EXPECT_EQ(interval_of(mk_const(42, 8)).hi, 42u);
+  EXPECT_EQ(interval_of(mk_var("x", 8)).lo, 0u);
+  EXPECT_EQ(interval_of(mk_var("x", 8)).hi, 255u);
+}
+
+TEST(BvInterval, MaskBoundsAnd) {
+  const ExprRef x = mk_var("x", 8);
+  const Interval iv = interval_of(mk_and(x, mk_const(0x0f, 8)));
+  EXPECT_EQ(iv.lo, 0u);
+  EXPECT_EQ(iv.hi, 0x0fu);
+}
+
+TEST(BvInterval, ZextAndShiftPropagate) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef ihl = mk_and(x, mk_const(0x0f, 8));
+  const ExprRef hlen = mk_shl(mk_zext(ihl, 32), mk_const(2, 32));
+  const Interval iv = interval_of(hlen);
+  EXPECT_EQ(iv.lo, 0u);
+  EXPECT_EQ(iv.hi, 60u);  // 15 * 4: the IP header length bound
+}
+
+TEST(BvInterval, DecidesComparisons) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef small = mk_and(x, mk_const(0x0f, 8));
+  EXPECT_EQ(decide_by_interval(mk_ult(small, mk_const(16, 8))),
+            std::optional<bool>(true));
+  EXPECT_EQ(decide_by_interval(mk_ult(mk_const(20, 8), small)),
+            std::optional<bool>(false));
+  EXPECT_EQ(decide_by_interval(mk_eq(small, mk_const(200, 8))),
+            std::optional<bool>(false));
+  // Undecidable stays nullopt.
+  EXPECT_FALSE(decide_by_interval(mk_eq(small, mk_const(3, 8))).has_value());
+}
+
+TEST(BvPrinter, RendersPrefixForm) {
+  const ExprRef x = mk_var("x", 8);
+  const std::string s = to_string(mk_add(x, mk_const(1, 8)));
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("x@"), std::string::npos);
+}
+
+TEST(BvAnalysis, DagSizeCountsSharing) {
+  const ExprRef x = mk_var("x", 8);
+  const ExprRef sum = mk_add(x, x);
+  EXPECT_EQ(dag_size(sum), 2u);  // x shared
+}
+
+// ---------------------------------------------------------------------------
+// Property-based fuzzing: random expression trees, checked against direct
+// semantics. These guard the two soundness-critical contracts of the layer:
+// folding must preserve value, and interval_of must always contain it.
+
+namespace fuzz {
+
+// Small deterministic PRNG (xorshift) to avoid the net dependency.
+struct Rng {
+  uint64_t s = 0x853c49e6748fea9bULL;
+  uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  uint64_t below(uint64_t n) { return next() % n; }
+};
+
+ExprRef random_expr(Rng& rng, const std::vector<ExprRef>& vars, int depth) {
+  const unsigned w = vars[0]->width();
+  if (depth == 0 || rng.below(4) == 0) {
+    return rng.below(2) == 0 ? vars[rng.below(vars.size())]
+                             : mk_const(rng.next(), w);
+  }
+  const ExprRef a = random_expr(rng, vars, depth - 1);
+  const ExprRef b = random_expr(rng, vars, depth - 1);
+  switch (rng.below(12)) {
+    case 0: return mk_add(a, b);
+    case 1: return mk_sub(a, b);
+    case 2: return mk_mul(a, b);
+    case 3: return mk_and(a, b);
+    case 4: return mk_or(a, b);
+    case 5: return mk_xor(a, b);
+    case 6: return mk_shl(a, b);
+    case 7: return mk_lshr(a, b);
+    case 8: return mk_not(a);
+    case 9: return mk_neg(a);
+    case 10: return mk_ite(mk_ult(a, b), a, b);
+    default: return mk_extract(mk_concat(mk_extract(a, 0, w / 2),
+                                         mk_extract(b, 0, w - w / 2)),
+                               0, w);
+  }
+}
+
+}  // namespace fuzz
+
+class BvFuzzWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BvFuzzWidth, IntervalAlwaysContainsValue) {
+  const unsigned w = GetParam();
+  fuzz::Rng rng;
+  rng.s += w;
+  std::vector<ExprRef> vars = {mk_var("x", w), mk_var("y", w)};
+  for (int iter = 0; iter < 300; ++iter) {
+    const ExprRef e = fuzz::random_expr(rng, vars, 4);
+    const Interval iv = interval_of(e);
+    for (int trial = 0; trial < 16; ++trial) {
+      Assignment a{{vars[0]->var_id(), rng.next()},
+                   {vars[1]->var_id(), rng.next()}};
+      const uint64_t v = evaluate(e, a);
+      ASSERT_TRUE(iv.contains(v))
+          << "width " << w << " iter " << iter << ": value " << v
+          << " escapes interval [" << iv.lo << "," << iv.hi << "]";
+    }
+  }
+}
+
+TEST_P(BvFuzzWidth, SubstituteConstantsEqualsEvaluate) {
+  // Substituting concrete constants must fold to exactly the evaluated
+  // value: the factories' folding rules are semantics-preserving.
+  const unsigned w = GetParam();
+  fuzz::Rng rng;
+  rng.s += 17 * w;
+  std::vector<ExprRef> vars = {mk_var("x", w), mk_var("y", w)};
+  for (int iter = 0; iter < 300; ++iter) {
+    const ExprRef e = fuzz::random_expr(rng, vars, 4);
+    const uint64_t xv = rng.next();
+    const uint64_t yv = rng.next();
+    Substitution sub;
+    sub.emplace(vars[0]->var_id(), mk_const(xv, w));
+    sub.emplace(vars[1]->var_id(), mk_const(yv, w));
+    const ExprRef folded = substitute(e, sub);
+    ASSERT_TRUE(folded->is_const())
+        << "width " << w << " iter " << iter
+        << ": constant substitution did not fold";
+    Assignment a{{vars[0]->var_id(), xv}, {vars[1]->var_id(), yv}};
+    ASSERT_EQ(folded->value(), evaluate(e, a))
+        << "width " << w << " iter " << iter << ": folding changed semantics";
+  }
+}
+
+TEST_P(BvFuzzWidth, InterningIsStructural) {
+  // Building the same random tree twice yields the same node.
+  const unsigned w = GetParam();
+  std::vector<ExprRef> vars = {mk_var("x", w), mk_var("y", w)};
+  fuzz::Rng r1, r2;
+  r1.s = r2.s = 99 + w;
+  for (int iter = 0; iter < 100; ++iter) {
+    const ExprRef a = fuzz::random_expr(r1, vars, 4);
+    const ExprRef b = fuzz::random_expr(r2, vars, 4);
+    ASSERT_EQ(a.get(), b.get());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvFuzzWidth,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+}  // namespace
+}  // namespace vsd::bv

@@ -1,0 +1,311 @@
+// Differential (property-based) testing: the symbolic executor and the
+// concrete interpreter implement the same semantics.
+//
+// For every element and a stream of random packets, the concrete execution
+// must land in exactly one feasible segment of the element's summary — the
+// segment whose constraint evaluates true under the packet bytes — and that
+// segment must agree with the concrete run on action, port, trap kind,
+// output packet bytes, and (for non-summarized paths) instruction count.
+// This is the strongest internal-consistency check in the repository: any
+// semantic divergence between the two executors breaks soundness of every
+// proof, and this test hunts it with hundreds of random inputs.
+#include <gtest/gtest.h>
+
+#include "bv/analysis.hpp"
+#include "elements/registry.hpp"
+#include "interp/interp.hpp"
+#include "net/workload.hpp"
+#include "solver/solver.hpp"
+#include "symbex/executor.hpp"
+#include "symbex/summary.hpp"
+#include "verify/decomposed.hpp"
+
+namespace vsd {
+namespace {
+
+using symbex::SegAction;
+using symbex::Segment;
+using symbex::SymPacket;
+
+// Builds the assignment mapping the summary's input variables to the
+// packet's concrete bytes and metadata.
+bv::Assignment bind_input(const symbex::ElementSummary& sum,
+                          const net::Packet& p) {
+  bv::Assignment a;
+  const auto& byte_vars = sum.entry.input_byte_vars();
+  for (size_t i = 0; i < byte_vars.size(); ++i) {
+    a.emplace(byte_vars[i]->var_id(), i < p.size() ? p[i] : 0);
+  }
+  const auto& meta_vars = sum.entry.input_meta_vars();
+  for (size_t i = 0; i < meta_vars.size(); ++i) {
+    a.emplace(meta_vars[i]->var_id(), p.meta(i));
+  }
+  return a;
+}
+
+interp::Action to_interp(SegAction a) {
+  switch (a) {
+    case SegAction::Emit: return interp::Action::Emit;
+    case SegAction::Drop: return interp::Action::Drop;
+    case SegAction::Trap: return interp::Action::Trap;
+  }
+  return interp::Action::Drop;
+}
+
+struct ElementCase {
+  const char* config;
+  bool stateless;  // KV-free elements admit exact matching
+  // Symbolic packet length. The options-loop element gets a shorter packet
+  // because unroll-mode path count grows combinatorially in the options
+  // budget (that blowup is measured in bench/tab4, not here).
+  size_t len = 46;
+  // Prune forks with the solver (needed where fold/interval pruning alone
+  // lets infeasible loop paths multiply).
+  bool solver_forks = false;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<ElementCase> {};
+
+TEST_P(DifferentialTest, ConcreteRunMatchesExactlyOneSegment) {
+  const ElementCase param = GetParam();
+  const ir::Program prog = [&] {
+    auto pl = elements::parse_pipeline(param.config);
+    return pl.element(0).program();
+  }();
+
+  const size_t kLen = param.len;
+  solver::Solver solver;
+  symbex::ExecOptions eo;  // unroll mode: exact path enumeration
+  if (param.solver_forks) {
+    eo.fork_check = symbex::ForkCheck::Solver;
+    eo.solver = &solver;
+  }
+  symbex::Executor exec(eo);
+  symbex::ElementSummary sum = symbex::summarize_element(prog, kLen, exec);
+  ASSERT_FALSE(sum.truncated);
+
+  net::Rng rng(0xd1ffe7 + ir::program_hash(prog));
+  size_t matched_total = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    // Mix of pure-random and protocol-shaped inputs at the fixed length.
+    net::Packet p = net::Packet::of_size(kLen);
+    if (iter % 3 != 0) {
+      net::PacketSpec spec;
+      spec.ip_src = static_cast<uint32_t>(rng.next());
+      spec.ip_dst = static_cast<uint32_t>(rng.next());
+      spec.ttl = rng.next_byte();
+      spec.payload_len = 4;
+      net::Packet shaped = net::make_packet(spec);
+      shaped.pull_front(net::kEtherHeaderSize);  // ip at 0 for IP elements
+      for (size_t i = 0; i < kLen; ++i) {
+        p[i] = i < shaped.size() ? shaped[i] : rng.next_byte();
+      }
+    } else {
+      for (size_t i = 0; i < kLen; ++i) p[i] = rng.next_byte();
+    }
+    if (rng.next_below(4) == 0) p[0] = 0x45;  // bias toward plausible IPv4
+
+    const bv::Assignment binding = bind_input(sum, p);
+
+    net::Packet concrete = p;
+    interp::KvState kv(prog.kv_tables.size());
+    const interp::ExecResult cr = interp::run(prog, concrete, kv);
+
+    const Segment* match = nullptr;
+    size_t matches = 0;
+    for (const Segment& g : sum.segments) {
+      if (bv::evaluate(g.constraint, binding) == 1) {
+        ++matches;
+        match = &g;
+      }
+    }
+    if (!param.stateless) {
+      // Stateful elements: KV-read variables default to 0 in evaluation,
+      // which matches a fresh KvState, so exactly one segment still fires.
+    }
+    ASSERT_EQ(matches, 1u)
+        << param.config << ": packet matched " << matches
+        << " segments (iter " << iter << ")";
+    ++matched_total;
+
+    EXPECT_EQ(to_interp(match->action), cr.action)
+        << param.config << " iter " << iter;
+    if (match->action == SegAction::Emit && cr.action == interp::Action::Emit) {
+      EXPECT_EQ(match->port, cr.port);
+      // Output packets agree byte for byte.
+      ASSERT_EQ(match->exit_packet.size(), concrete.size());
+      for (size_t i = 0; i < concrete.size(); ++i) {
+        ASSERT_EQ(bv::evaluate(match->exit_packet.byte(i), binding),
+                  concrete[i])
+            << param.config << " iter " << iter << " byte " << i;
+      }
+      // Metadata agrees.
+      for (size_t s = 0; s < net::kMetaSlots; ++s) {
+        EXPECT_EQ(bv::evaluate(match->exit_packet.meta(s), binding),
+                  concrete.meta(s));
+      }
+    }
+    if (match->action == SegAction::Trap && cr.action == interp::Action::Trap) {
+      EXPECT_EQ(match->trap, cr.trap);
+    }
+    if (!match->count_is_bound) {
+      EXPECT_EQ(match->instr_count, cr.instr_count)
+          << param.config << " iter " << iter
+          << ": symbolic and concrete instruction counts diverge";
+    }
+  }
+  EXPECT_EQ(matched_total, 150u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Elements, DifferentialTest,
+    ::testing::Values(
+        ElementCase{"Null", true}, ElementCase{"Discard", true},
+        ElementCase{"Paint(7)", true}, ElementCase{"Classifier", true},
+        ElementCase{"EthDecap", true}, ElementCase{"EthEncap", true},
+        ElementCase{"UnsafeStrip(14)", true},
+        ElementCase{"CheckIPHeader(nochecksum)", true},
+        ElementCase{"CheckIPHeader", true},
+        ElementCase{"DecIPTTL", true},
+        ElementCase{"IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1)", true},
+        ElementCase{"IPOptions", true, 30, true},
+        ElementCase{"SetIPChecksum", true},
+        ElementCase{"IPFilter(deny tcp; allow src 10.0.0.0/8)", true},
+        ElementCase{"NetFlow", false}, ElementCase{"NAT", false},
+        ElementCase{"RateLimiter(4, 64)", false},
+        ElementCase{"Counter", false}, ElementCase{"ToyFig1", true},
+        ElementCase{"ToyE1", true}, ElementCase{"ToyE2", true}),
+    [](const ::testing::TestParamInfo<ElementCase>& info) {
+      std::string name = info.param.config;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The strongest end-to-end check: Step-2's stitched path constraints must
+// partition the input space, and the matching composed path must agree
+// with concrete pipeline execution on disposition, exit port/trap, and
+// instruction count. Any bug in substitution, aux-var renaming, or segment
+// summaries shows up here.
+class ComposedDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ComposedDifferential, StitchedPathsMatchConcreteExecution) {
+  pipeline::Pipeline pl = elements::parse_pipeline(GetParam());
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = 46;
+  verify::DecomposedVerifier verifier(cfg);
+  const verify::ComposedPaths composed = verifier.enumerate_paths(pl);
+  ASSERT_TRUE(composed.complete) << GetParam();
+  ASSERT_FALSE(composed.paths.empty());
+
+  net::Rng rng(0xc0ffee);
+  for (int iter = 0; iter < 120; ++iter) {
+    net::Packet p = net::Packet::of_size(cfg.packet_len);
+    if (iter % 3 != 0) {
+      net::PacketSpec spec;
+      spec.ip_src = static_cast<uint32_t>(rng.next());
+      spec.ip_dst = rng.next_bool() ? net::parse_ipv4("10.4.5.6")
+                                    : static_cast<uint32_t>(rng.next());
+      spec.ttl = rng.next_byte();
+      spec.payload_len = 4;
+      net::Packet shaped = net::make_packet(spec);
+      shaped.pull_front(net::kEtherHeaderSize);
+      for (size_t i = 0; i < p.size(); ++i) {
+        p[i] = i < shaped.size() ? shaped[i] : rng.next_byte();
+      }
+    } else {
+      for (size_t i = 0; i < p.size(); ++i) p[i] = rng.next_byte();
+    }
+
+    bv::Assignment binding;
+    const auto& byte_vars = composed.entry.input_byte_vars();
+    for (size_t i = 0; i < byte_vars.size(); ++i) {
+      binding.emplace(byte_vars[i]->var_id(), i < p.size() ? p[i] : 0);
+    }
+    for (const auto& mv : composed.entry.input_meta_vars()) {
+      binding.emplace(mv->var_id(), 0);
+    }
+
+    const verify::ComposedPath* match = nullptr;
+    size_t matches = 0;
+    for (const verify::ComposedPath& cp : composed.paths) {
+      if (bv::evaluate(cp.constraint, binding) == 1) {
+        ++matches;
+        match = &cp;
+      }
+    }
+    ASSERT_EQ(matches, 1u)
+        << GetParam() << " iter " << iter << ": " << matches
+        << " composed paths matched one concrete packet";
+
+    net::Packet run = p;
+    pl.reset();  // fresh private state so KV reads evaluate to 0
+    const pipeline::PipelineResult r = pl.process(run);
+    switch (match->action) {
+      case symbex::SegAction::Emit:
+        // Emit with a downstream edge never reaches on_terminal, so a
+        // terminal Emit means "delivered out of the pipeline".
+        ASSERT_EQ(r.action, pipeline::FinalAction::Delivered)
+            << GetParam() << " iter " << iter;
+        EXPECT_EQ(match->port, r.exit_port);
+        break;
+      case symbex::SegAction::Drop:
+        ASSERT_EQ(r.action, pipeline::FinalAction::Dropped)
+            << GetParam() << " iter " << iter;
+        break;
+      case symbex::SegAction::Trap:
+        ASSERT_EQ(r.action, pipeline::FinalAction::Trapped)
+            << GetParam() << " iter " << iter;
+        EXPECT_EQ(match->trap, r.trap);
+        break;
+    }
+    if (!match->count_is_bound) {
+      EXPECT_EQ(match->instr_count, r.instructions)
+          << GetParam() << " iter " << iter;
+    }
+    // The traversed element names must be a prefix-accurate trace.
+    ASSERT_EQ(match->element_path.size(), r.trace.size());
+    for (size_t i = 0; i < r.trace.size(); ++i) {
+      EXPECT_EQ(match->element_path[i], pl.element(r.trace[i]).name());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, ComposedDifferential,
+    ::testing::Values(
+        "ToyE1 -> ToyE2",
+        "CheckIPHeader(nochecksum) -> DecIPTTL",
+        "CheckIPHeader(nochecksum) -> IPLookup(10.0.0.0/8 0, "
+        "192.168.0.0/16 1) -> DecIPTTL",
+        "Classifier -> EthDecap -> CheckIPHeader(nochecksum)",
+        "EthEncap -> Classifier -> EthDecap",
+        "CheckIPHeader(nochecksum) -> NetFlow -> Counter",
+        "Counter -> Counter -> Counter",  // same type, distinct state
+        "Paint(5) -> IPFilter(deny tcp; allow src 10.0.0.0/8) -> Null"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name.substr(0, 64) + std::to_string(info.index);
+    });
+
+// Pipeline-level differential check: the composed symbolic view of the IP
+// router agrees with concrete pipeline execution on final disposition.
+TEST(DifferentialPipeline, IpRouterDispositionAgrees) {
+  pipeline::Pipeline pl = elements::make_ip_router_pipeline();
+  net::WorkloadConfig cfg;
+  cfg.traffic = net::TrafficClass::WellFormed;
+  cfg.count = 50;
+  cfg.dst_pool = {net::parse_ipv4("10.7.7.7"), net::parse_ipv4("8.8.8.8")};
+  for (net::Packet& p : net::generate_workload(cfg)) {
+    net::Packet copy = p;
+    const pipeline::PipelineResult r = pl.process(copy);
+    EXPECT_NE(r.action, pipeline::FinalAction::Trapped);
+  }
+}
+
+}  // namespace
+}  // namespace vsd

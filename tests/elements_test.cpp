@@ -1,0 +1,625 @@
+// Behavioural tests for every element in the library, run concretely
+// through the interpreter.
+#include <gtest/gtest.h>
+
+#include "elements/ip.hpp"
+#include "elements/l2.hpp"
+#include "elements/stateful.hpp"
+#include "elements/toy.hpp"
+#include "interp/interp.hpp"
+#include "net/headers.hpp"
+#include "net/workload.hpp"
+
+namespace vsd::elements {
+namespace {
+
+using interp::Action;
+using interp::ExecResult;
+using interp::KvState;
+
+ExecResult run_on(const ir::Program& prog, net::Packet& p,
+                  KvState* kv = nullptr) {
+  KvState local(prog.kv_tables.size());
+  return interp::run(prog, p, kv != nullptr ? *kv : local);
+}
+
+// Strips the Ethernet header so IP elements (ip_offset=0) see the IP header.
+net::Packet ip_packet(const net::PacketSpec& spec) {
+  net::Packet p = net::make_packet(spec);
+  p.pull_front(net::kEtherHeaderSize);
+  return p;
+}
+
+// --- Classifier -------------------------------------------------------------
+
+TEST(Classifier, MatchesEtherType) {
+  const ir::Program prog = make_ipv4_classifier();
+  net::Packet v4 = net::make_packet(net::PacketSpec{});
+  ExecResult r = run_on(prog, v4);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+
+  net::PacketSpec arp;
+  arp.ether_type = net::kEtherTypeArp;
+  net::Packet other = net::make_packet(arp);
+  r = run_on(prog, other);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 1u);
+}
+
+TEST(Classifier, ShortPacketFallsThrough) {
+  const ir::Program prog = make_ipv4_classifier();
+  net::Packet tiny = net::Packet::of_size(5);
+  const ExecResult r = run_on(prog, tiny);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 1u);  // wildcard port, never a trap
+}
+
+TEST(Classifier, NoWildcardDropsUnmatched) {
+  const ir::Program prog =
+      make_classifier({ClassifierPattern{12, 2, net::kEtherTypeIpv4}});
+  net::PacketSpec arp;
+  arp.ether_type = net::kEtherTypeArp;
+  net::Packet p = net::make_packet(arp);
+  EXPECT_TRUE(run_on(prog, p).dropped());
+}
+
+// --- EthDecap / EthEncap ------------------------------------------------------
+
+TEST(EthDecap, StripsHeaderAndRecordsType) {
+  const ir::Program prog = make_eth_decap();
+  net::Packet p = net::make_packet(net::PacketSpec{});
+  const size_t before = p.size();
+  const ExecResult r = run_on(prog, p);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(p.size(), before - 14);
+  EXPECT_EQ(p.meta(net::kMetaEtherType), net::kEtherTypeIpv4);
+  // The IP header is now at offset 0.
+  EXPECT_EQ(p[0] >> 4, 4);
+}
+
+TEST(EthDecap, DropsShortPacketInsteadOfTrapping) {
+  const ir::Program prog = make_eth_decap();
+  net::Packet tiny = net::Packet::of_size(7);
+  EXPECT_TRUE(run_on(prog, tiny).dropped());
+}
+
+TEST(UnsafeStrip, TrapsOnShortPacket) {
+  const ir::Program prog = make_unsafe_strip(14);
+  net::Packet tiny = net::Packet::of_size(7);
+  const ExecResult r = run_on(prog, tiny);
+  EXPECT_TRUE(r.trapped());
+  EXPECT_EQ(r.trap, ir::TrapKind::PullUnderflow);
+}
+
+TEST(EthEncap, PrependsHeader) {
+  const ir::Program prog =
+      make_eth_encap(net::kEtherTypeIpv4, {1, 2, 3, 4, 5, 6},
+                     {7, 8, 9, 10, 11, 12});
+  net::Packet p = net::Packet::of_size(20, 0x33);
+  const ExecResult r = run_on(prog, p);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(p.size(), 34u);
+  EXPECT_EQ(p[0], 7);   // dst mac first on the wire
+  EXPECT_EQ(p[6], 1);   // then src mac
+  EXPECT_EQ(p.load_be(12, 2), net::kEtherTypeIpv4);
+  EXPECT_EQ(p[14], 0x33);
+}
+
+// --- CheckIPHeader ------------------------------------------------------------
+
+TEST(CheckIPHeader, AcceptsValid) {
+  const ir::Program prog = make_check_ip_header();
+  net::Packet p = ip_packet(net::PacketSpec{});
+  const ExecResult r = run_on(prog, p);
+  EXPECT_TRUE(r.emitted());
+}
+
+TEST(CheckIPHeader, DropsBadVersionIhlLenChecksum) {
+  const ir::Program prog = make_check_ip_header();
+  {
+    net::Packet p = ip_packet(net::PacketSpec{});
+    p[0] = 0x65;  // version 6
+    EXPECT_TRUE(run_on(prog, p).dropped());
+  }
+  {
+    net::Packet p = ip_packet(net::PacketSpec{});
+    p[0] = 0x43;  // ihl 3 < 5
+    EXPECT_TRUE(run_on(prog, p).dropped());
+  }
+  {
+    net::Packet p = ip_packet(net::PacketSpec{});
+    p.store_be(2, 2, 10);  // total_len < header
+    EXPECT_TRUE(run_on(prog, p).dropped());
+  }
+  {
+    net::Packet p = ip_packet(net::PacketSpec{});
+    p.store_be(2, 2, 60000);  // total_len > received bytes
+    EXPECT_TRUE(run_on(prog, p).dropped());
+  }
+  {
+    net::Packet p = ip_packet(net::PacketSpec{});
+    p.store_be(10, 2, p.load_be(10, 2) ^ 0xff);  // corrupt checksum
+    EXPECT_TRUE(run_on(prog, p).dropped());
+  }
+  {
+    net::Packet tiny = net::Packet::of_size(10);
+    EXPECT_TRUE(run_on(prog, tiny).dropped());
+  }
+}
+
+TEST(CheckIPHeader, NoChecksumModeAcceptsBadChecksum) {
+  CheckIpHeaderConfig cfg;
+  cfg.verify_checksum = false;
+  const ir::Program prog = make_check_ip_header(cfg);
+  net::Packet p = ip_packet(net::PacketSpec{});
+  p.store_be(10, 2, 0xbeef);
+  EXPECT_TRUE(run_on(prog, p).emitted());
+}
+
+TEST(CheckIPHeader, ValidatesOptionsBearingHeaders) {
+  const ir::Program prog = make_check_ip_header();
+  net::PacketSpec spec;
+  spec.ip_options = {net::kIpOptNop, net::kIpOptNop, net::kIpOptNop,
+                     net::kIpOptEnd};
+  net::Packet p = ip_packet(spec);
+  EXPECT_TRUE(run_on(prog, p).emitted());
+}
+
+// --- DecIPTTL -----------------------------------------------------------------
+
+TEST(DecIPTTL, DecrementsAndFixesChecksum) {
+  const ir::Program prog = make_dec_ip_ttl();
+  net::PacketSpec spec;
+  spec.ttl = 10;
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+  net::Ipv4View ip(p, 0);
+  EXPECT_EQ(ip.ttl(), 9);
+  EXPECT_TRUE(ip.checksum_ok()) << "incremental checksum update broken";
+}
+
+TEST(DecIPTTL, ChecksumStaysValidAcrossAllTtls) {
+  const ir::Program prog = make_dec_ip_ttl();
+  for (int ttl = 2; ttl <= 255; ++ttl) {
+    net::PacketSpec spec;
+    spec.ttl = static_cast<uint8_t>(ttl);
+    net::Packet p = ip_packet(spec);
+    ASSERT_TRUE(run_on(prog, p).emitted());
+    net::Ipv4View ip(p, 0);
+    ASSERT_TRUE(ip.checksum_ok()) << "ttl=" << ttl;
+  }
+}
+
+TEST(DecIPTTL, ExpiredGoesToErrorPort) {
+  const ir::Program prog = make_dec_ip_ttl();
+  for (const uint8_t ttl : {0, 1}) {
+    net::PacketSpec spec;
+    spec.ttl = ttl;
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p);
+    ASSERT_TRUE(r.emitted());
+    EXPECT_EQ(r.port, 1u);
+  }
+}
+
+// --- IPLookup -----------------------------------------------------------------
+
+IpLookupConfig small_routes() {
+  IpLookupConfig cfg;
+  cfg.routes = {
+      Route{net::parse_ipv4("10.0.0.0"), 8, 0},
+      Route{net::parse_ipv4("10.1.0.0"), 16, 1},
+      Route{net::parse_ipv4("192.168.7.0"), 24, 2},
+  };
+  cfg.num_ports = 3;
+  return cfg;
+}
+
+uint32_t lookup_port(const ir::Program& prog, const std::string& dst,
+                     bool* dropped = nullptr) {
+  net::PacketSpec spec;
+  spec.ip_dst = net::parse_ipv4(dst);
+  net::Packet p = ip_packet(spec);
+  KvState kv(prog.kv_tables.size());
+  const ExecResult r = interp::run(prog, p, kv);
+  if (dropped != nullptr) *dropped = r.dropped();
+  return r.emitted() ? r.port : 0xffffffff;
+}
+
+TEST(IPLookup, LongestPrefixWins) {
+  const ir::Program prog = make_ip_lookup(small_routes());
+  EXPECT_EQ(lookup_port(prog, "10.2.3.4"), 0u);      // /8
+  EXPECT_EQ(lookup_port(prog, "10.1.200.1"), 1u);    // /16 beats /8
+  EXPECT_EQ(lookup_port(prog, "192.168.7.77"), 2u);  // /24
+}
+
+TEST(IPLookup, MissDrops) {
+  const ir::Program prog = make_ip_lookup(small_routes());
+  bool dropped = false;
+  lookup_port(prog, "8.8.8.8", &dropped);
+  EXPECT_TRUE(dropped);
+  lookup_port(prog, "192.168.8.1", &dropped);  // /24 sibling, no /16 cover
+  EXPECT_TRUE(dropped);
+}
+
+TEST(IPLookup, DefaultRouteCatchesAll) {
+  IpLookupConfig cfg;
+  cfg.routes = {Route{0, 0, 0}, Route{net::parse_ipv4("10.0.0.0"), 8, 1}};
+  cfg.num_ports = 2;
+  const ir::Program prog = make_ip_lookup(cfg);
+  EXPECT_EQ(lookup_port(prog, "8.8.8.8"), 0u);
+  EXPECT_EQ(lookup_port(prog, "10.0.0.1"), 1u);
+}
+
+TEST(IPLookup, PrefixBoundariesExact) {
+  const ir::Program prog = make_ip_lookup(small_routes());
+  EXPECT_EQ(lookup_port(prog, "10.0.0.0"), 0u);
+  EXPECT_EQ(lookup_port(prog, "10.255.255.255"), 0u);
+  bool dropped = false;
+  lookup_port(prog, "11.0.0.0", &dropped);
+  EXPECT_TRUE(dropped);
+  lookup_port(prog, "9.255.255.255", &dropped);
+  EXPECT_TRUE(dropped);
+}
+
+TEST(IPLookup, RejectsTooLongPrefix) {
+  IpLookupConfig cfg;
+  cfg.routes = {Route{net::parse_ipv4("10.0.0.0"), 32, 0}};
+  EXPECT_THROW(make_ip_lookup(cfg), std::invalid_argument);
+}
+
+TEST(IPLookup, ShortPacketDrops) {
+  const ir::Program prog = make_ip_lookup(small_routes());
+  net::Packet tiny = net::Packet::of_size(8);
+  EXPECT_TRUE(run_on(prog, tiny).dropped());
+}
+
+// --- IPOptions ----------------------------------------------------------------
+
+TEST(IPOptions, NoOptionsFastPath) {
+  const ir::Program prog = make_ip_options();
+  net::Packet p = ip_packet(net::PacketSpec{});
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+}
+
+TEST(IPOptions, WellFormedOptionsAccepted) {
+  const ir::Program prog = make_ip_options();
+  net::PacketSpec spec;
+  spec.ip_options = {net::kIpOptNop, net::kIpOptNop,
+                     net::kIpOptRecordRoute, 6, 4, 0, 0, 0};
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+}
+
+TEST(IPOptions, EndStopsProcessing) {
+  const ir::Program prog = make_ip_options();
+  net::PacketSpec spec;
+  // END followed by garbage that would be malformed if processed.
+  spec.ip_options = {net::kIpOptEnd, 200, 1, 0};
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+}
+
+TEST(IPOptions, MalformedLengthGoesToErrorPort) {
+  const ir::Program prog = make_ip_options();
+  {
+    net::PacketSpec spec;
+    spec.ip_options = {200, 1, 0, 0};  // olen < 2
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p);
+    ASSERT_TRUE(r.emitted());
+    EXPECT_EQ(r.port, 1u);
+  }
+  {
+    net::PacketSpec spec;
+    spec.ip_options = {200, 40, 0, 0};  // overruns the header
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p);
+    ASSERT_TRUE(r.emitted());
+    EXPECT_EQ(r.port, 1u);
+  }
+  {
+    net::PacketSpec spec;
+    spec.ip_options = {net::kIpOptNop, net::kIpOptNop, net::kIpOptNop, 200};
+    // kind=200 at the last byte: length field missing -> truncated.
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p);
+    ASSERT_TRUE(r.emitted());
+    EXPECT_EQ(r.port, 1u);
+  }
+}
+
+TEST(IPOptions, SourceRouteSetsFlowHint) {
+  const ir::Program prog = make_ip_options();
+  net::PacketSpec spec;
+  spec.ip_options = {net::kIpOptLsrr, 3, 4, net::kIpOptEnd};
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+  EXPECT_EQ(p.meta(net::kMetaFlowHint), 1u);
+}
+
+TEST(IPOptions, Maximal40ByteNopOptions) {
+  const ir::Program prog = make_ip_options();
+  net::PacketSpec spec;
+  spec.ip_options.assign(40, net::kIpOptNop);  // worst-case loop length
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+}
+
+// --- SetIPChecksum -------------------------------------------------------------
+
+TEST(SetIPChecksum, ProducesValidChecksum) {
+  const ir::Program prog = make_set_ip_checksum();
+  net::PacketSpec spec;
+  spec.fix_checksum = false;
+  net::Packet p = ip_packet(spec);
+  p.store_be(10, 2, 0xdead);
+  ASSERT_TRUE(run_on(prog, p).emitted());
+  net::Ipv4View ip(p, 0);
+  EXPECT_TRUE(ip.checksum_ok());
+}
+
+TEST(SetIPChecksum, CoversOptions) {
+  const ir::Program prog = make_set_ip_checksum();
+  net::PacketSpec spec;
+  spec.ip_options = {net::kIpOptNop, net::kIpOptNop, net::kIpOptNop,
+                     net::kIpOptEnd};
+  spec.fix_checksum = false;
+  net::Packet p = ip_packet(spec);
+  ASSERT_TRUE(run_on(prog, p).emitted());
+  net::Ipv4View ip(p, 0);
+  EXPECT_TRUE(ip.checksum_ok());
+}
+
+// --- IPFilter ------------------------------------------------------------------
+
+TEST(IPFilter, FirstMatchWins) {
+  IpFilterConfig cfg;
+  FilterRule deny_tcp;
+  deny_tcp.allow = false;
+  deny_tcp.proto = net::kProtoTcp;
+  FilterRule allow_10;
+  allow_10.allow = true;
+  allow_10.src_prefix = net::parse_ipv4("10.0.0.0");
+  allow_10.src_plen = 8;
+  cfg.rules = {deny_tcp, allow_10};
+  const ir::Program prog = make_ip_filter(cfg);
+
+  net::PacketSpec tcp;
+  tcp.protocol = net::kProtoTcp;
+  tcp.ip_src = net::parse_ipv4("10.1.1.1");
+  net::Packet p1 = ip_packet(tcp);
+  EXPECT_TRUE(run_on(prog, p1).dropped());  // deny tcp beats allow 10/8
+
+  net::PacketSpec udp;
+  udp.protocol = net::kProtoUdp;
+  udp.ip_src = net::parse_ipv4("10.1.1.1");
+  net::Packet p2 = ip_packet(udp);
+  EXPECT_TRUE(run_on(prog, p2).emitted());
+
+  net::PacketSpec other;
+  other.ip_src = net::parse_ipv4("9.1.1.1");
+  net::Packet p3 = ip_packet(other);
+  EXPECT_TRUE(run_on(prog, p3).dropped());  // default deny
+}
+
+TEST(IPFilter, PortRuleNeedsL4) {
+  IpFilterConfig cfg;
+  FilterRule allow_dns;
+  allow_dns.allow = true;
+  allow_dns.dst_port = 53;
+  cfg.rules = {allow_dns};
+  const ir::Program prog = make_ip_filter(cfg);
+
+  net::PacketSpec dns;
+  dns.dst_port = 53;
+  net::Packet p = ip_packet(dns);
+  EXPECT_TRUE(run_on(prog, p).emitted());
+
+  net::PacketSpec http;
+  http.dst_port = 80;
+  net::Packet q = ip_packet(http);
+  EXPECT_TRUE(run_on(prog, q).dropped());
+}
+
+// --- NetFlow / NAT --------------------------------------------------------------
+
+TEST(NetFlow, CountsPerFlow) {
+  const ir::Program prog = make_netflow();
+  KvState kv(prog.kv_tables.size());
+  net::PacketSpec a;
+  a.ip_src = net::parse_ipv4("1.1.1.1");
+  a.ip_dst = net::parse_ipv4("2.2.2.2");
+  for (int i = 0; i < 3; ++i) {
+    net::Packet p = ip_packet(a);
+    ASSERT_TRUE(run_on(prog, p, &kv).emitted());
+  }
+  net::PacketSpec b = a;
+  b.ip_src = net::parse_ipv4("3.3.3.3");
+  net::Packet p = ip_packet(b);
+  ASSERT_TRUE(run_on(prog, p, &kv).emitted());
+  const uint64_t key_a =
+      (uint64_t{net::parse_ipv4("1.1.1.1")} << 32) | net::parse_ipv4("2.2.2.2");
+  EXPECT_EQ(kv.read(0, key_a), 3u);
+  EXPECT_EQ(kv.entry_count(0), 2u);
+}
+
+TEST(NetFlowStrict, TrapsOnCounterOverflow) {
+  NetFlowConfig cfg;
+  cfg.strict = true;
+  const ir::Program prog = make_netflow(cfg);
+  KvState kv(prog.kv_tables.size());
+  net::PacketSpec spec;
+  const uint64_t key =
+      (uint64_t{spec.ip_src} << 32) | spec.ip_dst;
+  kv.write(0, key, ~uint64_t{0});  // simulate 2^64-1 prior packets
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p, &kv);
+  EXPECT_TRUE(r.trapped());
+  EXPECT_EQ(r.trap, ir::TrapKind::AssertFail);
+}
+
+TEST(NetFlow, SaturatingVariantSurvivesOverflow) {
+  const ir::Program prog = make_netflow();
+  KvState kv(prog.kv_tables.size());
+  net::PacketSpec spec;
+  const uint64_t key = (uint64_t{spec.ip_src} << 32) | spec.ip_dst;
+  kv.write(0, key, ~uint64_t{0});
+  net::Packet p = ip_packet(spec);
+  EXPECT_TRUE(run_on(prog, p, &kv).emitted());
+  EXPECT_EQ(kv.read(0, key), ~uint64_t{0});
+}
+
+TEST(Nat, RewritesAndIsConsistent) {
+  NatConfig cfg;
+  cfg.external_ip = net::parse_ipv4("192.168.1.1");
+  const ir::Program prog = make_nat(cfg);
+  KvState kv(prog.kv_tables.size());
+
+  net::PacketSpec spec;
+  spec.ip_src = net::parse_ipv4("10.0.0.5");
+  spec.src_port = 5555;
+  net::Packet p1 = ip_packet(spec);
+  const ExecResult r1 = run_on(prog, p1, &kv);
+  ASSERT_TRUE(r1.emitted());
+  ASSERT_EQ(r1.port, 0u);
+  net::Ipv4View ip1(p1, 0);
+  EXPECT_EQ(ip1.src(), cfg.external_ip);
+  EXPECT_TRUE(ip1.checksum_ok()) << "NAT incremental checksum broken";
+  const uint16_t assigned =
+      static_cast<uint16_t>(p1.load_be(20, 2));
+  EXPECT_GE(assigned, cfg.base_port);
+
+  // Same flow gets the same mapping.
+  net::Packet p2 = ip_packet(spec);
+  ASSERT_TRUE(run_on(prog, p2, &kv).emitted());
+  EXPECT_EQ(p2.load_be(20, 2), assigned);
+
+  // A different flow gets a different port.
+  spec.src_port = 6666;
+  net::Packet p3 = ip_packet(spec);
+  ASSERT_TRUE(run_on(prog, p3, &kv).emitted());
+  EXPECT_NE(p3.load_be(20, 2), assigned);
+}
+
+TEST(Nat, NonTcpUdpBypasses) {
+  const ir::Program prog = make_nat();
+  net::PacketSpec spec;
+  spec.protocol = net::kProtoIcmp;
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 1u);
+}
+
+TEST(Nat, SafeVariantSurvivesCounterWrap) {
+  const ir::Program prog = make_nat();
+  KvState kv(prog.kv_tables.size());
+  kv.write(1, 0, 0xffff);  // counter at max
+  net::PacketSpec spec;
+  net::Packet p = ip_packet(spec);
+  EXPECT_TRUE(run_on(prog, p, &kv).emitted());
+}
+
+TEST(NatBuggy, CounterOverflowAsserts) {
+  NatConfig cfg;
+  cfg.buggy = true;
+  const ir::Program prog = make_nat(cfg);
+  KvState kv(prog.kv_tables.size());
+  kv.write(1, 0, 60000);  // counter far past the port space
+  net::PacketSpec spec;
+  net::Packet p = ip_packet(spec);
+  const ExecResult r = run_on(prog, p, &kv);
+  EXPECT_TRUE(r.trapped());
+  EXPECT_EQ(r.trap, ir::TrapKind::AssertFail);
+}
+
+TEST(RateLimiter, PolicesBeyondBurst) {
+  RateLimiterConfig cfg;
+  cfg.burst = 3;
+  cfg.epoch_packets = 1000;
+  const ir::Program prog = make_rate_limiter(cfg);
+  KvState kv(prog.kv_tables.size());
+  net::PacketSpec spec;
+  spec.ip_src = net::parse_ipv4("10.0.0.9");
+  int passed = 0, policed = 0;
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p, &kv);
+    ASSERT_TRUE(r.emitted());
+    (r.port == 0 ? passed : policed)++;
+  }
+  EXPECT_EQ(passed, 3);
+  EXPECT_EQ(policed, 7);
+}
+
+TEST(RateLimiter, PerSourceIsolation) {
+  RateLimiterConfig cfg;
+  cfg.burst = 2;
+  const ir::Program prog = make_rate_limiter(cfg);
+  KvState kv(prog.kv_tables.size());
+  for (int srcs = 0; srcs < 4; ++srcs) {
+    net::PacketSpec spec;
+    spec.ip_src = 0x0a000000u + static_cast<uint32_t>(srcs);
+    for (int i = 0; i < 2; ++i) {
+      net::Packet p = ip_packet(spec);
+      const ExecResult r = run_on(prog, p, &kv);
+      ASSERT_TRUE(r.emitted());
+      EXPECT_EQ(r.port, 0u) << "src " << srcs << " pkt " << i;
+    }
+  }
+}
+
+TEST(RateLimiter, EpochRollRefillsTokens) {
+  RateLimiterConfig cfg;
+  cfg.burst = 1;
+  cfg.epoch_packets = 4;
+  const ir::Program prog = make_rate_limiter(cfg);
+  KvState kv(prog.kv_tables.size());
+  net::PacketSpec spec;
+  std::vector<uint32_t> ports;
+  for (int i = 0; i < 8; ++i) {
+    net::Packet p = ip_packet(spec);
+    const ExecResult r = run_on(prog, p, &kv);
+    ASSERT_TRUE(r.emitted());
+    ports.push_back(r.port);
+  }
+  // First of each 4-packet epoch passes, the rest are policed.
+  EXPECT_EQ(ports, (std::vector<uint32_t>{0, 1, 1, 1, 0, 1, 1, 1}));
+}
+
+// --- misc l2 --------------------------------------------------------------------
+
+TEST(Paint, SetsAnnotation) {
+  const ir::Program prog = make_paint(0x42);
+  net::Packet p = net::Packet::of_size(10);
+  ASSERT_TRUE(run_on(prog, p).emitted());
+  EXPECT_EQ(p.meta(net::kMetaPaint), 0x42u);
+}
+
+TEST(Counter, CountsPacketsAndBytes) {
+  const ir::Program prog = make_counter();
+  KvState kv(prog.kv_tables.size());
+  for (int i = 0; i < 4; ++i) {
+    net::Packet p = net::Packet::of_size(100);
+    ASSERT_TRUE(run_on(prog, p, &kv).emitted());
+  }
+  EXPECT_EQ(kv.read(0, 0), 4u);
+  EXPECT_EQ(kv.read(0, 1), 400u);
+}
+
+}  // namespace
+}  // namespace vsd::elements

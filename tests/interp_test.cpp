@@ -1,0 +1,271 @@
+// Tests for the concrete IR interpreter: semantics, traps, loops, state.
+#include <gtest/gtest.h>
+
+#include "elements/toy.hpp"
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::interp {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::ProgramBuilder;
+using ir::Reg;
+using ir::TrapKind;
+
+net::Packet packet_with_int(int32_t v, size_t len = 8) {
+  net::Packet p = net::Packet::of_size(len);
+  p.store_be(0, 4, static_cast<uint32_t>(v));
+  return p;
+}
+
+ExecResult run_fresh(const ir::Program& prog, net::Packet& p) {
+  KvState kv(prog.kv_tables.size());
+  return run(prog, p, kv);
+}
+
+TEST(Interp, ToyFig1MatchesPaperSemantics) {
+  const ir::Program prog = elements::make_toy_fig1();
+  {
+    net::Packet p = packet_with_int(5);
+    const ExecResult r = run_fresh(prog, p);
+    EXPECT_TRUE(r.emitted());
+    EXPECT_EQ(p.load_be(0, 4), 10u);  // in < 10 -> out = 10
+  }
+  {
+    net::Packet p = packet_with_int(42);
+    const ExecResult r = run_fresh(prog, p);
+    EXPECT_TRUE(r.emitted());
+    EXPECT_EQ(p.load_be(0, 4), 42u);  // in >= 10 -> out = in
+  }
+  {
+    net::Packet p = packet_with_int(-1);
+    const ExecResult r = run_fresh(prog, p);
+    EXPECT_TRUE(r.trapped());  // assert in >= 0 fails: the paper's crash
+    EXPECT_EQ(r.trap, TrapKind::AssertFail);
+  }
+}
+
+TEST(Interp, ToyPipelineE1ShieldsE2) {
+  // Fig. 2: E1 clamps negatives to 0, so E2's assert can never fire when
+  // E2 follows E1 — concretely checkable for any input here.
+  const ir::Program e1 = elements::make_toy_e1();
+  const ir::Program e2 = elements::make_toy_e2();
+  for (const int32_t v : {-1000, -1, 0, 5, 10, 1 << 30}) {
+    net::Packet p = packet_with_int(v);
+    ASSERT_TRUE(run_fresh(e1, p).emitted());
+    EXPECT_TRUE(run_fresh(e2, p).emitted()) << "E2 crashed after E1 on " << v;
+  }
+}
+
+TEST(Interp, DivByZeroTraps) {
+  ProgramBuilder pb("div", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg x = f.pkt_load8(0);
+  f.udiv(f.imm8(10), x);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet zero = net::Packet::of_size(4);
+  EXPECT_EQ(run_fresh(prog, zero).trap, TrapKind::DivByZero);
+  net::Packet two = net::Packet::of_size(4);
+  two[0] = 2;
+  EXPECT_TRUE(run_fresh(prog, two).emitted());
+}
+
+TEST(Interp, PacketOobRead) {
+  ProgramBuilder pb("oob", 1);
+  FunctionBuilder& f = pb.main();
+  f.pkt_load32(100);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet small = net::Packet::of_size(10);
+  EXPECT_EQ(run_fresh(prog, small).trap, TrapKind::OobPacketRead);
+  net::Packet big = net::Packet::of_size(104);
+  EXPECT_TRUE(run_fresh(prog, big).emitted());
+}
+
+TEST(Interp, PullUnderflowTraps) {
+  ProgramBuilder pb("pull", 1);
+  pb.main().pkt_pull(14);
+  pb.main().emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet tiny = net::Packet::of_size(5);
+  EXPECT_EQ(run_fresh(prog, tiny).trap, TrapKind::PullUnderflow);
+  net::Packet ok = net::Packet::of_size(20);
+  const ExecResult r = run_fresh(prog, ok);
+  EXPECT_TRUE(r.emitted());
+  EXPECT_EQ(ok.size(), 6u);
+}
+
+TEST(Interp, PushExtendsFront) {
+  ProgramBuilder pb("push", 1);
+  FunctionBuilder& f = pb.main();
+  f.pkt_push(14);
+  f.pkt_store8(0, f.imm8(0xaa));
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(6, 0x11);
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p.size(), 20u);
+  EXPECT_EQ(p[0], 0xaa);
+  EXPECT_EQ(p[14], 0x11);
+}
+
+TEST(Interp, BigEndianLoadStore) {
+  ProgramBuilder pb("be", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg v = f.pkt_load16(0);
+  f.pkt_store16(2, v);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(4);
+  p[0] = 0x12;
+  p[1] = 0x34;
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p[2], 0x12);
+  EXPECT_EQ(p[3], 0x34);
+}
+
+TEST(Interp, MetaSlotsRoundTrip) {
+  ProgramBuilder pb("meta", 1);
+  FunctionBuilder& f = pb.main();
+  f.meta_store(2, f.imm32(0xdeadbeef));
+  const Reg v = f.meta_load(2);
+  f.pkt_store32(0, v);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(4);
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p.load_be(0, 4), 0xdeadbeefu);
+  EXPECT_EQ(p.meta(2), 0xdeadbeefu);
+}
+
+TEST(Interp, StaticTableLookupAndOob) {
+  ProgramBuilder pb("tbl", 1);
+  const ir::TableId t = pb.add_static_table("t", 32, {7, 8, 9});
+  FunctionBuilder& f = pb.main();
+  const Reg idx = f.zext(f.pkt_load8(0), 32);
+  const Reg v = f.static_load(t, idx);
+  f.pkt_store32(0, v);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(4);
+  p[0] = 2;
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p.load_be(0, 4), 9u);
+  net::Packet oob = net::Packet::of_size(4);
+  oob[0] = 3;
+  EXPECT_EQ(run_fresh(prog, oob).trap, TrapKind::OobTable);
+}
+
+TEST(Interp, KvStatePersistsAcrossPackets) {
+  ProgramBuilder pb("kv", 1);
+  const ir::TableId t = pb.add_kv_table("cnt", 8, 64);
+  FunctionBuilder& f = pb.main();
+  const Reg k = f.imm8(0);
+  const Reg c = f.kv_read(t, k);
+  f.kv_write(t, k, f.add(c, f.imm64(1)));
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  KvState kv(1);
+  for (int i = 0; i < 5; ++i) {
+    net::Packet p = net::Packet::of_size(4);
+    ASSERT_TRUE(run(prog, p, kv).emitted());
+  }
+  EXPECT_EQ(kv.read(0, 0), 5u);
+}
+
+TEST(Interp, LoopSumsAndRespectsExit) {
+  // sum = 0; for i in 0..n: sum += i; n read from packet byte 0.
+  ProgramBuilder pb("loop", 1);
+  FunctionBuilder& body = pb.new_loop_body("b", {32, 32, 32});
+  {
+    const auto& prm = pb.params(body.id());
+    const Reg i = prm[0], sum = prm[1], n = prm[2];
+    const Reg more = body.ult(i, n);
+    auto [go, stop] = body.br(more);
+    body.set_block(stop);
+    body.ret({body.imm1(false), i, sum, n});
+    body.set_block(go);
+    const Reg sum2 = body.add(sum, i);
+    const Reg i2 = body.add(i, body.imm32(1));
+    body.ret({body.imm1(true), i2, sum2, n});
+  }
+  FunctionBuilder& f = pb.main();
+  const Reg n = f.zext(f.pkt_load8(0), 32);
+  Reg i0 = f.imm32(0);
+  Reg sum0 = f.imm32(0);
+  f.run_loop(body.id(), 300, {i0, sum0, n});
+  f.pkt_store32(0, sum0);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+
+  net::Packet p = net::Packet::of_size(4);
+  p[0] = 10;
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p.load_be(0, 4), 45u);  // 0+1+...+9
+}
+
+TEST(Interp, LoopBoundTrapFires) {
+  ProgramBuilder pb("forever", 1);
+  FunctionBuilder& body = pb.new_loop_body("b", {32});
+  {
+    const Reg s = pb.params(body.id())[0];
+    body.ret({body.imm1(true), s});  // always wants to continue
+  }
+  FunctionBuilder& f = pb.main();
+  Reg s0 = f.imm32(0);
+  f.run_loop(body.id(), 8, {s0});
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(4);
+  EXPECT_EQ(run_fresh(prog, p).trap, TrapKind::LoopBound);
+}
+
+TEST(Interp, InstructionCountIsPositiveAndMonotone) {
+  const ir::Program prog = elements::make_toy_fig1();
+  net::Packet p1 = packet_with_int(5);
+  net::Packet p2 = packet_with_int(42);
+  const ExecResult r1 = run_fresh(prog, p1);
+  const ExecResult r2 = run_fresh(prog, p2);
+  EXPECT_GT(r1.instr_count, 0u);
+  EXPECT_GT(r2.instr_count, 0u);
+}
+
+TEST(Interp, SelectAndCompares) {
+  ProgramBuilder pb("sel", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg a = f.pkt_load8(0);
+  const Reg b = f.pkt_load8(1);
+  const Reg m = f.select(f.ult(a, b), b, a);  // max
+  f.pkt_store8(2, m);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(3);
+  p[0] = 9;
+  p[1] = 200;
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p[2], 200);
+}
+
+TEST(Interp, SignedOpsAtWidth) {
+  ProgramBuilder pb("signed", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg x = f.pkt_load8(0);
+  const Reg neg = f.slt(x, f.imm8(0));
+  const Reg out = f.select(neg, f.imm8(1), f.imm8(0));
+  f.pkt_store8(1, out);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  net::Packet p = net::Packet::of_size(2);
+  p[0] = 0x80;  // -128
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p[1], 1);
+  p[0] = 0x7f;
+  ASSERT_TRUE(run_fresh(prog, p).emitted());
+  EXPECT_EQ(p[1], 0);
+}
+
+}  // namespace
+}  // namespace vsd::interp

@@ -1,0 +1,314 @@
+// Tests for IR construction, validation, printing, and hashing.
+#include <gtest/gtest.h>
+
+#include "elements/registry.hpp"
+#include "interp/interp.hpp"
+#include "ir/asm.hpp"
+#include "ir/builder.hpp"
+#include "ir/ir.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::ir {
+namespace {
+
+TEST(IrBuilder, MinimalProgramValidates) {
+  ProgramBuilder pb("t", 1);
+  pb.main().emit(0);
+  const Program p = pb.finish();
+  EXPECT_TRUE(validate(p).empty());
+  EXPECT_EQ(p.functions.size(), 1u);
+}
+
+TEST(IrBuilder, ArithmeticChain) {
+  ProgramBuilder pb("t", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg a = f.imm32(10);
+  const Reg b = f.imm32(3);
+  f.add(a, b);
+  f.sub(a, b);
+  f.mul(a, b);
+  f.udiv(a, b);
+  f.emit(0);
+  EXPECT_TRUE(validate(pb.program()).empty());
+}
+
+TEST(IrBuilder, BranchCreatesBlocks) {
+  ProgramBuilder pb("t", 2);
+  FunctionBuilder& f = pb.main();
+  const Reg c = f.eq(f.imm8(1), f.imm8(1));
+  auto [t, e] = f.br(c);
+  f.set_block(t);
+  f.emit(0);
+  f.set_block(e);
+  f.emit(1);
+  const Program p = pb.finish();
+  EXPECT_EQ(p.functions[0].blocks.size(), 3u);
+}
+
+TEST(IrValidate, RejectsWidthMismatch) {
+  ProgramBuilder pb("t", 1);
+  FunctionBuilder& f = pb.main();
+  Program& p = pb.program();
+  const Reg a = f.imm8(1);
+  const Reg b = f.imm16(1);
+  // Build a bad instruction by hand (builder would not produce it).
+  Instr in;
+  in.op = Opcode::Add;
+  in.dst = a;
+  in.a = a;
+  in.b = b;
+  p.functions[0].blocks[0].instrs.push_back(in);
+  f.emit(0);
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(IrValidate, RejectsBadJumpTarget) {
+  ProgramBuilder pb("t", 1);
+  pb.main().jump(42);
+  EXPECT_FALSE(validate(pb.program()).empty());
+}
+
+TEST(IrValidate, RejectsEmitPortOutOfRange) {
+  ProgramBuilder pb("t", 1);
+  pb.main().emit(3);
+  EXPECT_FALSE(validate(pb.program()).empty());
+}
+
+TEST(IrValidate, RejectsReturnFromMain) {
+  ProgramBuilder pb("t", 1);
+  pb.main().ret({});
+  EXPECT_FALSE(validate(pb.program()).empty());
+}
+
+TEST(IrValidate, RejectsBadMetaSlot) {
+  ProgramBuilder pb("t", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg v = f.imm32(1);
+  f.meta_store(99, v);
+  f.emit(0);
+  EXPECT_FALSE(validate(pb.program()).empty());
+}
+
+TEST(IrValidate, LoopStateArityChecked) {
+  ProgramBuilder pb("t", 1);
+  FunctionBuilder& body = pb.new_loop_body("body", {32});
+  {
+    const Reg s = pb.params(body.id())[0];
+    body.ret({body.imm1(false), s});
+  }
+  FunctionBuilder& f = pb.main();
+  const Reg s0 = f.imm32(0);
+  const Reg s1 = f.imm32(0);
+  f.run_loop(body.id(), 4, {s0, s1});  // wrong arity
+  f.emit(0);
+  EXPECT_FALSE(validate(pb.program()).empty());
+}
+
+TEST(IrBuilder, WellFormedLoop) {
+  ProgramBuilder pb("t", 1);
+  FunctionBuilder& body = pb.new_loop_body("body", {32});
+  {
+    const Reg s = pb.params(body.id())[0];
+    const Reg next = body.add(s, body.imm32(1));
+    const Reg cont = body.ult(next, body.imm32(10));
+    body.ret({cont, next});
+  }
+  FunctionBuilder& f = pb.main();
+  const Reg s0 = f.imm32(0);
+  f.run_loop(body.id(), 16, {s0});
+  f.emit(0);
+  EXPECT_TRUE(validate(pb.program()).empty());
+}
+
+TEST(IrPrint, ContainsStructure) {
+  ProgramBuilder pb("printable", 1);
+  FunctionBuilder& f = pb.main();
+  const Reg x = f.pkt_load8(3);
+  const Reg ok = f.ugt(x, f.imm8(1));
+  auto [t, e] = f.br(ok);
+  f.set_block(t);
+  f.emit(0);
+  f.set_block(e);
+  f.drop();
+  const std::string s = to_string(pb.finish());
+  EXPECT_NE(s.find("program @printable"), std::string::npos);
+  EXPECT_NE(s.find("pkt.load"), std::string::npos);
+  EXPECT_NE(s.find("drop"), std::string::npos);
+  EXPECT_NE(s.find("emit"), std::string::npos);
+}
+
+TEST(IrHash, StableAndConfigSensitive) {
+  const auto build = [](uint64_t k) {
+    ProgramBuilder pb("t", 1);
+    FunctionBuilder& f = pb.main();
+    const Reg x = f.pkt_load8(0);
+    const Reg c = f.eq(x, f.imm8(k));
+    auto [tb, eb] = f.br(c);
+    f.set_block(tb);
+    f.emit(0);
+    f.set_block(eb);
+    f.drop();
+    return pb.finish();
+  };
+  EXPECT_EQ(program_hash(build(7)), program_hash(build(7)));
+  EXPECT_NE(program_hash(build(7)), program_hash(build(8)));
+}
+
+TEST(IrHash, TableContentSensitive) {
+  const auto build = [](uint64_t v) {
+    ProgramBuilder pb("t", 1);
+    pb.add_static_table("tbl", 32, {1, 2, v});
+    pb.main().emit(0);
+    return pb.finish();
+  };
+  EXPECT_NE(program_hash(build(3)), program_hash(build(4)));
+}
+
+TEST(IrAsm, RoundTripsEveryRegistryElement) {
+  // The assembler renumbers registers in text order, so the first
+  // round-trip normalizes; after that the text must be a fixpoint and the
+  // reparsed program structurally identical. Behavioural equivalence with
+  // the original is checked on concrete packets below.
+  for (const std::string& name : vsd::elements::registered_elements()) {
+    std::string args;
+    if (name == "IPLookup") args = "10.0.0.0/8 0, 192.168.7.0/24 1";
+    if (name == "IPFilter") args = "deny tcp; allow src 10.0.0.0/8";
+    const Program original = vsd::elements::make_element(name, args);
+    Program normalized;
+    ASSERT_NO_THROW(normalized = assemble(disassemble(original)))
+        << name << "\n" << disassemble(original);
+    const std::string text = disassemble(normalized);
+    Program reparsed;
+    ASSERT_NO_THROW(reparsed = assemble(text)) << name << "\n" << text;
+    EXPECT_EQ(program_hash(normalized), program_hash(reparsed))
+        << name << " text form is not a fixpoint\n" << text;
+    EXPECT_EQ(text, disassemble(reparsed)) << name;
+
+    // Original and reparsed behave identically on a packet sweep.
+    for (uint8_t fill : {0x00, 0x45, 0xff}) {
+      for (size_t len : {0u, 5u, 21u, 64u}) {
+        net::Packet a = net::Packet::of_size(len, fill);
+        net::Packet b = a;
+        if (len > 0) a[0] = b[0] = 0x46;  // plausible IPv4 first byte
+        interp::KvState kva(original.kv_tables.size());
+        interp::KvState kvb(reparsed.kv_tables.size());
+        const interp::ExecResult ra = interp::run(original, a, kva);
+        const interp::ExecResult rb = interp::run(reparsed, b, kvb);
+        ASSERT_EQ(ra.action, rb.action) << name << " len " << len;
+        ASSERT_EQ(ra.port, rb.port) << name;
+        ASSERT_EQ(ra.instr_count, rb.instr_count) << name;
+        ASSERT_EQ(a.size(), b.size()) << name;
+        for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << name;
+      }
+    }
+  }
+}
+
+TEST(IrAsm, HandWrittenProgramRuns) {
+  const char* text = R"(
+# A tiny TTL-checker written directly in the textual IR.
+program MiniTtl ports=2
+func main
+block b0
+  %len:32 = pkt.len
+  %min:32 = const 9
+  %ok:1 = ule %min, %len
+  br %ok, @b1, @b2
+block b1
+  %ttl:8 = pkt.load off=8 n=1
+  %one:8 = const 1
+  %alive:1 = ult %one, %ttl
+  br %alive, @b3, @b4
+block b2
+  drop
+block b3
+  %dec:8 = sub %ttl, %one
+  pkt.store off=8 n=1, %dec
+  emit 0
+block b4
+  emit 1
+)";
+  const Program p = assemble(text);
+  net::Packet pkt = net::Packet::of_size(20);
+  pkt[8] = 7;
+  interp::KvState kv;
+  const interp::ExecResult r = interp::run(p, pkt, kv);
+  ASSERT_TRUE(r.emitted());
+  EXPECT_EQ(r.port, 0u);
+  EXPECT_EQ(pkt[8], 6);
+
+  net::Packet expired = net::Packet::of_size(20);
+  expired[8] = 1;
+  interp::KvState kv2;
+  const interp::ExecResult r2 = interp::run(p, expired, kv2);
+  ASSERT_TRUE(r2.emitted());
+  EXPECT_EQ(r2.port, 1u);
+}
+
+TEST(IrAsm, LoopAndStateRoundTrip) {
+  const char* text = R"(
+program LoopyCounter ports=1
+kv k0 "hits" key=8 val=64
+
+func main
+block b0
+  %i:32 = const 0
+  %n:32 = const 5
+  loop body max=8 state=(%i, %n)
+  %k:8 = const 0
+  %c:64 = kv.read k0, %k
+  %one:64 = const 1
+  %c2:64 = add %c, %one
+  kv.write k0, %k, %c2
+  emit 0
+
+func body ret=(1, 32, 32)
+param %i:32
+param %n:32
+block b0
+  %more:1 = ult %i, %n
+  br %more, @go, @stop
+block go
+  %one:32 = const 1
+  %i2:32 = add %i, %one
+  %t:1 = const 1
+  ret %t, %i2, %n
+block stop
+  %f:1 = const 0
+  ret %f, %i, %n
+)";
+  const Program p = assemble(text);
+  const Program p2 = assemble(disassemble(p));
+  EXPECT_EQ(program_hash(p), program_hash(p2));
+  net::Packet pkt = net::Packet::of_size(4);
+  interp::KvState kv(1);
+  ASSERT_TRUE(interp::run(p, pkt, kv).emitted());
+  EXPECT_EQ(kv.read(0, 0), 1u);
+}
+
+TEST(IrAsm, ReportsErrorsWithLineNumbers) {
+  EXPECT_THROW(assemble("program x ports=1\nfunc main\nblock b0\n  bogus 1\n"),
+               AsmError);
+  try {
+    assemble("program x ports=1\nfunc main\nblock b0\n  %a:8 = add %b, %c\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 4u);
+  }
+  // Undefined block reference.
+  EXPECT_THROW(assemble("program x ports=1\nfunc main\nblock b0\n  jump @nope\n"),
+               AsmError);
+  // Validation failure surfaces as runtime_error (emit port out of range).
+  EXPECT_THROW(assemble("program x ports=1\nfunc main\nblock b0\n  emit 5\n"),
+               std::runtime_error);
+}
+
+TEST(IrTrapNames, AllDistinct) {
+  EXPECT_STREQ(trap_name(TrapKind::AssertFail), "assert-fail");
+  EXPECT_STREQ(trap_name(TrapKind::DivByZero), "div-by-zero");
+  EXPECT_STREQ(trap_name(TrapKind::OobPacketRead), "oob-packet-read");
+  EXPECT_STREQ(trap_name(TrapKind::LoopBound), "loop-bound-exceeded");
+}
+
+}  // namespace
+}  // namespace vsd::ir

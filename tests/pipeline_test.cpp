@@ -1,0 +1,221 @@
+// Tests for the pipeline framework: graph construction, config parsing,
+// packet routing, counters, path enumeration, state discipline.
+#include <gtest/gtest.h>
+
+#include "elements/registry.hpp"
+#include "elements/l2.hpp"
+#include "elements/toy.hpp"
+#include "net/headers.hpp"
+#include "net/workload.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace vsd::pipeline {
+namespace {
+
+TEST(Pipeline, LinearChainDelivers) {
+  Pipeline pl;
+  const size_t a = pl.add("n1", elements::make_null());
+  const size_t b = pl.add("n2", elements::make_null());
+  pl.chain({a, b});
+  EXPECT_TRUE(pl.validate().empty());
+  net::Packet p = net::Packet::of_size(20);
+  const PipelineResult r = pl.process(p);
+  EXPECT_EQ(r.action, FinalAction::Delivered);
+  EXPECT_EQ(r.exit_element, b);
+  EXPECT_EQ(r.trace, (std::vector<size_t>{a, b}));
+}
+
+TEST(Pipeline, DropTerminates) {
+  Pipeline pl;
+  const size_t a = pl.add("n", elements::make_null());
+  const size_t d = pl.add("disc", elements::make_discard());
+  pl.chain({a, d});
+  net::Packet p = net::Packet::of_size(20);
+  const PipelineResult r = pl.process(p);
+  EXPECT_EQ(r.action, FinalAction::Dropped);
+  EXPECT_EQ(r.exit_element, d);
+}
+
+TEST(Pipeline, TrapSurfacesElementAndKind) {
+  Pipeline pl;
+  const size_t s = pl.add("strip", elements::make_unsafe_strip(14));
+  (void)s;
+  net::Packet tiny = net::Packet::of_size(3);
+  const PipelineResult r = pl.process(tiny);
+  EXPECT_EQ(r.action, FinalAction::Trapped);
+  EXPECT_EQ(r.trap, ir::TrapKind::PullUnderflow);
+}
+
+TEST(Pipeline, MultiPortRouting) {
+  Pipeline pl;
+  const size_t c = pl.add("cls", elements::make_ipv4_classifier());
+  const size_t ipv4_sink = pl.add("v4", elements::make_counter());
+  const size_t other_sink = pl.add("other", elements::make_discard());
+  pl.connect(c, 0, ipv4_sink);
+  pl.connect(c, 1, other_sink);
+
+  net::Packet v4 = net::make_packet(net::PacketSpec{});
+  EXPECT_EQ(pl.process(v4).action, FinalAction::Delivered);
+  EXPECT_EQ(pl.element(ipv4_sink).counters().packets_in, 1u);
+
+  net::PacketSpec arp;
+  arp.ether_type = net::kEtherTypeArp;
+  net::Packet not_v4 = net::make_packet(arp);
+  EXPECT_EQ(pl.process(not_v4).action, FinalAction::Dropped);
+  EXPECT_EQ(pl.element(other_sink).counters().packets_in, 1u);
+}
+
+TEST(Pipeline, CountersAccumulate) {
+  Pipeline pl;
+  const size_t n = pl.add("null", elements::make_null());
+  for (int i = 0; i < 7; ++i) {
+    net::Packet p = net::Packet::of_size(10);
+    pl.process(p);
+  }
+  EXPECT_EQ(pl.element(n).counters().packets_in, 7u);
+  EXPECT_EQ(pl.element(n).counters().emitted, 7u);
+  EXPECT_GT(pl.element(n).counters().instructions, 0u);
+  pl.reset();
+  EXPECT_EQ(pl.element(n).counters().packets_in, 0u);
+}
+
+TEST(Pipeline, PrivateStateIsPerElementInstance) {
+  // Two Counter instances must not share their KV tables (the paper's
+  // no-shared-mutable-state discipline).
+  Pipeline pl;
+  const size_t c1 = pl.add("c1", elements::make_counter());
+  const size_t c2 = pl.add("c2", elements::make_counter());
+  pl.chain({c1, c2});
+  net::Packet p = net::Packet::of_size(10);
+  pl.process(p);
+  EXPECT_EQ(pl.element(c1).kv().read(0, 0), 1u);
+  EXPECT_EQ(pl.element(c2).kv().read(0, 0), 1u);
+  // Mutating c1's state does not affect c2's.
+  pl.element(c1).kv().write(0, 0, 100);
+  EXPECT_EQ(pl.element(c2).kv().read(0, 0), 1u);
+}
+
+TEST(Pipeline, ValidateCatchesCycle) {
+  Pipeline pl;
+  const size_t a = pl.add("a", elements::make_null());
+  const size_t b = pl.add("b", elements::make_null());
+  pl.connect(a, 0, b);
+  pl.connect(b, 0, a);
+  EXPECT_FALSE(pl.validate().empty());
+}
+
+TEST(Pipeline, ElementPathsLinear) {
+  Pipeline pl;
+  const size_t a = pl.add("a", elements::make_null());
+  const size_t b = pl.add("b", elements::make_null());
+  const size_t c = pl.add("c", elements::make_null());
+  pl.chain({a, b, c});
+  const auto paths = pl.element_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<size_t>{a, b, c}));
+}
+
+TEST(Pipeline, ElementPathsBranching) {
+  Pipeline pl;
+  const size_t cls = pl.add("cls", elements::make_ipv4_classifier());
+  const size_t x = pl.add("x", elements::make_null());
+  const size_t y = pl.add("y", elements::make_null());
+  pl.connect(cls, 0, x);
+  pl.connect(cls, 1, y);
+  const auto paths = pl.element_paths();
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(ParsePipeline, BuildsChainFromConfig) {
+  Pipeline pl = elements::parse_pipeline(
+      "Classifier -> EthDecap -> CheckIPHeader(nochecksum) -> Discard");
+  EXPECT_EQ(pl.size(), 4u);
+  EXPECT_TRUE(pl.validate().empty());
+  net::Packet p = net::make_packet(net::PacketSpec{});
+  const PipelineResult r = pl.process(p);
+  EXPECT_EQ(r.action, FinalAction::Dropped);  // Discard at the end
+  EXPECT_EQ(r.trace.size(), 4u);
+}
+
+TEST(ParsePipeline, ElementArgsParsed) {
+  Pipeline pl = elements::parse_pipeline(
+      "IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1)");
+  EXPECT_EQ(pl.element(0).num_output_ports(), 2u);
+}
+
+TEST(ParsePipeline, RejectsUnknownElement) {
+  EXPECT_THROW(elements::parse_pipeline("NoSuchThing"),
+               std::invalid_argument);
+}
+
+TEST(ParsePipeline, RejectsUnbalancedParens) {
+  EXPECT_THROW(elements::parse_pipeline("Paint(3 -> Null"),
+               std::invalid_argument);
+}
+
+TEST(ParsePipeline, RegistryListsElements) {
+  const auto names = elements::registered_elements();
+  EXPECT_GE(names.size(), 15u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "CheckIPHeader"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "IPLookup"), names.end());
+}
+
+TEST(IpRouterPipeline, ForwardsWellFormedTraffic) {
+  Pipeline pl = elements::make_ip_router_pipeline();
+  net::PacketSpec spec;
+  spec.ip_dst = net::parse_ipv4("10.9.9.9");
+  spec.ttl = 17;
+  net::Packet p = net::make_packet(spec);
+  const PipelineResult r = pl.process(p);
+  EXPECT_EQ(r.action, FinalAction::Delivered);
+  // The packet traversed the full 7-element chain.
+  EXPECT_EQ(r.trace.size(), 7u);
+  // TTL decremented; checksum still valid after re-encap.
+  net::Ipv4View ip(p, net::kEtherHeaderSize);
+  EXPECT_EQ(ip.ttl(), 16);
+  EXPECT_TRUE(ip.checksum_ok());
+}
+
+TEST(IpRouterPipeline, DropsUnroutableAndMalformed) {
+  Pipeline pl = elements::make_ip_router_pipeline();
+  {
+    net::PacketSpec spec;
+    spec.ip_dst = net::parse_ipv4("8.8.8.8");  // no route
+    net::Packet p = net::make_packet(spec);
+    EXPECT_EQ(pl.process(p).action, FinalAction::Dropped);
+  }
+  {
+    net::PacketSpec spec;
+    spec.ip_dst = net::parse_ipv4("10.0.0.1");
+    spec.fix_checksum = false;  // bad checksum -> CheckIPHeader drops
+    net::Packet p = net::make_packet(spec);
+    p.store_be(net::kEtherHeaderSize + 10, 2, 0x1234);
+    EXPECT_EQ(pl.process(p).action, FinalAction::Dropped);
+  }
+}
+
+TEST(IpRouterPipeline, NeverTrapsOnFuzzedTraffic) {
+  // Concrete sanity for the crash-freedom claim: none of the random
+  // workload classes can trap the router (the verifier proves this for all
+  // inputs; here we spot-check real executions).
+  Pipeline pl = elements::make_ip_router_pipeline();
+  for (const auto traffic :
+       {net::TrafficClass::WellFormed, net::TrafficClass::WithIpOptions,
+        net::TrafficClass::MalformedHeader, net::TrafficClass::RandomBytes,
+        net::TrafficClass::TinyPackets}) {
+    net::WorkloadConfig cfg;
+    cfg.traffic = traffic;
+    cfg.count = 200;
+    cfg.seed = 7 + static_cast<uint64_t>(traffic);
+    for (net::Packet& p : generate_workload(cfg)) {
+      const PipelineResult r = pl.process(p);
+      EXPECT_NE(r.action, FinalAction::Trapped)
+          << "trap " << ir::trap_name(r.trap) << " on class "
+          << static_cast<int>(traffic);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsd::pipeline

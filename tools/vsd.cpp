@@ -1,0 +1,358 @@
+// vsd — the command-line verification tool the paper envisions (§1: "an
+// automated verification tool that takes as input ... a software pipeline
+// and proves that the pipeline does (or does not) satisfy a target
+// property").
+//
+// Usage:
+//   vsd list
+//   vsd show     "<pipeline>"
+//   vsd run      "<pipeline>" [--count N] [--traffic CLASS] [--seed S]
+//   vsd verify   "<pipeline>" --property crash|bound [--len N] [--unroll]
+//   vsd reach    "<pipeline>" --dst A.B.C.D [--len N] [--eth-offset N]
+//   vsd certify  "<base>" --candidate "<element>" [--after K] [--len N]
+//   vsd baseline "<pipeline>" [--len N] [--budget SECONDS]
+//   vsd asm      <file.vsd>              assemble + validate a textual element
+//   vsd verify-ir <file.vsd> --property crash|bound [--len N]
+//
+// Pipelines use the registry config syntax, e.g.
+//   "Classifier -> EthDecap -> CheckIPHeader -> IPLookup(10.0.0.0/8 0)"
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "elements/registry.hpp"
+#include "ir/asm.hpp"
+#include "ir/ir.hpp"
+#include "net/headers.hpp"
+#include "net/workload.hpp"
+#include "pipeline/pipeline.hpp"
+#include "verify/certify.hpp"
+#include "verify/decomposed.hpp"
+#include "verify/monolithic.hpp"
+#include "verify/predicates.hpp"
+
+using namespace vsd;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& def) const {
+    const auto it = options.find(name);
+    return it == options.end() ? def : it->second;
+  }
+  uint64_t get_u64(const std::string& name, uint64_t def) const {
+    const auto it = options.find(name);
+    return it == options.end() ? def : std::stoull(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const std::string key = s.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.options[key] = argv[++i];
+      } else {
+        a.options[key] = "";
+      }
+    } else {
+      a.positional.push_back(s);
+    }
+  }
+  return a;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int usage() {
+  std::puts(
+      "vsd — verifiable software dataplane tool\n"
+      "  vsd list                                  registered elements\n"
+      "  vsd show \"<pipeline>\"                     print element IR\n"
+      "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
+      "malformed|random|tiny] [--seed S]\n"
+      "  vsd verify \"<pipeline>\" --property crash|bound [--len N] "
+      "[--unroll]\n"
+      "  vsd reach \"<pipeline>\" --dst A.B.C.D [--len N] [--eth-offset N]\n"
+      "  vsd certify \"<base>\" --candidate \"<element>\" [--after K] "
+      "[--len N]\n"
+      "  vsd baseline \"<pipeline>\" [--len N] [--budget SECONDS]\n"
+      "  vsd paths \"<pipeline>\" [--len N]          composed path listing\n"
+      "  vsd asm <file.vsd>                        assemble + validate\n"
+      "  vsd verify-ir <file.vsd> --property crash|bound [--len N]");
+  return 2;
+}
+
+void print_counterexample(const verify::Counterexample& ce) {
+  std::printf("  trap: %s\n", ir::trap_name(ce.trap));
+  std::printf("  packet: %s\n", ce.packet.hex(48).c_str());
+  if (!ce.element_path.empty()) {
+    std::printf("  path:");
+    for (const auto& n : ce.element_path) std::printf(" -> %s", n.c_str());
+    std::printf("\n");
+  }
+  if (!ce.state_note.empty()) std::printf("  note: %s\n", ce.state_note.c_str());
+}
+
+int cmd_list() {
+  for (const std::string& n : elements::registered_elements()) {
+    std::printf("%s\n", n.c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  for (size_t i = 0; i < pl.size(); ++i) {
+    std::printf("=== [%zu] %s ===\n%s\n", i, pl.element(i).name().c_str(),
+                ir::to_string(pl.element(i).program()).c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  const auto problems = pl.validate();
+  for (const auto& p : problems) std::printf("warning: %s\n", p.c_str());
+
+  net::WorkloadConfig cfg;
+  cfg.count = a.get_u64("count", 1000);
+  cfg.seed = a.get_u64("seed", 1);
+  const std::string traffic = a.get("traffic", "wellformed");
+  if (traffic == "wellformed") cfg.traffic = net::TrafficClass::WellFormed;
+  else if (traffic == "options") cfg.traffic = net::TrafficClass::WithIpOptions;
+  else if (traffic == "malformed") cfg.traffic = net::TrafficClass::MalformedHeader;
+  else if (traffic == "random") cfg.traffic = net::TrafficClass::RandomBytes;
+  else if (traffic == "tiny") cfg.traffic = net::TrafficClass::TinyPackets;
+  else { std::printf("unknown traffic class: %s\n", traffic.c_str()); return 2; }
+
+  size_t delivered = 0, dropped = 0, trapped = 0;
+  uint64_t instructions = 0;
+  for (net::Packet& p : net::generate_workload(cfg)) {
+    const pipeline::PipelineResult r = pl.process(p);
+    instructions += r.instructions;
+    switch (r.action) {
+      case pipeline::FinalAction::Delivered: ++delivered; break;
+      case pipeline::FinalAction::Dropped: ++dropped; break;
+      case pipeline::FinalAction::Trapped:
+        ++trapped;
+        std::printf("TRAP %s at [%s]\n", ir::trap_name(r.trap),
+                    pl.element(r.exit_element).name().c_str());
+        break;
+    }
+  }
+  std::printf("%zu packets: %zu delivered, %zu dropped, %zu trapped; "
+              "%.1f instr/pkt\n",
+              static_cast<size_t>(cfg.count), delivered, dropped, trapped,
+              static_cast<double>(instructions) / cfg.count);
+  for (size_t i = 0; i < pl.size(); ++i) {
+    const auto& c = pl.element(i).counters();
+    std::printf("  [%zu] %-16s in=%llu emit=%llu drop=%llu\n", i,
+                pl.element(i).name().c_str(),
+                static_cast<unsigned long long>(c.packets_in),
+                static_cast<unsigned long long>(c.emitted),
+                static_cast<unsigned long long>(c.dropped));
+  }
+  return trapped == 0 ? 0 : 1;
+}
+
+int cmd_verify(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  if (a.flag("unroll")) cfg.loop_mode = symbex::LoopMode::Unroll;
+  verify::DecomposedVerifier verifier(cfg);
+
+  const std::string prop = a.get("property", "crash");
+  if (prop == "crash") {
+    const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+    std::printf("crash-freedom (len %zu): %s in %.2f s\n", cfg.packet_len,
+                verify::verdict_name(r.verdict), r.seconds);
+    std::printf("  suspects %llu, eliminated %llu, elements summarized %llu "
+                "(+%llu cached)\n",
+                static_cast<unsigned long long>(r.stats.suspects_found),
+                static_cast<unsigned long long>(r.stats.suspects_eliminated),
+                static_cast<unsigned long long>(r.stats.elements_summarized),
+                static_cast<unsigned long long>(r.stats.summary_cache_hits));
+    for (const auto& ce : r.counterexamples) print_counterexample(ce);
+    return r.verdict == verify::Verdict::Proven ? 0 : 1;
+  }
+  if (prop == "bound") {
+    const verify::InstructionBoundReport r =
+        verifier.verify_instruction_bound(pl);
+    std::printf("instruction bound (len %zu): %s, max %llu%s in %.2f s\n",
+                cfg.packet_len, verify::verdict_name(r.verdict),
+                static_cast<unsigned long long>(r.max_instructions),
+                r.bound_is_exact ? " (exact)" : " (upper bound)", r.seconds);
+    if (r.witness) {
+      std::printf("  witness (%llu instrs on replay): %s\n",
+                  static_cast<unsigned long long>(r.witness_instructions),
+                  r.witness->hex(48).c_str());
+    }
+    return r.verdict == verify::Verdict::Proven ? 0 : 1;
+  }
+  std::printf("unknown property: %s\n", prop.c_str());
+  return 2;
+}
+
+int cmd_reach(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  const uint32_t dst = net::parse_ipv4(a.get("dst", "10.0.0.1"));
+  const size_t eth_off = a.get_u64("eth-offset", 0);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  verify::DecomposedVerifier verifier(cfg);
+  const verify::ReachabilityReport r = verifier.verify_never_dropped(
+      pl, [&](const symbex::SymPacket& p) {
+        return verify::both(verify::wellformed_ipv4_checksummed(p, eth_off),
+                            verify::dst_ip_is(p, dst, eth_off + 14));
+      });
+  std::printf(
+      "'well-formed packets to %s are never dropped': %s in %.2f s\n",
+      net::format_ipv4(dst).c_str(), verify::verdict_name(r.verdict),
+      r.seconds);
+  for (const auto& ce : r.counterexamples) print_counterexample(ce);
+  return r.verdict == verify::Verdict::Proven ? 0 : 1;
+}
+
+int cmd_certify(const Args& a) {
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  verify::DecomposedVerifier verifier(cfg);
+  const verify::CertificationReport r = verify::certify_element(
+      verifier, a.positional[1], a.get("candidate", "Null"),
+      a.get_u64("after", 0));
+  std::printf("%s\n", r.summary.c_str());
+  for (const auto& ce : r.crash.counterexamples) print_counterexample(ce);
+  return r.certified ? 0 : 1;
+}
+
+int cmd_paths(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  verify::DecomposedVerifier verifier(cfg);
+  const verify::ComposedPaths composed = verifier.enumerate_paths(pl);
+  std::printf("%zu composed end-to-end paths (len %zu)%s:\n",
+              composed.paths.size(), cfg.packet_len,
+              composed.complete ? "" : " [TRUNCATED]");
+  for (size_t i = 0; i < composed.paths.size(); ++i) {
+    const verify::ComposedPath& cp = composed.paths[i];
+    const bool feasible = !verifier.solver().is_unsat(cp.constraint);
+    std::string action = symbex::seg_action_name(cp.action);
+    if (cp.action == symbex::SegAction::Emit) {
+      action += "(" + std::to_string(cp.port) + ")";
+    }
+    if (cp.action == symbex::SegAction::Trap) {
+      action += std::string("(") + ir::trap_name(cp.trap) + ")";
+    }
+    std::printf("  p%-3zu %-22s #instr=%llu%s  via", i, action.c_str(),
+                static_cast<unsigned long long>(cp.instr_count),
+                cp.count_is_bound ? "(bound)" : "");
+    for (const auto& n : cp.element_path) std::printf(" %s", n.c_str());
+    if (!feasible) std::printf("  [infeasible]");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_asm(const Args& a) {
+  const ir::Program p = ir::assemble(read_file(a.positional[1]));
+  std::printf("assembled @%s: %zu function(s), %zu static table(s), %zu kv "
+              "table(s), %u output port(s)\n",
+              p.name.c_str(), p.functions.size(), p.static_tables.size(),
+              p.kv_tables.size(), p.num_output_ports);
+  if (a.flag("print")) std::printf("%s", ir::disassemble(p).c_str());
+  return 0;
+}
+
+int cmd_verify_ir(const Args& a) {
+  pipeline::Pipeline pl;
+  const ir::Program prog = ir::assemble(read_file(a.positional[1]));
+  pl.add(prog.name, prog);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  verify::DecomposedVerifier verifier(cfg);
+  const std::string prop = a.get("property", "crash");
+  if (prop == "crash") {
+    const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+    std::printf("crash-freedom of @%s (len %zu): %s in %.2f s\n",
+                prog.name.c_str(), cfg.packet_len,
+                verify::verdict_name(r.verdict), r.seconds);
+    for (const auto& ce : r.counterexamples) print_counterexample(ce);
+    return r.verdict == verify::Verdict::Proven ? 0 : 1;
+  }
+  if (prop == "bound") {
+    const verify::InstructionBoundReport r =
+        verifier.verify_instruction_bound(pl);
+    std::printf("instruction bound of @%s (len %zu): %s, max %llu%s\n",
+                prog.name.c_str(), cfg.packet_len,
+                verify::verdict_name(r.verdict),
+                static_cast<unsigned long long>(r.max_instructions),
+                r.bound_is_exact ? " (exact)" : " (upper bound)");
+    return r.verdict == verify::Verdict::Proven ? 0 : 1;
+  }
+  std::printf("unknown property: %s\n", prop.c_str());
+  return 2;
+}
+
+int cmd_baseline(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  verify::MonolithicConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  cfg.time_budget_seconds = static_cast<double>(a.get_u64("budget", 60));
+  verify::MonolithicVerifier verifier(cfg);
+  const verify::CrashFreedomReport r = verifier.verify_crash_freedom(pl);
+  const char* verdict = r.verdict == verify::Verdict::Unknown
+                            ? "DNF (budget exhausted)"
+                            : verify::verdict_name(r.verdict);
+  std::printf("monolithic crash-freedom: %s in %.2f s (%llu paths, %llu "
+              "instrs interpreted)\n",
+              verdict, r.seconds,
+              static_cast<unsigned long long>(
+                  verifier.last_stats().paths_explored),
+              static_cast<unsigned long long>(
+                  verifier.last_stats().instructions_interpreted));
+  for (const auto& ce : r.counterexamples) print_counterexample(ce);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (a.positional.empty()) return usage();
+  const std::string& cmd = a.positional[0];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (a.positional.size() < 2) return usage();
+    if (cmd == "show") return cmd_show(a);
+    if (cmd == "run") return cmd_run(a);
+    if (cmd == "verify") return cmd_verify(a);
+    if (cmd == "reach") return cmd_reach(a);
+    if (cmd == "certify") return cmd_certify(a);
+    if (cmd == "baseline") return cmd_baseline(a);
+    if (cmd == "paths") return cmd_paths(a);
+    if (cmd == "asm") return cmd_asm(a);
+    if (cmd == "verify-ir") return cmd_verify_ir(a);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
