@@ -1,0 +1,19 @@
+#include "solver/pool.hpp"
+
+namespace vsd::solver {
+
+SolverPool::SolverPool(size_t workers, uint64_t max_conflicts) {
+  const size_t n = workers == 0 ? 1 : workers;
+  solvers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Solver>();
+    s->set_max_conflicts(max_conflicts);
+    solvers_.push_back(std::move(s));
+  }
+}
+
+void SolverPool::reset_stats() {
+  for (auto& s : solvers_) s->reset_stats();
+}
+
+}  // namespace vsd::solver

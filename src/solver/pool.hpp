@@ -1,0 +1,30 @@
+// Per-worker solver instances for the parallel verification engine.
+//
+// Solver holds per-instance mutable state (result cache, statistics, SAT
+// backend scratch), so concurrent workers must not share one. The pool
+// hands worker i its own Solver; queries never contend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "solver/solver.hpp"
+
+namespace vsd::solver {
+
+class SolverPool {
+ public:
+  explicit SolverPool(size_t workers, uint64_t max_conflicts = UINT64_MAX);
+
+  size_t size() const { return solvers_.size(); }
+  Solver& at(size_t worker) { return *solvers_.at(worker); }
+
+  void reset_stats();
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace vsd::solver

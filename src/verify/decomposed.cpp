@@ -1,14 +1,19 @@
 #include "verify/decomposed.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bv/analysis.hpp"
 #include "bv/printer.hpp"
 #include "interp/interp.hpp"
+#include "solver/pool.hpp"
+#include "verify/parallel.hpp"
 
 namespace vsd::verify {
 
@@ -61,14 +66,27 @@ uint64_t replay_instruction_count(const pipeline::Pipeline& pl,
 
 class DecomposedVerifier::Impl {
  public:
-  explicit Impl(DecomposedConfig config) : cfg(config) {
+  explicit Impl(DecomposedConfig config)
+      : cfg(config),
+        jobs(resolve_jobs(config.jobs)),
+        pool(jobs, config.max_solver_conflicts) {
     solver.set_max_conflicts(cfg.max_solver_conflicts);
+    if (jobs > 1) queue = std::make_unique<WorkQueue>(jobs);
+  }
+
+  static size_t resolve_jobs(size_t requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
   }
 
   DecomposedConfig cfg;
-  solver::Solver solver;
-  symbex::SummaryCache cache_summarize;
-  symbex::SummaryCache cache_unroll;
+  size_t jobs;
+  solver::Solver solver;     // the sequential engine's instance
+  solver::SolverPool pool;   // one instance per worker (parallel engine)
+  std::unique_ptr<WorkQueue> queue;  // only when jobs > 1
+  symbex::SharedSummaryCache cache_summarize;
+  symbex::SharedSummaryCache cache_unroll;
   VerifyStats stats;  // accumulated per verification call (reset each call)
 
   // ---------------------------------------------------------------------
@@ -84,13 +102,17 @@ class DecomposedVerifier::Impl {
                       // the composed constraints partition the input space
   };
 
+  // `sv`/`vstats` are the calling worker's solver instance and stats block;
+  // the sequential engine passes the members, parallel workers their own.
   const ElementSummary& summary_for(const ir::Program& prog, size_t len,
-                                    Precision precision) {
+                                    Precision precision, solver::Solver& sv,
+                                    VerifyStats& vstats) {
     if (cfg.loop_mode == symbex::LoopMode::Unroll) {
-      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len);
+      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len,
+                         sv, vstats);
     }
-    const ElementSummary& s =
-        get_summary(cache_summarize, symbex::LoopMode::Summarize, prog, len);
+    const ElementSummary& s = get_summary(
+        cache_summarize, symbex::LoopMode::Summarize, prog, len, sv, vstats);
     // Any remaining trap suspect in a summarized element gets the exact
     // (unrolled) treatment before we conclude anything — regardless of
     // property, because trap constraints may be loop-over-approximated.
@@ -109,15 +131,16 @@ class DecomposedVerifier::Impl {
         (precision == Precision::ExactDropsTraps && has_lossy_drop) ||
         (precision == Precision::ExactAll && has_any_bound);
     if (cfg.unroll_fallback && need_unroll) {
-      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len);
+      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len,
+                         sv, vstats);
     }
     return s;
   }
 
-  const ElementSummary& get_summary(symbex::SummaryCache& cache,
+  const ElementSummary& get_summary(symbex::SharedSummaryCache& cache,
                                     symbex::LoopMode mode,
-                                    const ir::Program& prog, size_t len) {
-    const size_t misses_before = cache.misses();
+                                    const ir::Program& prog, size_t len,
+                                    solver::Solver& sv, VerifyStats& vstats) {
     symbex::ExecOptions eo;
     eo.loop_mode = mode;
     // Summarize mode relies on folding + intervals (cheap, and the loop
@@ -126,16 +149,17 @@ class DecomposedVerifier::Impl {
     eo.fork_check = mode == symbex::LoopMode::Unroll
                         ? symbex::ForkCheck::Solver
                         : symbex::ForkCheck::FoldOnly;
-    eo.solver = &solver;
+    eo.solver = &sv;
     symbex::Executor exec(eo);
-    const ElementSummary& s = cache.get(prog, len, exec);
-    if (cache.misses() != misses_before) {
-      ++stats.elements_summarized;
-      stats.segments_total += s.segments.size();
-      stats.instructions_interpreted += s.stats.instructions_interpreted;
-      stats.forks += s.stats.forks;
+    bool was_miss = false;
+    const ElementSummary& s = cache.get(prog, len, exec, &was_miss);
+    if (was_miss) {
+      ++vstats.elements_summarized;
+      vstats.segments_total += s.segments.size();
+      vstats.instructions_interpreted += s.stats.instructions_interpreted;
+      vstats.forks += s.stats.forks;
     } else {
-      ++stats.summary_cache_hits;
+      ++vstats.summary_cache_hits;
     }
     return s;
   }
@@ -173,11 +197,15 @@ class DecomposedVerifier::Impl {
   // Variables of a segment that are not the element's declared inputs:
   // KV-read symbols, havoc symbols, table-model symbols. They must be
   // renamed per pipeline instantiation (two instances of the same element
-  // type have distinct private state).
+  // type have distinct private state). Thread-safe: parallel workers hit
+  // the same segments while walking disjoint subtrees.
   const std::vector<ExprRef>& aux_vars(const ElementSummary& sum,
                                        const Segment& g) {
-    auto it = aux_cache_.find(&g);
-    if (it != aux_cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(aux_mu_);
+      auto it = aux_cache_.find(&g);
+      if (it != aux_cache_.end()) return it->second;
+    }
     std::unordered_set<uint64_t> inputs;
     for (const ExprRef& v : sum.entry.input_byte_vars()) {
       inputs.insert(v->var_id());
@@ -202,6 +230,7 @@ class DecomposedVerifier::Impl {
       scan(r.key);
       scan(r.value);
     }
+    std::lock_guard<std::mutex> lock(aux_mu_);
     return aux_cache_.emplace(&g, std::move(aux)).first->second;
   }
 
@@ -245,17 +274,55 @@ class DecomposedVerifier::Impl {
     return out;
   }
 
-  // Generic DAG walk. on_terminal(state, element_index, segment) is invoked
-  // for every composed terminal (Drop, Trap, or Emit leaving the pipeline).
-  // `should_visit` prunes subtrees (e.g. elements that cannot reach a
-  // suspect). Returns false if the path budget was exhausted.
+  // Expands one feasible segment onto the running compose state: stitches
+  // the constraint, accumulates counts/KV reads/trace, and (for an Emit
+  // continuing into `down`) installs the segment's output packet. Returns
+  // nullopt when the stitched constraint folds to false — for a trap
+  // segment that IS the Step-2 elimination, the paper's p1 case, where
+  // (in < 0) ∧ (0 < 0) collapses syntactically. Shared by the sequential
+  // and parallel walks so compose semantics cannot diverge between them.
+  std::optional<ComposeState> expand_segment(const ElementSummary& sum,
+                                             const Segment& g,
+                                             const ComposeState& st,
+                                             size_t elem,
+                                             std::optional<size_t> down,
+                                             VerifyStats& vstats) {
+    const bool continues = g.action == SegAction::Emit && down.has_value();
+    auto inst = instantiate(sum, g, st, continues);
+    if (!inst) {
+      if (g.action == SegAction::Trap) ++vstats.suspects_eliminated;
+      return std::nullopt;
+    }
+    ComposeState next;
+    next.constraint = inst->constraint;
+    next.count = st.count + g.instr_count;
+    next.count_is_bound = st.count_is_bound || g.count_is_bound;
+    next.kv_reads = st.kv_reads;
+    for (const auto& r : inst->kv_reads) {
+      next.kv_reads.push_back(PathKvRead{elem, st.bytes.size(), r});
+    }
+    next.elem_trace = st.elem_trace;
+    next.elem_trace.push_back(elem);
+    if (continues) {
+      next.bytes = std::move(inst->out_bytes);
+      next.meta = inst->out_meta;
+    }
+    return next;
+  }
+
+  // Generic DAG walk (sequential engine). on_terminal(state, element_index,
+  // segment) is invoked for every composed terminal (Drop, Trap, or Emit
+  // leaving the pipeline). `should_visit` prunes subtrees (e.g. elements
+  // that cannot reach a suspect). Returns false if the path budget was
+  // exhausted.
   template <typename TerminalFn, typename VisitFn>
   bool walk(const pipeline::Pipeline& pl, size_t elem, ComposeState st,
             const TerminalFn& on_terminal, const VisitFn& should_visit,
             Precision precision) {
     if (!should_visit(elem)) return true;
     const ElementSummary& sum = summary_for(pl.element(elem).program(),
-                                            st.bytes.size(), precision);
+                                            st.bytes.size(), precision,
+                                            solver, stats);
     if (sum.truncated) {
       truncated_ = true;
       return false;
@@ -265,27 +332,10 @@ class DecomposedVerifier::Impl {
       const bool is_emit = g.action == SegAction::Emit;
       const std::optional<size_t> down =
           is_emit ? pl.downstream(elem, g.port) : std::nullopt;
-      auto inst = instantiate(sum, g, st, is_emit && down.has_value());
-      if (!inst) {
-        // The stitched constraint folded to false. For a suspect (trap)
-        // segment this IS the Step-2 elimination — the paper's p1 case,
-        // where (in < 0) ∧ (0 < 0) collapses syntactically.
-        if (g.action == SegAction::Trap) ++stats.suspects_eliminated;
-        continue;
-      }
-      ComposeState next;
-      next.constraint = inst->constraint;
-      next.count = st.count + g.instr_count;
-      next.count_is_bound = st.count_is_bound || g.count_is_bound;
-      next.kv_reads = st.kv_reads;
-      for (const auto& r : inst->kv_reads) {
-        next.kv_reads.push_back(PathKvRead{elem, st.bytes.size(), r});
-      }
-      next.elem_trace = st.elem_trace;
-      next.elem_trace.push_back(elem);
+      auto expanded = expand_segment(sum, g, st, elem, down, stats);
+      if (!expanded) continue;
+      ComposeState next = std::move(*expanded);
       if (is_emit && down.has_value()) {
-        next.bytes = std::move(inst->out_bytes);
-        next.meta = inst->out_meta;
         if (!walk(pl, *down, std::move(next), on_terminal, should_visit,
                   precision)) {
           return false;
@@ -303,6 +353,145 @@ class DecomposedVerifier::Impl {
   }
 
   // ---------------------------------------------------------------------
+  // Parallel walk (jobs > 1): the same DAG exploration, but every feasible
+  // Emit edge forks a work-queue task, and terminals are handed to the
+  // callback on whichever worker reached them. Each terminal carries its
+  // DFS address (the segment index chosen at every element), so callers
+  // sort results into exactly the sequential emission order — reports are
+  // byte-for-byte deterministic in verdicts, suspect sets, and path lists
+  // regardless of job count.
+  //
+  // Caveat, shared with every parallel model checker that bounds work with
+  // a global counter: if max_composed_paths is actually exhausted, WHICH
+  // terminals won a budget slot depends on scheduling, so an exhausted run
+  // may report Violated (with a genuine counterexample) on one run and
+  // Unknown on another — both sound, neither a proof. Within the budget
+  // (all tier-1 workloads are orders of magnitude below it) results are
+  // fully deterministic.
+  // ---------------------------------------------------------------------
+
+  struct TerminalRecord {
+    std::vector<uint32_t> order;  // DFS address: per-element segment index
+    ComposeState st;
+    size_t elem = 0;
+    const Segment* seg = nullptr;
+  };
+  using MtTerminalFn = std::function<void(size_t worker, TerminalRecord&&)>;
+  using MtVisitFn = std::function<bool(size_t elem)>;
+
+  void begin_call() {
+    stats = {};
+    truncated_ = false;
+    budget_exhausted_ = false;
+    solver.reset_stats();
+  }
+
+  void begin_call_mt() {
+    begin_call();
+    mt_stats_.assign(jobs, VerifyStats{});
+    mt_paths_checked_.store(0, std::memory_order_relaxed);
+    mt_truncated_.store(false, std::memory_order_relaxed);
+    mt_budget_exhausted_.store(false, std::memory_order_relaxed);
+    pool.reset_stats();
+  }
+
+  void merge_mt_stats() {
+    for (const VerifyStats& s : mt_stats_) {
+      stats.elements_summarized += s.elements_summarized;
+      stats.summary_cache_hits += s.summary_cache_hits;
+      stats.segments_total += s.segments_total;
+      stats.suspects_found += s.suspects_found;
+      stats.suspects_eliminated += s.suspects_eliminated;
+      stats.composed_paths_checked += s.composed_paths_checked;
+      stats.solver_queries += s.solver_queries;
+      stats.instructions_interpreted += s.instructions_interpreted;
+      stats.forks += s.forks;
+    }
+    mt_stats_.assign(jobs, VerifyStats{});
+  }
+
+  // Step 1 fan-out: summarize every element of the pipeline concurrently.
+  // Distinct programs run on distinct workers; duplicates coalesce in the
+  // shared cache. Returns the per-element summaries in pipeline order.
+  std::vector<const ElementSummary*> prewarm(const pipeline::Pipeline& pl,
+                                             Precision precision) {
+    std::vector<const ElementSummary*> sums(pl.size(), nullptr);
+    parallel_for(*queue, pl.size(), [&](size_t e, size_t w) {
+      sums[e] = &summary_for(pl.element(e).program(), cfg.packet_len,
+                             precision, pool.at(w), mt_stats_[w]);
+    });
+    return sums;
+  }
+
+  void mt_walk(const pipeline::Pipeline& pl, ComposeState root,
+               const MtTerminalFn& on_terminal, const MtVisitFn& should_visit,
+               Precision precision) {
+    queue->submit([this, &pl, st = std::move(root), &on_terminal,
+                   &should_visit, precision](size_t w) mutable {
+      mt_walk_task(pl, 0, std::move(st), {}, w, on_terminal, should_visit,
+                   precision);
+    });
+    queue->wait_idle();
+    if (mt_truncated_.load(std::memory_order_relaxed)) truncated_ = true;
+    if (mt_budget_exhausted_.load(std::memory_order_relaxed)) {
+      budget_exhausted_ = true;
+    }
+    stats.composed_paths_checked +=
+        mt_paths_checked_.exchange(0, std::memory_order_relaxed);
+  }
+
+  void mt_walk_task(const pipeline::Pipeline& pl, size_t elem, ComposeState st,
+                    std::vector<uint32_t> order, size_t worker,
+                    const MtTerminalFn& on_terminal,
+                    const MtVisitFn& should_visit, Precision precision) {
+    if (mt_truncated_.load(std::memory_order_relaxed) ||
+        mt_budget_exhausted_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (!should_visit(elem)) return;
+    VerifyStats& wstats = mt_stats_[worker];
+    const ElementSummary& sum =
+        summary_for(pl.element(elem).program(), st.bytes.size(), precision,
+                    pool.at(worker), wstats);
+    if (sum.truncated) {
+      mt_truncated_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    for (uint32_t i = 0; i < sum.segments.size(); ++i) {
+      const Segment& g = sum.segments[i];
+      const bool is_emit = g.action == SegAction::Emit;
+      const std::optional<size_t> down =
+          is_emit ? pl.downstream(elem, g.port) : std::nullopt;
+      auto expanded = expand_segment(sum, g, st, elem, down, wstats);
+      if (!expanded) continue;
+      ComposeState next = std::move(*expanded);
+      std::vector<uint32_t> corder = order;
+      corder.push_back(i);
+      if (is_emit && down.has_value()) {
+        queue->submit([this, &pl, d = *down, n = std::move(next),
+                       o = std::move(corder), &on_terminal, &should_visit,
+                       precision](size_t w) mutable {
+          mt_walk_task(pl, d, std::move(n), std::move(o), w, on_terminal,
+                       should_visit, precision);
+        });
+        continue;
+      }
+      const uint64_t done =
+          mt_paths_checked_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (done > cfg.max_composed_paths) {
+        mt_budget_exhausted_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      TerminalRecord t;
+      t.order = std::move(corder);
+      t.st = std::move(next);
+      t.elem = elem;
+      t.seg = &g;
+      on_terminal(worker, std::move(t));
+    }
+  }
+
+  // ---------------------------------------------------------------------
   // Stateful refinement: the bad-value analysis for private state
   // ---------------------------------------------------------------------
 
@@ -310,11 +499,12 @@ class DecomposedVerifier::Impl {
   // default (0) or a value some feasible execution of this element could
   // have written (writer inputs fully fresh — an arbitrary earlier packet).
   ExprRef kv_history_constraint(const pipeline::Pipeline& pl,
-                                const PathKvRead& pr) {
+                                const PathKvRead& pr, solver::Solver& sv,
+                                VerifyStats& vstats) {
     const symbex::KvReadRecord& read = pr.rec;
     const ElementSummary& sum =
         summary_for(pl.element(pr.elem).program(), pr.len,
-                    Precision::AcceptBounds);
+                    Precision::AcceptBounds, sv, vstats);
     ExprRef any = bv::mk_eq(read.value,
                             bv::mk_const(0, read.value->width()));
     for (const Segment& g : sum.segments) {
@@ -345,13 +535,14 @@ class DecomposedVerifier::Impl {
 
   // Decides a suspect's stitched constraint, applying the KV history
   // refinement when private-state reads are involved. On Sat, fills the
-  // model and state note.
+  // model and state note. `sv`/`vstats` are the calling worker's instances.
   solver::Result decide_suspect(const pipeline::Pipeline& pl,
                                 const ComposeState& st,
                                 bv::Assignment* model_out,
-                                std::string* state_note) {
-    ++stats.solver_queries;
-    solver::CheckResult r = solver.check(st.constraint);
+                                std::string* state_note, solver::Solver& sv,
+                                VerifyStats& vstats) {
+    ++vstats.solver_queries;
+    solver::CheckResult r = sv.check(st.constraint);
     if (r.result != solver::Result::Sat || st.kv_reads.empty()) {
       if (r.result == solver::Result::Sat && model_out != nullptr) {
         *model_out = std::move(r.model);
@@ -362,10 +553,10 @@ class DecomposedVerifier::Impl {
     // whether the required values are reachable through any write history.
     ExprRef refined = st.constraint;
     for (const PathKvRead& pr : st.kv_reads) {
-      refined = bv::mk_land(refined, kv_history_constraint(pl, pr));
+      refined = bv::mk_land(refined, kv_history_constraint(pl, pr, sv, vstats));
     }
-    ++stats.solver_queries;
-    solver::CheckResult r2 = solver.check(refined);
+    ++vstats.solver_queries;
+    solver::CheckResult r2 = sv.check(refined);
     if (r2.result == solver::Result::Sat) {
       if (model_out != nullptr) *model_out = std::move(r2.model);
       if (state_note != nullptr) {
@@ -422,20 +613,328 @@ class DecomposedVerifier::Impl {
     return ce;
   }
 
-  void begin_call() {
-    stats = {};
-    truncated_ = false;
-    budget_exhausted_ = false;
-    solver.reset_stats();
+  static ComposeState root_state(const SymPacket& entry) {
+    ComposeState root;
+    root.bytes = entry.bytes();
+    for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+    return root;
   }
 
-  void snapshot_solver_stats() {
-    stats.solver_queries += solver.stats().queries;
+  // ---------------------------------------------------------------------
+  // Parallel property drivers
+  // ---------------------------------------------------------------------
+
+  // Shared by the crash-freedom and reachability drivers: walk, decide
+  // every suspect terminal on the worker that reached it, then reduce the
+  // outcomes in sequential DFS order (sort by address) so eliminations,
+  // truncation, and the counterexample list come out exactly as at jobs=1.
+  // `is_suspect` selects the property's suspect terminals and reports the
+  // trap kind for the counterexample. Returns the violated flag.
+  bool decide_suspects_mt(
+      const pipeline::Pipeline& pl, ComposeState root, const SymPacket& entry,
+      const MtVisitFn& should_visit, Precision precision,
+      const std::function<bool(const TerminalRecord&, size_t worker,
+                               ir::TrapKind* trap)>& is_suspect,
+      std::vector<Counterexample>* counterexamples) {
+    struct Outcome {
+      std::vector<uint32_t> order;
+      solver::Result res = solver::Result::Unknown;
+      Counterexample ce;
+    };
+    std::mutex out_mu;
+    std::vector<Outcome> outcomes;
+    mt_walk(
+        pl, std::move(root),
+        [&](size_t w, TerminalRecord&& t) {
+          ir::TrapKind trap = ir::TrapKind::Unreachable;
+          if (!is_suspect(t, w, &trap)) return;
+          bv::Assignment model;
+          std::string note;
+          const solver::Result r = decide_suspect(pl, t.st, &model, &note,
+                                                  pool.at(w), mt_stats_[w]);
+          Outcome o;
+          o.order = std::move(t.order);
+          o.res = r;
+          if (r == solver::Result::Sat) {
+            o.ce = make_counterexample(pl, entry, t.st, model, trap,
+                                       std::move(note));
+          }
+          std::lock_guard<std::mutex> lock(out_mu);
+          outcomes.push_back(std::move(o));
+        },
+        should_visit, precision);
+    std::sort(outcomes.begin(), outcomes.end(), [](const Outcome& a,
+                                                   const Outcome& b) {
+      return a.order < b.order;
+    });
+    merge_mt_stats();
+    bool violated = false;
+    for (Outcome& o : outcomes) {
+      if (o.res == solver::Result::Unsat) {
+        ++stats.suspects_eliminated;
+        continue;
+      }
+      if (o.res == solver::Result::Unknown) {
+        truncated_ = true;
+        continue;
+      }
+      violated = true;
+      counterexamples->push_back(std::move(o.ce));
+    }
+    return violated;
+  }
+
+  CrashFreedomReport crash_freedom_mt(const pipeline::Pipeline& pl) {
+    Timer timer;
+    begin_call_mt();
+    CrashFreedomReport report;
+
+    // Step 1, fanned out: one summarization task per element.
+    const std::vector<const ElementSummary*> sums =
+        prewarm(pl, Precision::AcceptBounds);
+    std::vector<bool> has_suspect(pl.size(), false);
+    bool any_truncated = false;
+    for (size_t e = 0; e < pl.size(); ++e) {
+      const ElementSummary& sum = *sums[e];
+      if (sum.truncated) any_truncated = true;
+      for (const Segment& g : sum.segments) {
+        if (g.action != SegAction::Trap) continue;
+        ++mt_stats_[0].suspects_found;
+        if (!g.constraint->is_false()) has_suspect[e] = true;
+      }
+    }
+    if (any_truncated) {
+      merge_mt_stats();
+      report.verdict = Verdict::Unknown;
+      report.stats = stats;
+      report.seconds = timer.seconds();
+      return report;
+    }
+    if (std::none_of(has_suspect.begin(), has_suspect.end(),
+                     [](bool b) { return b; })) {
+      merge_mt_stats();
+      report.verdict = Verdict::Proven;
+      report.stats = stats;
+      report.seconds = timer.seconds();
+      return report;
+    }
+
+    // Step 2, fanned out: walk forks per feasible edge; each suspect trap
+    // is decided on the worker that reached it, with that worker's solver.
+    const std::vector<bool> filter = reachability_filter(pl, has_suspect);
+    const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
+    const bool violated = decide_suspects_mt(
+        pl, root_state(entry), entry, [&](size_t e) { return filter[e]; },
+        Precision::AcceptBounds,
+        [](const TerminalRecord& t, size_t /*w*/, ir::TrapKind* trap) {
+          if (t.seg->action != SegAction::Trap) return false;
+          *trap = t.seg->trap;
+          return true;
+        },
+        &report.counterexamples);
+
+    if (violated) {
+      report.verdict = Verdict::Violated;
+    } else if (truncated_ || budget_exhausted_) {
+      report.verdict = Verdict::Unknown;
+    } else {
+      report.verdict = Verdict::Proven;
+    }
+    report.stats = stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  InstructionBoundReport instruction_bound_mt(const pipeline::Pipeline& pl) {
+    Timer timer;
+    begin_call_mt();
+    InstructionBoundReport report;
+    prewarm(pl, Precision::AcceptBounds);
+
+    const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
+    // Terminals are buffered before deciding, so peak memory is O(paths)
+    // where jobs=1 streams — per terminal just the DFS address plus refs
+    // into the (immortal, interned) constraint DAG. Acceptable up to the
+    // path budget; revisit with streamed batches if budgets grow.
+    struct Rec {
+      std::vector<uint32_t> order;
+      uint64_t total = 0;
+      bool is_bound = false;
+      ExprRef constraint;
+    };
+    std::mutex rec_mu;
+    std::vector<Rec> recs;
+    mt_walk(
+        pl, root_state(entry),
+        [&](size_t /*w*/, TerminalRecord&& t) {
+          Rec r;
+          r.order = std::move(t.order);
+          r.total = t.st.count;
+          r.is_bound = t.st.count_is_bound;
+          r.constraint = t.st.constraint;
+          std::lock_guard<std::mutex> lock(rec_mu);
+          recs.push_back(std::move(r));
+        },
+        [](size_t) { return true; }, Precision::AcceptBounds);
+
+    std::sort(recs.begin(), recs.end(),
+              [](const Rec& a, const Rec& b) { return a.order < b.order; });
+
+    // Batched speculative decision with the sequential engine's exact
+    // semantics. The jobs=1 driver walks terminals in DFS order, solving
+    // only when a terminal's count could improve the running max. Here we
+    // gather the next batch of candidates under the current max, decide
+    // them concurrently, then apply results in DFS order — dropping any
+    // speculative result whose candidate the sequential engine would have
+    // skipped (its count no longer beats the max by apply time). Verdict,
+    // bound, and witness are bit-identical to jobs=1; only the (wasted)
+    // speculation differs.
+    uint64_t best = 0;
+    bool best_is_bound = false;
+    bv::Assignment best_model;
+    bool saw_unknown = false;
+    const size_t batch_max = std::max<size_t>(4 * jobs, 16);
+    size_t cursor = 0;
+    while (cursor < recs.size()) {
+      std::vector<size_t> batch;
+      batch.reserve(batch_max);
+      size_t next_cursor = recs.size();
+      for (size_t j = cursor; j < recs.size(); ++j) {
+        if (recs[j].total > best) {
+          batch.push_back(j);
+          if (batch.size() == batch_max) {
+            next_cursor = j + 1;
+            break;
+          }
+        }
+      }
+      if (batch.empty()) break;
+      std::vector<solver::CheckResult> res(batch.size());
+      parallel_for(*queue, batch.size(), [&](size_t bi, size_t w) {
+        ++mt_stats_[w].solver_queries;
+        res[bi] = pool.at(w).check(recs[batch[bi]].constraint);
+      });
+      for (size_t bi = 0; bi < batch.size(); ++bi) {
+        Rec& r = recs[batch[bi]];
+        if (r.total <= best) continue;  // wasted speculation; seq skipped it
+        if (res[bi].result == solver::Result::Unsat) continue;
+        if (res[bi].result == solver::Result::Unknown) {
+          saw_unknown = true;
+          continue;
+        }
+        best = r.total;
+        best_is_bound = r.is_bound;
+        best_model = std::move(res[bi].model);
+      }
+      cursor = next_cursor;
+    }
+    merge_mt_stats();
+
+    report.max_instructions = best;
+    report.bound_is_exact = !best_is_bound;
+    if (truncated_ || budget_exhausted_ || saw_unknown) {
+      report.verdict = Verdict::Unknown;
+    } else {
+      report.verdict = Verdict::Proven;
+      net::Packet witness = entry.to_concrete(best_model);
+      report.witness_instructions = replay_instruction_count(pl, witness);
+      report.witness = std::move(witness);
+    }
+    report.stats = stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  ReachabilityReport never_dropped_mt(const pipeline::Pipeline& pl,
+                                      const InputPredicate& predicate) {
+    Timer timer;
+    begin_call_mt();
+    ReachabilityReport report;
+
+    const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
+    ComposeState root = root_state(entry);
+    root.constraint = predicate(entry);
+    if (root.constraint->is_false()) {
+      report.verdict = Verdict::Proven;  // vacuous: no packet matches
+      report.seconds = timer.seconds();
+      return report;
+    }
+    prewarm(pl, Precision::ExactDropsTraps);
+    const bool violated = decide_suspects_mt(
+        pl, std::move(root), entry, [](size_t) { return true; },
+        Precision::ExactDropsTraps,
+        [this](const TerminalRecord& t, size_t w, ir::TrapKind* trap) {
+          // Both explicit drops and traps lose the packet.
+          if (t.seg->action == SegAction::Emit) return false;
+          ++mt_stats_[w].suspects_found;
+          *trap = t.seg->action == SegAction::Trap ? t.seg->trap
+                                                   : ir::TrapKind::Unreachable;
+          return true;
+        },
+        &report.counterexamples);
+
+    if (violated) {
+      report.verdict = Verdict::Violated;
+    } else if (truncated_ || budget_exhausted_) {
+      report.verdict = Verdict::Unknown;
+    } else {
+      report.verdict = Verdict::Proven;
+    }
+    report.stats = stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  ComposedPaths enumerate_paths_mt(const pipeline::Pipeline& pl) {
+    begin_call_mt();
+    ComposedPaths out;
+    out.entry = SymPacket::symbolic(cfg.packet_len, "in");
+    prewarm(pl, Precision::ExactAll);
+
+    struct Item {
+      std::vector<uint32_t> order;
+      ComposedPath path;
+    };
+    std::mutex item_mu;
+    std::vector<Item> items;
+    mt_walk(
+        pl, root_state(out.entry),
+        [&](size_t /*w*/, TerminalRecord&& t) {
+          Item it;
+          it.order = std::move(t.order);
+          it.path.constraint = t.st.constraint;
+          for (const size_t e : t.st.elem_trace) {
+            it.path.element_path.push_back(pl.element(e).name());
+          }
+          it.path.action = t.seg->action;
+          it.path.port = t.seg->port;
+          it.path.trap = t.seg->trap;
+          it.path.instr_count = t.st.count;
+          it.path.count_is_bound = t.st.count_is_bound;
+          std::lock_guard<std::mutex> lock(item_mu);
+          items.push_back(std::move(it));
+        },
+        [](size_t) { return true; }, Precision::ExactAll);
+
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.order < b.order; });
+    merge_mt_stats();
+    out.paths.reserve(items.size());
+    for (Item& it : items) out.paths.push_back(std::move(it.path));
+    out.complete = !truncated_ && !budget_exhausted_;
+    return out;
   }
 
   std::unordered_map<const Segment*, std::vector<ExprRef>> aux_cache_;
+  std::mutex aux_mu_;
   bool truncated_ = false;
   bool budget_exhausted_ = false;
+
+  // Parallel-engine state, reset per call.
+  std::vector<VerifyStats> mt_stats_;
+  std::atomic<uint64_t> mt_paths_checked_{0};
+  std::atomic<bool> mt_truncated_{false};
+  std::atomic<bool> mt_budget_exhausted_{false};
 };
 
 // ---------------------------------------------------------------------
@@ -447,7 +946,7 @@ DecomposedVerifier::DecomposedVerifier(DecomposedConfig config)
 
 DecomposedVerifier::~DecomposedVerifier() = default;
 
-symbex::SummaryCache& DecomposedVerifier::cache() {
+symbex::SharedSummaryCache& DecomposedVerifier::cache() {
   return impl_->cache_summarize;
 }
 solver::Solver& DecomposedVerifier::solver() { return impl_->solver; }
@@ -458,6 +957,7 @@ const DecomposedConfig& DecomposedVerifier::config() const {
 CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
+  if (im.jobs > 1) return im.crash_freedom_mt(pl);
   Timer timer;
   im.begin_call();
   CrashFreedomReport report;
@@ -469,7 +969,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   for (size_t e = 0; e < pl.size(); ++e) {
     const ElementSummary& sum =
         im.summary_for(pl.element(e).program(), im.cfg.packet_len,
-                       Impl::Precision::AcceptBounds);
+                       Impl::Precision::AcceptBounds, im.solver, im.stats);
     if (sum.truncated) any_truncated = true;
     for (const Segment& g : sum.segments) {
       if (g.action != SegAction::Trap) continue;
@@ -498,9 +998,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   // suspect trap with the full stitched constraint.
   const std::vector<bool> filter = im.reachability_filter(pl, has_suspect);
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
-  Impl::ComposeState root;
-  root.bytes = entry.bytes();
-  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+  Impl::ComposeState root = Impl::root_state(entry);
 
   bool violated = false;
   const bool complete = im.walk(
@@ -509,7 +1007,8 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
         if (g.action != SegAction::Trap) return;
         bv::Assignment model;
         std::string note;
-        const solver::Result r = im.decide_suspect(pl, st, &model, &note);
+        const solver::Result r =
+            im.decide_suspect(pl, st, &model, &note, im.solver, im.stats);
         if (r == solver::Result::Unsat) {
           ++im.stats.suspects_eliminated;
           return;
@@ -540,14 +1039,13 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
 InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
+  if (im.jobs > 1) return im.instruction_bound_mt(pl);
   Timer timer;
   im.begin_call();
   InstructionBoundReport report;
 
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
-  Impl::ComposeState root;
-  root.bytes = entry.bytes();
-  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+  Impl::ComposeState root = Impl::root_state(entry);
 
   uint64_t best = 0;
   bool best_is_bound = false;
@@ -597,12 +1095,11 @@ InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
 ComposedPaths DecomposedVerifier::enumerate_paths(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
+  if (im.jobs > 1) return im.enumerate_paths_mt(pl);
   im.begin_call();
   ComposedPaths out;
   out.entry = SymPacket::symbolic(im.cfg.packet_len, "in");
-  Impl::ComposeState root;
-  root.bytes = out.entry.bytes();
-  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = out.entry.meta(i);
+  Impl::ComposeState root = Impl::root_state(out.entry);
 
   const bool complete = im.walk(
       pl, 0, std::move(root),
@@ -627,14 +1124,13 @@ ComposedPaths DecomposedVerifier::enumerate_paths(
 ReachabilityReport DecomposedVerifier::verify_never_dropped(
     const pipeline::Pipeline& pl, const InputPredicate& predicate) {
   Impl& im = *impl_;
+  if (im.jobs > 1) return im.never_dropped_mt(pl, predicate);
   Timer timer;
   im.begin_call();
   ReachabilityReport report;
 
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
-  Impl::ComposeState root;
-  root.bytes = entry.bytes();
-  for (size_t i = 0; i < net::kMetaSlots; ++i) root.meta[i] = entry.meta(i);
+  Impl::ComposeState root = Impl::root_state(entry);
   root.constraint = predicate(entry);
   if (root.constraint->is_false()) {
     report.verdict = Verdict::Proven;  // vacuous: no packet matches
@@ -651,7 +1147,8 @@ ReachabilityReport DecomposedVerifier::verify_never_dropped(
         ++im.stats.suspects_found;
         bv::Assignment model;
         std::string note;
-        const solver::Result r = im.decide_suspect(pl, st, &model, &note);
+        const solver::Result r =
+            im.decide_suspect(pl, st, &model, &note, im.solver, im.stats);
         if (r == solver::Result::Unsat) {
           ++im.stats.suspects_eliminated;
           return;

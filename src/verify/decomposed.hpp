@@ -39,6 +39,12 @@ struct DecomposedConfig {
   uint64_t max_composed_paths = 1u << 20;
   // Conflict budget per SAT query.
   uint64_t max_solver_conflicts = 1u << 22;
+  // Worker threads for the parallel engine: Step 1 summarizes elements
+  // concurrently and Step 2 walks/decides stitched paths concurrently, each
+  // worker with its own solver instance. 1 keeps the seed's sequential
+  // engine; 0 means one worker per hardware thread. Verdicts, suspect sets,
+  // and counterexample paths are identical at any value (within budgets).
+  size_t jobs = 1;
 };
 
 // A predicate over the pipeline's symbolic input packet, used by
@@ -91,7 +97,8 @@ class DecomposedVerifier {
 
   // Summaries survive across calls — verifying many pipelines built from
   // the same element library reuses Step 1 work (the app-market use case).
-  symbex::SummaryCache& cache();
+  // The cache is thread-safe; workers of the parallel engine share it.
+  symbex::SharedSummaryCache& cache();
   solver::Solver& solver();
 
   const DecomposedConfig& config() const;

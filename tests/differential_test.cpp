@@ -183,6 +183,131 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- Fixed regression corpora for the stateful elements ------------------------------
+//
+// The random-stream test above hunts divergence broadly; these corpora pin
+// the exact packets, so a failure names a reproducible input — no need to
+// replay the random stream up to the failing iteration. Every packet is
+// fully determined by the spec fields below (make_packet is deterministic).
+
+constexpr size_t kCorpusLen = 46;
+
+net::Packet corpus_packet(uint32_t src, uint32_t dst, uint8_t ttl,
+                          uint8_t proto, uint16_t sport, uint16_t dport) {
+  net::PacketSpec spec;
+  spec.ip_src = src;
+  spec.ip_dst = dst;
+  spec.ttl = ttl;
+  spec.protocol = proto;
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  spec.payload_len = 4;
+  net::Packet shaped = net::make_packet(spec);
+  shaped.pull_front(net::kEtherHeaderSize);  // ip at 0, as the elements expect
+  net::Packet p = net::Packet::of_size(kCorpusLen);
+  for (size_t i = 0; i < kCorpusLen; ++i) {
+    p[i] = i < shaped.size() ? shaped[i] : 0;
+  }
+  return p;
+}
+
+// A structureless but fully fixed byte pattern (affine in the index).
+net::Packet corpus_pattern(uint8_t mul, uint8_t add, bool ipv4_bias) {
+  net::Packet p = net::Packet::of_size(kCorpusLen);
+  for (size_t i = 0; i < kCorpusLen; ++i) {
+    p[i] = static_cast<uint8_t>(mul * i + add);
+  }
+  if (ipv4_bias) p[0] = 0x45;
+  return p;
+}
+
+std::vector<net::Packet> stateful_corpus() {
+  std::vector<net::Packet> corpus;
+  // Well-formed flows: UDP, TCP, odd protocol, port extremes.
+  corpus.push_back(corpus_packet(0x0a000001, 0x0a000002, 64, 17, 1234, 80));
+  corpus.push_back(corpus_packet(0xc0a80101, 0x08080808, 63, 6, 40000, 443));
+  corpus.push_back(corpus_packet(0x0a000001, 0x0a000002, 64, 1, 0, 0));
+  corpus.push_back(corpus_packet(0xffffffff, 0x00000000, 255, 6, 65535, 65535));
+  corpus.push_back(corpus_packet(0x7f000001, 0x7f000001, 1, 17, 53, 53));
+  // TTL edge (0) and a duplicate of the first flow (same KV key twice).
+  corpus.push_back(corpus_packet(0x0a000001, 0x0a000002, 0, 17, 1234, 80));
+  corpus.push_back(corpus_packet(0x0a000001, 0x0a000002, 64, 17, 1234, 80));
+  // Structureless patterns, with and without a plausible IPv4 first byte.
+  corpus.push_back(corpus_pattern(37, 11, false));
+  corpus.push_back(corpus_pattern(59, 3, true));
+  corpus.push_back(corpus_pattern(0, 0, false));  // all-zero packet
+  return corpus;
+}
+
+void check_corpus_packet(const ir::Program& prog,
+                         const symbex::ElementSummary& sum,
+                         const net::Packet& p, const std::string& what) {
+  const bv::Assignment binding = bind_input(sum, p);
+
+  net::Packet concrete = p;
+  interp::KvState kv(prog.kv_tables.size());
+  const interp::ExecResult cr = interp::run(prog, concrete, kv);
+
+  const Segment* match = nullptr;
+  size_t matches = 0;
+  for (const Segment& g : sum.segments) {
+    if (bv::evaluate(g.constraint, binding) == 1) {
+      ++matches;
+      match = &g;
+    }
+  }
+  // KV-read variables default to 0 in evaluation, matching a fresh
+  // KvState, so exactly one segment fires even for stateful elements.
+  ASSERT_EQ(matches, 1u) << what << ": matched " << matches << " segments";
+
+  EXPECT_EQ(to_interp(match->action), cr.action) << what;
+  if (match->action == SegAction::Emit && cr.action == interp::Action::Emit) {
+    EXPECT_EQ(match->port, cr.port) << what;
+    ASSERT_EQ(match->exit_packet.size(), concrete.size()) << what;
+    for (size_t i = 0; i < concrete.size(); ++i) {
+      ASSERT_EQ(bv::evaluate(match->exit_packet.byte(i), binding),
+                concrete[i])
+          << what << " byte " << i;
+    }
+    for (size_t s = 0; s < net::kMetaSlots; ++s) {
+      EXPECT_EQ(bv::evaluate(match->exit_packet.meta(s), binding),
+                concrete.meta(s))
+          << what << " meta " << s;
+    }
+  }
+  if (match->action == SegAction::Trap && cr.action == interp::Action::Trap) {
+    EXPECT_EQ(match->trap, cr.trap) << what;
+  }
+  if (!match->count_is_bound) {
+    EXPECT_EQ(match->instr_count, cr.instr_count)
+        << what << ": symbolic and concrete instruction counts diverge";
+  }
+}
+
+class StatefulCorpusTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatefulCorpusTest, CorpusPacketsMatchExactlyOneSegment) {
+  const std::string config = GetParam();
+  const ir::Program prog = [&] {
+    auto pl = elements::parse_pipeline(config);
+    return pl.element(0).program();
+  }();
+
+  symbex::Executor exec;  // unroll mode: exact path enumeration
+  symbex::ElementSummary sum =
+      symbex::summarize_element(prog, kCorpusLen, exec);
+  ASSERT_FALSE(sum.truncated);
+
+  const std::vector<net::Packet> corpus = stateful_corpus();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    check_corpus_packet(prog, sum, corpus[i],
+                        config + " corpus[" + std::to_string(i) + "]");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StatefulElements, StatefulCorpusTest,
+                         ::testing::Values("NAT", "Counter"));
+
 // The strongest end-to-end check: Step-2's stitched path constraints must
 // partition the input space, and the matching composed path must agree
 // with concrete pipeline execution on disposition, exit port/trap, and

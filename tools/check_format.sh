@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# clang-format dry-run over the sources. Exits non-zero when any file needs
+# reformatting; CI runs this as a non-blocking step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found, skipping" >&2
+  exit 0
+fi
+
+status=0
+for f in $(find src tests bench tools examples \
+             -name '*.cpp' -o -name '*.hpp' | sort); do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: all files clean"
+fi
+exit "$status"

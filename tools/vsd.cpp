@@ -8,8 +8,11 @@
 //   vsd show     "<pipeline>"
 //   vsd run      "<pipeline>" [--count N] [--traffic CLASS] [--seed S]
 //   vsd verify   "<pipeline>" --property crash|bound [--len N] [--unroll]
+//                [--jobs N]
 //   vsd reach    "<pipeline>" --dst A.B.C.D [--len N] [--eth-offset N]
+//                [--jobs N]
 //   vsd certify  "<base>" --candidate "<element>" [--after K] [--len N]
+//                [--jobs N]
 //   vsd baseline "<pipeline>" [--len N] [--budget SECONDS]
 //   vsd asm      <file.vsd>              assemble + validate a textual element
 //   vsd verify-ir <file.vsd> --property crash|bound [--len N]
@@ -87,12 +90,14 @@ int usage() {
       "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
       "malformed|random|tiny] [--seed S]\n"
       "  vsd verify \"<pipeline>\" --property crash|bound [--len N] "
-      "[--unroll]\n"
-      "  vsd reach \"<pipeline>\" --dst A.B.C.D [--len N] [--eth-offset N]\n"
+      "[--unroll] [--jobs N]\n"
+      "  vsd reach \"<pipeline>\" --dst A.B.C.D [--len N] [--eth-offset N] "
+      "[--jobs N]\n"
       "  vsd certify \"<base>\" --candidate \"<element>\" [--after K] "
-      "[--len N]\n"
+      "[--len N] [--jobs N]\n"
       "  vsd baseline \"<pipeline>\" [--len N] [--budget SECONDS]\n"
-      "  vsd paths \"<pipeline>\" [--len N]          composed path listing\n"
+      "  vsd paths \"<pipeline>\" [--len N] [--jobs N]  composed path "
+      "listing\n"
       "  vsd asm <file.vsd>                        assemble + validate\n"
       "  vsd verify-ir <file.vsd> --property crash|bound [--len N]");
   return 2;
@@ -176,6 +181,7 @@ int cmd_verify(const Args& a) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
   if (a.flag("unroll")) cfg.loop_mode = symbex::LoopMode::Unroll;
+  cfg.jobs = a.get_u64("jobs", 1);  // 0 = one worker per hardware thread
   verify::DecomposedVerifier verifier(cfg);
 
   const std::string prop = a.get("property", "crash");
@@ -216,6 +222,7 @@ int cmd_reach(const Args& a) {
   const size_t eth_off = a.get_u64("eth-offset", 0);
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
+  cfg.jobs = a.get_u64("jobs", 1);
   verify::DecomposedVerifier verifier(cfg);
   const verify::ReachabilityReport r = verifier.verify_never_dropped(
       pl, [&](const symbex::SymPacket& p) {
@@ -233,6 +240,7 @@ int cmd_reach(const Args& a) {
 int cmd_certify(const Args& a) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
+  cfg.jobs = a.get_u64("jobs", 1);
   verify::DecomposedVerifier verifier(cfg);
   const verify::CertificationReport r = verify::certify_element(
       verifier, a.positional[1], a.get("candidate", "Null"),
@@ -246,6 +254,7 @@ int cmd_paths(const Args& a) {
   pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
+  cfg.jobs = a.get_u64("jobs", 1);
   verify::DecomposedVerifier verifier(cfg);
   const verify::ComposedPaths composed = verifier.enumerate_paths(pl);
   std::printf("%zu composed end-to-end paths (len %zu)%s:\n",
