@@ -35,26 +35,44 @@ std::string chain_of_length(size_t k) {
   return out;
 }
 
+// Hardware threads actually available to this process; 0 when the runtime
+// cannot tell (treated as "unknown, trust nothing").
+unsigned hardware_cores() { return std::thread::hardware_concurrency(); }
+
 template <typename RunFn>
 void scaling_table(const std::string& workload_name, const RunFn& run) {
+  const unsigned cores = hardware_cores();
   std::printf("workload: %s\n", workload_name.c_str());
   benchutil::Table t({"jobs", "verdict", "time", "composed paths",
                       "solver queries", "speedup vs 1"});
   double base_seconds = 0.0;
+  bool any_advisory = false;
   for (const size_t jobs : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     verify::VerifyStats stats;
     verify::Verdict verdict = verify::Verdict::Unknown;
     double seconds = run(jobs, &verdict, &stats);
     if (jobs == 1) base_seconds = seconds;
+    // A scaling row is only meaningful when the machine can actually run
+    // that many workers; otherwise mark it advisory (ROADMAP: single-core
+    // containers silently reported ~1.0x as if it were a result).
+    const bool advisory = cores == 0 || jobs > cores;
+    any_advisory = any_advisory || advisory;
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  seconds > 0 ? base_seconds / seconds : 0.0);
+    std::snprintf(speedup, sizeof(speedup), "%.2fx%s",
+                  seconds > 0 ? base_seconds / seconds : 0.0,
+                  advisory ? " *" : "");
     t.add_row({std::to_string(jobs), verify::verdict_name(verdict),
                benchutil::fmt_seconds(seconds),
                benchutil::fmt_u64(stats.composed_paths_checked),
                benchutil::fmt_u64(stats.solver_queries), speedup});
   }
   t.print();
+  if (any_advisory) {
+    std::printf("  * advisory: requested jobs exceed the %u hardware "
+                "thread(s); expect ~1x here, rerun on real multicore "
+                "hardware\n",
+                cores);
+  }
   std::printf("\n");
 }
 
@@ -66,8 +84,11 @@ int main(int argc, char** argv) {
 
   benchutil::section(
       "TAB8: parallel decomposed verification — 1/2/4/8 worker scaling");
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
+  const unsigned cores = hardware_cores();
+  std::printf("hardware threads available: %u%s\n\n", cores,
+              cores == 0 ? " (undetected — all scaling rows advisory)"
+              : cores < 8 ? " (rows above that are marked advisory)"
+                          : "");
 
   // Workload A — the tab3 decomposed workload: crash freedom of the
   // branch-rich IPOptions chain. Step 1 (per-element summarization)

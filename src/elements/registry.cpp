@@ -1,6 +1,7 @@
 #include "elements/registry.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <stdexcept>
 
@@ -95,128 +96,220 @@ FilterRule parse_filter_rule(const std::string& s) {
 
 using Factory = std::function<ir::Program(const std::string&)>;
 
-const std::map<std::string, Factory>& factories() {
-  static const std::map<std::string, Factory>* table = new std::map<
-      std::string, Factory>{
+// Factory plus the one-line usage/args summary printed by `vsd list` and
+// echoed in unknown-element diagnostics.
+struct Entry {
+  Factory make;
+  const char* usage;
+};
+
+const std::map<std::string, Entry>& factories() {
+  static const std::map<std::string, Entry>* table = new std::map<
+      std::string, Entry>{
       {"Classifier",
-       [](const std::string& args) {
-         if (trim(args).empty()) return make_ipv4_classifier();
-         std::vector<ClassifierPattern> pats;
-         for (const std::string& p : split_config(args)) {
-           pats.push_back(parse_pattern(p));
-         }
-         return make_classifier(pats);
-       }},
-      {"EthDecap", [](const std::string&) { return make_eth_decap(); }},
-      {"Strip14", [](const std::string&) { return make_eth_decap(); }},
+       {[](const std::string& args) {
+          if (trim(args).empty()) return make_ipv4_classifier();
+          std::vector<ClassifierPattern> pats;
+          for (const std::string& p : split_config(args)) {
+            pats.push_back(parse_pattern(p));
+          }
+          return make_classifier(pats);
+        },
+        "Classifier(off/hexval, ...) — dispatch on byte patterns, one output "
+        "port per pattern plus a reject port; no args = IPv4 EtherType "
+        "match"}},
+      {"EthDecap",
+       {[](const std::string&) { return make_eth_decap(); },
+        "EthDecap — strip the 14-byte Ethernet header (drops shorter "
+        "packets)"}},
+      {"Strip14",
+       {[](const std::string&) { return make_eth_decap(); },
+        "Strip14 — alias of EthDecap"}},
       {"UnsafeStrip",
-       [](const std::string& args) {
-         return make_unsafe_strip(parse_u64(args, 14));
-       }},
+       {[](const std::string& args) {
+          return make_unsafe_strip(parse_u64(args, 14));
+        },
+        "UnsafeStrip(n=14) — strip n bytes WITHOUT a length guard; crashes "
+        "on runt packets (intentionally buggy)"}},
       {"EthEncap",
-       [](const std::string& args) {
-         const uint16_t type =
-             static_cast<uint16_t>(trim(args).empty()
-                                       ? net::kEtherTypeIpv4
-                                       : std::stoul(trim(args), nullptr, 16));
-         return make_eth_encap(type, {2, 0, 0, 0, 0, 2}, {2, 0, 0, 0, 0, 1});
-       }},
+       {[](const std::string& args) {
+          const uint16_t type =
+              static_cast<uint16_t>(trim(args).empty()
+                                        ? net::kEtherTypeIpv4
+                                        : std::stoul(trim(args), nullptr, 16));
+          return make_eth_encap(type, {2, 0, 0, 0, 0, 2}, {2, 0, 0, 0, 0, 1});
+        },
+        "EthEncap(ethertype=0800) — prepend an Ethernet header (hex "
+        "ethertype)"}},
       {"CheckIPHeader",
-       [](const std::string& args) {
-         CheckIpHeaderConfig cfg;
-         for (const std::string& a : split_config(args)) {
-           if (a == "nochecksum") cfg.verify_checksum = false;
-           else if (!a.empty()) cfg.ip_offset = std::stoull(a);
-         }
-         return make_check_ip_header(cfg);
-       }},
+       {[](const std::string& args) {
+          CheckIpHeaderConfig cfg;
+          for (const std::string& a : split_config(args)) {
+            if (a == "nochecksum") cfg.verify_checksum = false;
+            else if (!a.empty()) cfg.ip_offset = std::stoull(a);
+          }
+          return make_check_ip_header(cfg);
+        },
+        "CheckIPHeader(off=0, nochecksum) — validate the IPv4 header at "
+        "byte off, drop malformed packets"}},
       {"DecIPTTL",
-       [](const std::string& args) {
-         DecTtlConfig cfg;
-         cfg.ip_offset = parse_u64(args, 0);
-         return make_dec_ip_ttl(cfg);
-       }},
+       {[](const std::string& args) {
+          DecTtlConfig cfg;
+          cfg.ip_offset = parse_u64(args, 0);
+          return make_dec_ip_ttl(cfg);
+        },
+        "DecIPTTL(off=0) — decrement TTL and fix the checksum; expired "
+        "packets leave via port 1"}},
       {"IPLookup",
-       [](const std::string& args) {
-         IpLookupConfig cfg;
-         uint32_t max_port = 0;
-         for (const std::string& rs : split_config(args)) {
-           if (rs.empty()) continue;
-           cfg.routes.push_back(parse_route(rs));
-           max_port = std::max(max_port, cfg.routes.back().port);
-         }
-         if (cfg.routes.empty()) {
-           cfg.routes.push_back(Route{0x0a000000, 8, 0});
-         }
-         cfg.num_ports = max_port + 1;
-         return make_ip_lookup(cfg);
-       }},
+       {[](const std::string& args) {
+          IpLookupConfig cfg;
+          uint32_t max_port = 0;
+          for (const std::string& rs : split_config(args)) {
+            if (rs.empty()) continue;
+            cfg.routes.push_back(parse_route(rs));
+            max_port = std::max(max_port, cfg.routes.back().port);
+          }
+          if (cfg.routes.empty()) {
+            cfg.routes.push_back(Route{0x0a000000, 8, 0});
+          }
+          cfg.num_ports = max_port + 1;
+          return make_ip_lookup(cfg);
+        },
+        "IPLookup(prefix/len port, ...) — longest-prefix-match route to the "
+        "matching output port; default table 10.0.0.0/8 -> 0"}},
       {"IPOptions",
-       [](const std::string& args) {
-         IpOptionsConfig cfg;
-         cfg.ip_offset = parse_u64(args, 0);
-         return make_ip_options(cfg);
-       }},
+       {[](const std::string& args) {
+          IpOptionsConfig cfg;
+          cfg.ip_offset = parse_u64(args, 0);
+          return make_ip_options(cfg);
+        },
+        "IPOptions(off=0) — walk the IP options list (loop-bearing "
+        "element)"}},
       {"SetIPChecksum",
-       [](const std::string& args) {
-         SetIpChecksumConfig cfg;
-         cfg.ip_offset = parse_u64(args, 0);
-         return make_set_ip_checksum(cfg);
-       }},
+       {[](const std::string& args) {
+          SetIpChecksumConfig cfg;
+          cfg.ip_offset = parse_u64(args, 0);
+          return make_set_ip_checksum(cfg);
+        },
+        "SetIPChecksum(off=0) — recompute and store the IPv4 header "
+        "checksum"}},
       {"IPFilter",
-       [](const std::string& args) {
-         IpFilterConfig cfg;
-         for (const std::string& rs : split_config(args, ';')) {
-           if (trim(rs).empty()) continue;
-           if (trim(rs) == "default allow") { cfg.default_allow = true; continue; }
-           cfg.rules.push_back(parse_filter_rule(rs));
-         }
-         return make_ip_filter(cfg);
-       }},
+       {[](const std::string& args) {
+          IpFilterConfig cfg;
+          for (const std::string& rs : split_config(args, ';')) {
+            if (trim(rs).empty()) continue;
+            if (trim(rs) == "default allow") { cfg.default_allow = true; continue; }
+            cfg.rules.push_back(parse_filter_rule(rs));
+          }
+          return make_ip_filter(cfg);
+        },
+        "IPFilter(allow|deny [src P/L] [dst P/L] [udp|tcp|icmp] [port N]; "
+        "...; default allow) — first-match ACL"}},
       {"NetFlow",
-       [](const std::string& args) {
-         NetFlowConfig cfg;
-         for (const std::string& a : split_config(args)) {
-           if (a == "strict") cfg.strict = true;
-           else if (!a.empty()) cfg.ip_offset = std::stoull(a);
-         }
-         return make_netflow(cfg);
-       }},
+       {[](const std::string& args) {
+          NetFlowConfig cfg;
+          for (const std::string& a : split_config(args)) {
+            if (a == "strict") cfg.strict = true;
+            else if (!a.empty()) cfg.ip_offset = std::stoull(a);
+          }
+          return make_netflow(cfg);
+        },
+        "NetFlow(off=0, strict) — per-flow packet counters in private "
+        "state; strict traps on counter overflow"}},
       {"NAT",
-       [](const std::string& args) {
-         NatConfig cfg;
-         const auto parts = split_config(args);
-         if (parts.size() > 0 && !parts[0].empty())
-           cfg.external_ip = net::parse_ipv4(parts[0]);
-         if (parts.size() > 1 && !parts[1].empty())
-           cfg.base_port = static_cast<uint16_t>(std::stoul(parts[1]));
-         if (parts.size() > 2 && !parts[2].empty())
-           cfg.port_space = static_cast<uint16_t>(std::stoul(parts[2]));
-         if (parts.size() > 3 && parts[3] == "buggy") cfg.buggy = true;
-         return make_nat(cfg);
-       }},
+       {[](const std::string& args) {
+          NatConfig cfg;
+          const auto parts = split_config(args);
+          if (parts.size() > 0 && !parts[0].empty())
+            cfg.external_ip = net::parse_ipv4(parts[0]);
+          if (parts.size() > 1 && !parts[1].empty())
+            cfg.base_port = static_cast<uint16_t>(std::stoul(parts[1]));
+          if (parts.size() > 2 && !parts[2].empty())
+            cfg.port_space = static_cast<uint16_t>(std::stoul(parts[2]));
+          if (parts.size() > 3 && parts[3] == "buggy") cfg.buggy = true;
+          return make_nat(cfg);
+        },
+        "NAT(external_ip, base_port, port_space, buggy) — source NAT with "
+        "per-flow port allocation; 'buggy' disables wraparound"}},
       {"RateLimiter",
-       [](const std::string& args) {
-         RateLimiterConfig cfg;
-         const auto parts = split_config(args);
-         if (parts.size() > 0 && !parts[0].empty())
-           cfg.burst = static_cast<uint32_t>(std::stoul(parts[0]));
-         if (parts.size() > 1 && !parts[1].empty())
-           cfg.epoch_packets = static_cast<uint32_t>(std::stoul(parts[1]));
-         return make_rate_limiter(cfg);
-       }},
-      {"Counter", [](const std::string&) { return make_counter(); }},
+       {[](const std::string& args) {
+          RateLimiterConfig cfg;
+          const auto parts = split_config(args);
+          if (parts.size() > 0 && !parts[0].empty())
+            cfg.burst = static_cast<uint32_t>(std::stoul(parts[0]));
+          if (parts.size() > 1 && !parts[1].empty())
+            cfg.epoch_packets = static_cast<uint32_t>(std::stoul(parts[1]));
+          return make_rate_limiter(cfg);
+        },
+        "RateLimiter(burst, epoch_packets) — token-bucket limiter over "
+        "private state; over-budget packets leave via port 1"}},
+      {"Counter",
+       {[](const std::string&) { return make_counter(); },
+        "Counter — count packets in private state, pass through"}},
       {"Paint",
-       [](const std::string& args) {
-         return make_paint(static_cast<uint32_t>(parse_u64(args, 0)));
-       }},
-      {"Discard", [](const std::string&) { return make_discard(); }},
-      {"Null", [](const std::string&) { return make_null(); }},
-      {"ToyFig1", [](const std::string&) { return make_toy_fig1(); }},
-      {"ToyE1", [](const std::string&) { return make_toy_e1(); }},
-      {"ToyE2", [](const std::string&) { return make_toy_e2(); }},
+       {[](const std::string& args) {
+          return make_paint(static_cast<uint32_t>(parse_u64(args, 0)));
+        },
+        "Paint(color=0) — write color into the packet's paint annotation"}},
+      {"Discard",
+       {[](const std::string&) { return make_discard(); },
+        "Discard — drop every packet"}},
+      {"Null",
+       {[](const std::string&) { return make_null(); },
+        "Null — pass packets through unchanged"}},
+      {"ToyFig1",
+       {[](const std::string&) { return make_toy_fig1(); },
+        "ToyFig1 — the paper's Fig. 1 toy program"}},
+      {"ToyE1",
+       {[](const std::string&) { return make_toy_e1(); },
+        "ToyE1 — Fig. 2 upstream element (writes a guard value)"}},
+      {"ToyE2",
+       {[](const std::string&) { return make_toy_e2(); },
+        "ToyE2 — Fig. 2 downstream element (crashes without E1 upstream)"}},
   };
   return *table;
+}
+
+// Case-insensitive Levenshtein distance, for typo suggestions.
+size_t edit_distance(const std::string& a, const std::string& b) {
+  const auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+struct LineCol {
+  size_t line = 1;
+  size_t col = 1;
+};
+
+LineCol line_col_at(const std::string& s, size_t off) {
+  LineCol lc;
+  for (size_t i = 0; i < off && i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      ++lc.line;
+      lc.col = 1;
+    } else {
+      ++lc.col;
+    }
+  }
+  return lc;
+}
+
+[[noreturn]] void config_fail(const std::string& config, size_t off,
+                              const std::string& msg) {
+  const LineCol lc = line_col_at(config, off);
+  throw ConfigError(lc.line, lc.col, msg);
 }
 
 }  // namespace
@@ -224,9 +317,12 @@ const std::map<std::string, Factory>& factories() {
 ir::Program make_element(const std::string& name, const std::string& args) {
   const auto it = factories().find(name);
   if (it == factories().end()) {
-    throw std::invalid_argument("unknown element: " + name);
+    const std::string sugg = suggest_element(name);
+    throw std::invalid_argument(
+        "unknown element '" + name + "'" +
+        (sugg.empty() ? "" : " (did you mean '" + sugg + "'?)"));
   }
-  return it->second(args);
+  return it->second.make(args);
 }
 
 std::vector<std::string> registered_elements() {
@@ -235,27 +331,97 @@ std::vector<std::string> registered_elements() {
   return names;
 }
 
+std::vector<ElementInfo> element_catalog() {
+  std::vector<ElementInfo> out;
+  for (const auto& [name, entry] : factories()) {
+    out.push_back(ElementInfo{name, entry.usage});
+  }
+  return out;
+}
+
+std::string element_usage(const std::string& name) {
+  const auto it = factories().find(name);
+  return it == factories().end() ? std::string() : it->second.usage;
+}
+
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& candidates) {
+  if (name.empty()) return {};
+  // A typo plausibly within reach: short names tolerate 1 edit, longer
+  // ones up to 3.
+  const size_t budget = name.size() <= 4 ? 1 : (name.size() <= 8 ? 2 : 3);
+  std::string best;
+  size_t best_dist = budget + 1;
+  for (const std::string& cand : candidates) {
+    const size_t d = edit_distance(name, cand);
+    if (d < best_dist) {
+      best_dist = d;
+      best = cand;
+    }
+  }
+  return best_dist <= budget ? best : std::string();
+}
+
+std::string suggest_element(const std::string& name) {
+  return nearest_name(name, registered_elements());
+}
+
 pipeline::Pipeline parse_pipeline(const std::string& config) {
   pipeline::Pipeline pl;
   std::vector<size_t> chain_ids;
   size_t pos = 0;
-  while (pos < config.size()) {
+  for (;;) {
     size_t arrow = config.find("->", pos);
-    std::string stage = config.substr(
-        pos, arrow == std::string::npos ? std::string::npos : arrow - pos);
-    pos = arrow == std::string::npos ? config.size() : arrow + 2;
-    stage = trim(stage);
-    if (stage.empty()) throw std::invalid_argument("empty pipeline stage");
+    const size_t stage_end =
+        arrow == std::string::npos ? config.size() : arrow;
+    // Locate the trimmed stage token within [pos, stage_end).
+    size_t start = pos;
+    while (start < stage_end &&
+           std::isspace(static_cast<unsigned char>(config[start]))) {
+      ++start;
+    }
+    size_t end = stage_end;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(config[end - 1]))) {
+      --end;
+    }
+    if (start == end) {
+      // Anchor at where the stage should have begun (the gap), not at the
+      // following arrow.
+      config_fail(config, pos, "empty pipeline stage");
+    }
+    const std::string stage = config.substr(start, end - start);
     std::string name = stage;
     std::string args;
+    size_t args_off = start;
     const size_t paren = stage.find('(');
     if (paren != std::string::npos) {
-      if (stage.back() != ')')
-        throw std::invalid_argument("unbalanced parens: " + stage);
+      if (stage.back() != ')') {
+        config_fail(config, start + paren,
+                    "unbalanced parentheses in '" + stage + "'");
+      }
       name = trim(stage.substr(0, paren));
       args = stage.substr(paren + 1, stage.size() - paren - 2);
+      args_off = start + paren + 1;
+      if (name.empty()) {
+        config_fail(config, start, "missing element name before '('");
+      }
     }
-    chain_ids.push_back(pl.add(name, make_element(name, args)));
+    if (factories().count(name) == 0) {
+      const std::string sugg = suggest_element(name);
+      config_fail(config, start,
+                  "unknown element '" + name + "'" +
+                      (sugg.empty() ? "" : " (did you mean '" + sugg + "'?)"));
+    }
+    try {
+      chain_ids.push_back(pl.add(name, make_element(name, args)));
+    } catch (const std::invalid_argument& e) {
+      config_fail(config, args_off, name + ": " + e.what());
+    } catch (const std::out_of_range& e) {
+      config_fail(config, args_off, name + ": argument out of range");
+    }
+    if (arrow == std::string::npos) break;
+    pos = arrow + 2;
   }
   pl.chain(chain_ids);
   return pl;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,14 +22,57 @@
 
 namespace vsd::elements {
 
+// Pipeline-config parse failure carrying a 1-based line/column position
+// within the config string. Derives from std::invalid_argument so existing
+// catch sites keep working; what() is prefixed "line:col: ".
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(size_t line, size_t col, const std::string& msg)
+      : std::invalid_argument(std::to_string(line) + ":" +
+                              std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
+  size_t line() const { return line_; }
+  size_t col() const { return col_; }
+
+ private:
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
 // Creates an element program by registry name with an argument string.
-// Throws std::invalid_argument for unknown names or malformed arguments.
+// Throws std::invalid_argument for unknown names (with a nearest-name
+// suggestion when one is close) or malformed arguments.
 ir::Program make_element(const std::string& name, const std::string& args);
 
 // Registered element names, sorted (for --help style listings and tests).
 std::vector<std::string> registered_elements();
 
-// Parses "A -> B(args) -> C" into a connected pipeline.
+// A registered element plus its one-line usage/args summary.
+struct ElementInfo {
+  std::string name;
+  std::string usage;
+};
+
+// All elements with usage strings, sorted by name (`vsd list`).
+std::vector<ElementInfo> element_catalog();
+
+// One-line usage summary for `name`; empty string for unknown names.
+std::string element_usage(const std::string& name);
+
+// Nearest registered element name by edit distance (case-insensitive), for
+// "did you mean" diagnostics; empty when nothing is plausibly close.
+std::string suggest_element(const std::string& name);
+
+// The underlying typo matcher: nearest of `candidates` within a
+// typo-sized edit budget (1 edit for names <= 4 chars, up to 3 for long
+// ones); empty when nothing is close. Shared by element and vspec
+// diagnostics so suggestions behave identically everywhere.
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& candidates);
+
+// Parses "A -> B(args) -> C" into a connected pipeline. Throws ConfigError
+// (with the offending token's line/column) on malformed configs.
 pipeline::Pipeline parse_pipeline(const std::string& config);
 
 // The default Click IP-router chain the paper verifies (§3): classifier,

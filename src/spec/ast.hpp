@@ -1,0 +1,122 @@
+// vspec — the property-specification language for software dataplanes.
+//
+// A .vspec file declares a pipeline (registry config syntax), named packet
+// predicates over header fields, and a list of property assertions the
+// decomposed verifier must prove:
+//
+//   # the paper's §1 pitch, as an operator would write it
+//   pipeline "Classifier -> EthDecap -> CheckIPHeader
+//             -> IPLookup(10.0.0.0/8 0)";
+//   set packet_len = 64;
+//
+//   let to_net10 = wellformed_checksummed && ip.dst == 10.1.2.3;
+//
+//   assert crash_free;
+//   assert instructions <= 4000;
+//   assert reachable(output 0) when to_net10;
+//   assert never(drop) when to_net10;
+//
+// This header is the AST; lexer.hpp/parser.hpp produce it and compile.hpp
+// lowers it onto the verification engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vsd::spec {
+
+// 1-based source position within a .vspec file.
+struct Pos {
+  size_t line = 1;
+  size_t col = 1;
+};
+
+// Lex/parse/type failure. what() is formatted "line:col: message"; the CLI
+// prefixes the file name.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(Pos pos, const std::string& msg)
+      : std::runtime_error(std::to_string(pos.line) + ":" +
+                           std::to_string(pos.col) + ": " + msg),
+        pos_(pos) {}
+  Pos pos() const { return pos_; }
+
+ private:
+  Pos pos_;
+};
+
+// --- Predicates ---------------------------------------------------------------
+
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+const char* cmp_op_name(CmpOp op);
+
+enum class BuiltinPred : uint8_t {
+  WellFormed,             // structural IPv4 well-formedness
+  WellFormedChecksummed,  // plus valid header checksum
+};
+
+enum class PredKind : uint8_t {
+  And,      // kids[0] && kids[1]
+  Or,       // kids[0] || kids[1]
+  Not,      // !kids[0]
+  Cmp,      // proto.field <op> value
+  Builtin,  // wellformed / wellformed_checksummed
+  Ref,      // name bound by a `let`
+};
+
+struct Pred {
+  PredKind kind = PredKind::Builtin;
+  Pos pos;
+  std::vector<std::unique_ptr<Pred>> kids;
+
+  // Cmp payload.
+  std::string proto;   // "ip" / "eth"
+  std::string field;   // "dst", "ttl", ...
+  CmpOp op = CmpOp::Eq;
+  uint64_t value = 0;
+  std::string value_text;  // as written, for diagnostics
+
+  // Builtin payload.
+  BuiltinPred builtin = BuiltinPred::WellFormed;
+
+  // Ref payload.
+  std::string ref;
+};
+
+// --- Assertions ---------------------------------------------------------------
+
+enum class PropKind : uint8_t {
+  CrashFree,         // assert crash_free;
+  InstructionBound,  // assert instructions <= N;
+  Reachable,         // assert reachable(output N) when p;
+  NeverDrop,         // assert never(drop) when p;
+};
+
+struct Assertion {
+  PropKind prop = PropKind::CrashFree;
+  Pos pos;
+  uint64_t bound = 0;            // InstructionBound
+  uint32_t port = 0;             // Reachable
+  std::unique_ptr<Pred> when;    // null when absent
+  std::string text;              // the assertion as written, for reports
+};
+
+// --- The file -------------------------------------------------------------------
+
+struct SpecFile {
+  std::string pipeline_config;
+  Pos pipeline_pos;      // position of the pipeline string literal
+  size_t packet_len = 64;
+  // Where the IPv4 header starts within the frame (ip.* fields); eth.*
+  // fields need ip_offset >= 14. `set ip_offset = 0;` suits pipelines whose
+  // packets enter already decapsulated.
+  size_t ip_offset = 14;
+  std::vector<std::pair<std::string, std::unique_ptr<Pred>>> lets;
+  std::vector<Assertion> assertions;
+};
+
+}  // namespace vsd::spec

@@ -1,0 +1,177 @@
+#include "spec/check.hpp"
+
+#include "elements/registry.hpp"
+#include "spec/compile.hpp"
+#include "verify/decomposed.hpp"
+
+namespace vsd::spec {
+
+namespace {
+
+using verify::Verdict;
+
+// Concrete replay of one counterexample packet through a fresh pipeline
+// instance (elements carry mutable private state, so the replay never
+// touches the instance used elsewhere). Returns a one-line description and
+// whether the outcome reproduces a violation of assertion `a`.
+std::string replay_counterexample(const SpecFile& spec, const Assertion& a,
+                                  const verify::Counterexample& ce,
+                                  bool* confirms) {
+  if (!ce.state_note.empty()) {
+    // The violation needs private state built by a prior packet sequence; a
+    // single-packet replay cannot reproduce it. The bad-value analysis
+    // already certified a feasible write history.
+    *confirms = true;
+    return "not single-packet replayable: " + ce.state_note;
+  }
+  pipeline::Pipeline pl = elements::parse_pipeline(spec.pipeline_config);
+  net::Packet p = ce.packet;
+  const pipeline::PipelineResult r = pl.process(p);
+  const std::string where = pl.element(r.exit_element).name();
+  std::string desc;
+  bool is_violation = false;
+  switch (r.action) {
+    case pipeline::FinalAction::Delivered:
+      desc = "delivered via output " + std::to_string(r.exit_port) + " at [" +
+             where + "]";
+      is_violation = a.prop == PropKind::Reachable && r.exit_port != a.port;
+      break;
+    case pipeline::FinalAction::Dropped:
+      desc = "dropped at [" + where + "]";
+      is_violation =
+          a.prop == PropKind::NeverDrop || a.prop == PropKind::Reachable;
+      break;
+    case pipeline::FinalAction::Trapped:
+      desc = std::string("trapped (") + ir::trap_name(r.trap) + ") at [" +
+             where + "]";
+      is_violation = true;  // a trap violates every property here
+      break;
+  }
+  *confirms = is_violation;
+  return "replay: " + desc;
+}
+
+verify::TerminalSpec terminal_spec_for(const Assertion& a) {
+  verify::TerminalSpec t;
+  switch (a.prop) {
+    case PropKind::CrashFree:  // predicated crash freedom: traps only
+      t.drop_is_violation = false;
+      t.trap_is_violation = true;
+      break;
+    case PropKind::NeverDrop:  // drops and traps both lose the packet
+      break;
+    case PropKind::Reachable:
+      t.required_exit_port = a.port;
+      break;
+    case PropKind::InstructionBound:
+      break;  // not driven through verify_reach_never
+  }
+  return t;
+}
+
+AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
+                               const pipeline::Pipeline& pl,
+                               verify::DecomposedVerifier& verifier) {
+  AssertionOutcome out;
+  out.text = a.text;
+
+  if (a.prop == PropKind::InstructionBound) {
+    const verify::InstructionBoundReport r =
+        verifier.verify_instruction_bound(pl);
+    out.verdict = r.verdict;
+    out.seconds = r.seconds;
+    out.max_instructions = r.max_instructions;
+    if (r.verdict != Verdict::Proven) {
+      out.passed = false;
+      out.detail = "could not bound the instruction count (budget "
+                   "exhausted?)";
+      return out;
+    }
+    out.passed = r.max_instructions <= a.bound;
+    out.detail = "max " + std::to_string(r.max_instructions) +
+                 (r.bound_is_exact ? " (exact)" : " (upper bound)") + " vs " +
+                 std::to_string(a.bound);
+    if (!out.passed && r.witness) {
+      verify::Counterexample ce;
+      ce.packet = *r.witness;
+      out.counterexamples.push_back(std::move(ce));
+      out.replays.push_back(
+          "replay: witness executes " +
+          std::to_string(r.witness_instructions) + " instructions");
+      out.replays_confirm = r.witness_instructions > a.bound ||
+                            !r.bound_is_exact;
+    }
+    return out;
+  }
+
+  const verify::InputPredicate pred = a.when
+      ? verify::InputPredicate([&spec, &a](const symbex::SymPacket& p) {
+          return compile_pred(spec, *a.when, p);
+        })
+      : verify::InputPredicate(
+            [](const symbex::SymPacket&) { return bv::mk_bool(true); });
+
+  // A `when` predicate no packet can satisfy makes the assertion vacuously
+  // true — a typo'd contradiction must not masquerade as a real proof, so
+  // say so (and skip the pointless walk).
+  if (a.when) {
+    const symbex::SymPacket entry =
+        symbex::SymPacket::symbolic(spec.packet_len, "in");
+    if (verifier.solver().is_unsat(compile_pred(spec, *a.when, entry))) {
+      out.passed = true;
+      out.verdict = Verdict::Proven;
+      out.detail = "VACUOUS: no packet satisfies the 'when' predicate";
+      return out;
+    }
+  }
+
+  verify::ReachabilityReport r;
+  if (a.prop == PropKind::CrashFree && !a.when) {
+    const verify::CrashFreedomReport cr = verifier.verify_crash_freedom(pl);
+    r.verdict = cr.verdict;
+    r.counterexamples = cr.counterexamples;
+    r.seconds = cr.seconds;
+  } else {
+    r = verifier.verify_reach_never(pl, pred, terminal_spec_for(a));
+  }
+  out.verdict = r.verdict;
+  out.seconds = r.seconds;
+  out.passed = r.verdict == Verdict::Proven;
+  if (r.verdict == Verdict::Unknown) {
+    out.detail = a.prop == PropKind::Reachable
+                     ? "could not decide exactly (a summarized loop "
+                       "obscured a suspect exit, or a budget was exhausted)"
+                     : "verification did not complete (budget exhausted)";
+  }
+  out.counterexamples = std::move(r.counterexamples);
+  for (const verify::Counterexample& ce : out.counterexamples) {
+    bool confirms = false;
+    out.replays.push_back(replay_counterexample(spec, a, ce, &confirms));
+    out.replays_confirm = out.replays_confirm && confirms;
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts) {
+  // One pipeline instance for all verification calls (the verifiers only
+  // read it; replays build their own) and one verifier so Step-1 element
+  // summaries are shared across assertions.
+  const pipeline::Pipeline pl =
+      elements::parse_pipeline(spec.pipeline_config);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = spec.packet_len;
+  cfg.jobs = opts.jobs;
+  verify::DecomposedVerifier verifier(cfg);
+
+  CheckReport report;
+  for (const Assertion& a : spec.assertions) {
+    report.outcomes.push_back(run_assertion(spec, a, pl, verifier));
+    if (report.outcomes.back().passed) ++report.passed;
+  }
+  report.ok = report.passed == report.outcomes.size();
+  return report;
+}
+
+}  // namespace vsd::spec

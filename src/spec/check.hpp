@@ -1,0 +1,49 @@
+// vspec batch checker: runs every assertion of a spec against the
+// decomposed verifier (sharing element summaries across assertions) and
+// replays each counterexample under the concrete interpreter so a FAIL
+// always comes with a demonstrated violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "verify/report.hpp"
+
+namespace vsd::spec {
+
+struct CheckOptions {
+  // Worker threads for the verifier (0 = one per hardware thread).
+  // Verdicts and counterexamples are identical at any job count.
+  size_t jobs = 1;
+};
+
+struct AssertionOutcome {
+  std::string text;  // "assert never(drop) when ..." as written
+  bool passed = false;
+  verify::Verdict verdict = verify::Verdict::Unknown;
+  std::string detail;  // one-line extra info (bounds, unknown reason)
+  std::vector<verify::Counterexample> counterexamples;
+  // Per-counterexample concrete replay description ("dropped at
+  // [IPLookup]"), parallel to `counterexamples`.
+  std::vector<std::string> replays;
+  // True when every replay reproduced the claimed violation (stateful
+  // violations that need a prior packet sequence are noted, not replayed).
+  bool replays_confirm = true;
+  uint64_t max_instructions = 0;  // InstructionBound
+  double seconds = 0.0;
+};
+
+struct CheckReport {
+  std::vector<AssertionOutcome> outcomes;
+  size_t passed = 0;
+  bool ok = false;  // every assertion passed
+};
+
+// Runs all assertions of a parsed+checked spec. Throws SpecError only for
+// defects the parser's checker already rejects (e.g. a spec handed over
+// without parse_spec).
+CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts = {});
+
+}  // namespace vsd::spec

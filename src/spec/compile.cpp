@@ -1,0 +1,95 @@
+#include "spec/compile.hpp"
+
+#include <map>
+
+#include "net/headers.hpp"
+#include "verify/predicates.hpp"
+
+namespace vsd::spec {
+
+using bv::ExprRef;
+
+namespace {
+
+ExprRef compile_cmp(const SpecFile& spec, const Pred& pred,
+                    const symbex::SymPacket& p) {
+  const auto f = verify::lookup_field(pred.proto, pred.field, spec.ip_offset);
+  if (!f) {
+    throw SpecError(pred.pos,
+                    "unknown field '" + pred.proto + "." + pred.field + "'");
+  }
+  const auto value = verify::field_value(p, *f);
+  if (!value) return bv::mk_bool(false);  // packet too short for the field
+  const ExprRef rhs = bv::mk_const(pred.value, (*value)->width());
+  switch (pred.op) {
+    case CmpOp::Eq: return bv::mk_eq(*value, rhs);
+    case CmpOp::Ne: return bv::mk_ne(*value, rhs);
+    case CmpOp::Lt: return bv::mk_ult(*value, rhs);
+    case CmpOp::Le: return bv::mk_ule(*value, rhs);
+    case CmpOp::Gt: return bv::mk_ugt(*value, rhs);
+    case CmpOp::Ge: return bv::mk_uge(*value, rhs);
+  }
+  throw SpecError(pred.pos, "bad comparison operator");
+}
+
+ExprRef compile_builtin(const SpecFile& spec, const Pred& pred,
+                        const symbex::SymPacket& p) {
+  const size_t ip = spec.ip_offset;
+  const bool has_eth = ip >= net::kEtherHeaderSize;
+  switch (pred.builtin) {
+    case BuiltinPred::WellFormed:
+      return has_eth
+                 ? verify::wellformed_ipv4(p, ip - net::kEtherHeaderSize)
+                 : verify::wellformed_ipv4_at(p, ip);
+    case BuiltinPred::WellFormedChecksummed:
+      return has_eth ? verify::wellformed_ipv4_checksummed(
+                           p, ip - net::kEtherHeaderSize)
+                     : verify::wellformed_ipv4_checksummed_at(p, ip);
+  }
+  throw SpecError(pred.pos, "bad builtin predicate");
+}
+
+// Each let body is lowered at most once per compilation (the expression DAG
+// is shared through the memo), so chains of lets referencing lets stay
+// linear instead of re-expanding exponentially.
+ExprRef compile_memo(const SpecFile& spec, const Pred& pred,
+                     const symbex::SymPacket& p,
+                     std::map<std::string, ExprRef>& lets_memo) {
+  switch (pred.kind) {
+    case PredKind::And:
+      return bv::mk_land(compile_memo(spec, *pred.kids[0], p, lets_memo),
+                         compile_memo(spec, *pred.kids[1], p, lets_memo));
+    case PredKind::Or:
+      return bv::mk_lor(compile_memo(spec, *pred.kids[0], p, lets_memo),
+                        compile_memo(spec, *pred.kids[1], p, lets_memo));
+    case PredKind::Not:
+      return bv::mk_lnot(compile_memo(spec, *pred.kids[0], p, lets_memo));
+    case PredKind::Cmp:
+      return compile_cmp(spec, pred, p);
+    case PredKind::Builtin:
+      return compile_builtin(spec, pred, p);
+    case PredKind::Ref: {
+      const auto it = lets_memo.find(pred.ref);
+      if (it != lets_memo.end()) return it->second;
+      for (const auto& [name, body] : spec.lets) {
+        if (name == pred.ref) {
+          ExprRef e = compile_memo(spec, *body, p, lets_memo);
+          lets_memo.emplace(name, e);
+          return e;
+        }
+      }
+      throw SpecError(pred.pos, "unknown predicate '" + pred.ref + "'");
+    }
+  }
+  throw SpecError(pred.pos, "bad predicate node");
+}
+
+}  // namespace
+
+ExprRef compile_pred(const SpecFile& spec, const Pred& pred,
+                     const symbex::SymPacket& p) {
+  std::map<std::string, ExprRef> lets_memo;
+  return compile_memo(spec, pred, p, lets_memo);
+}
+
+}  // namespace vsd::spec

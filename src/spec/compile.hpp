@@ -1,0 +1,21 @@
+// vspec predicate compiler: lowers a predicate AST onto the verification
+// engine — field comparisons and builtins become bv constraints over the
+// symbolic entry packet via the field-access layer in
+// verify/predicates.hpp.
+#pragma once
+
+#include "bv/expr.hpp"
+#include "spec/ast.hpp"
+#include "symbex/sym_packet.hpp"
+
+namespace vsd::spec {
+
+// Lowers one predicate AST to a constraint over `p`. `spec` supplies the
+// let bindings and ip_offset (borrowed for the duration of the call only).
+// Each let body is lowered at most once per call, so chained lets stay
+// linear. A field comparison on a packet too short to contain the field is
+// false. Throws SpecError on constructs the checker rejects.
+bv::ExprRef compile_pred(const SpecFile& spec, const Pred& pred,
+                         const symbex::SymPacket& p);
+
+}  // namespace vsd::spec

@@ -1,0 +1,276 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vsd::spec {
+
+const char* tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Int: return "integer";
+    case TokKind::Ipv4: return "IPv4 address";
+    case TokKind::String: return "string";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Dot: return "'.'";
+    case TokKind::Assign: return "'='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Ge: return "'>='";
+    case TokKind::AndAnd: return "'&&'";
+    case TokKind::OrOr: return "'||'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::End: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      Token t = next();
+      const bool end = t.kind == TokKind::End;
+      out.push_back(std::move(t));
+      if (end) return out;
+    }
+  }
+
+ private:
+  char peek(size_t ahead = 0) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool at_end() const { return i_ >= src_.size(); }
+  Pos here() const { return Pos{line_, col_}; }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (!at_end() &&
+             std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '#' || (peek() == '/' && peek(1) == '/')) {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind k, Pos pos, std::string text = {}, uint64_t value = 0) {
+    Token t;
+    t.kind = k;
+    t.pos = pos;
+    t.text = std::move(text);
+    t.value = value;
+    return t;
+  }
+
+  Token next() {
+    const Pos pos = here();
+    if (at_end()) return make(TokKind::End, pos);
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ident(pos);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(pos);
+    if (c == '"') return string_lit(pos);
+    advance();
+    switch (c) {
+      case '(': return make(TokKind::LParen, pos, "(");
+      case ')': return make(TokKind::RParen, pos, ")");
+      case ';': return make(TokKind::Semi, pos, ";");
+      case '.': return make(TokKind::Dot, pos, ".");
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::EqEq, pos, "==");
+        }
+        return make(TokKind::Assign, pos, "=");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::NotEq, pos, "!=");
+        }
+        return make(TokKind::Bang, pos, "!");
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::Le, pos, "<=");
+        }
+        return make(TokKind::Lt, pos, "<");
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::Ge, pos, ">=");
+        }
+        return make(TokKind::Gt, pos, ">");
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokKind::AndAnd, pos, "&&");
+        }
+        throw SpecError(pos, "stray '&' (use '&&')");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokKind::OrOr, pos, "||");
+        }
+        throw SpecError(pos, "stray '|' (use '||')");
+      default: {
+        char what[16];
+        if (std::isprint(static_cast<unsigned char>(c))) {
+          std::snprintf(what, sizeof(what), "'%c'", c);
+        } else {
+          std::snprintf(what, sizeof(what), "'\\x%02x'",
+                        static_cast<unsigned char>(c));
+        }
+        throw SpecError(pos, std::string("unexpected character ") + what);
+      }
+    }
+  }
+
+  Token ident(Pos pos) {
+    std::string s;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+      s += advance();
+    }
+    return make(TokKind::Ident, pos, std::move(s));
+  }
+
+  // Unsigned decimal digits; returns false on overflow.
+  static bool parse_dec(const std::string& s, uint64_t* out) {
+    uint64_t v = 0;
+    for (const char c : s) {
+      const uint64_t d = static_cast<uint64_t>(c - '0');
+      if (v > (UINT64_MAX - d) / 10) return false;
+      v = v * 10 + d;
+    }
+    *out = v;
+    return true;
+  }
+
+  Token number(Pos pos) {
+    std::string digits;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      std::string hex;
+      while (!at_end() &&
+             std::isxdigit(static_cast<unsigned char>(peek()))) {
+        hex += advance();
+      }
+      if (hex.empty() || hex.size() > 16) {
+        throw SpecError(pos, "malformed hex literal");
+      }
+      uint64_t v = 0;
+      for (const char c : hex) {
+        v = v * 16 +
+            static_cast<uint64_t>(std::isdigit(static_cast<unsigned char>(c))
+                                      ? c - '0'
+                                      : std::tolower(c) - 'a' + 10);
+      }
+      return make(TokKind::Int, pos, "0x" + hex, v);
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      digits += advance();
+    }
+    // A '.' directly followed by a digit makes this a dotted quad.
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      return ipv4(pos, digits);
+    }
+    uint64_t v = 0;
+    if (!parse_dec(digits, &v)) {
+      throw SpecError(pos, "integer literal does not fit 64 bits");
+    }
+    return make(TokKind::Int, pos, digits, v);
+  }
+
+  Token ipv4(Pos pos, const std::string& first) {
+    std::string text = first;
+    uint64_t octets[4] = {0, 0, 0, 0};
+    if (!parse_dec(first, &octets[0]) || octets[0] > 255) {
+      throw SpecError(pos, "bad IPv4 octet '" + first + "'");
+    }
+    for (int k = 1; k < 4; ++k) {
+      if (peek() != '.') {
+        throw SpecError(pos, "malformed IPv4 address (expected 4 octets)");
+      }
+      advance();
+      text += '.';
+      std::string digits;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+      if (digits.empty() || !parse_dec(digits, &octets[k]) ||
+          octets[k] > 255) {
+        throw SpecError(pos, "bad IPv4 octet in '" + text + "'");
+      }
+      text += digits;
+    }
+    const uint64_t addr =
+        (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+    return make(TokKind::Ipv4, pos, std::move(text), addr);
+  }
+
+  // Strings may span lines (pipeline configs read better wrapped); the
+  // parser re-anchors config-parse errors through the embedded newlines.
+  Token string_lit(Pos pos) {
+    advance();  // opening quote
+    std::string s;
+    for (;;) {
+      if (at_end()) {
+        throw SpecError(pos, "unterminated string literal");
+      }
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) throw SpecError(pos, "unterminated string literal");
+        const char e = advance();
+        if (e == '"' || e == '\\') {
+          s += e;
+        } else {
+          throw SpecError(here(),
+                          std::string("unsupported escape '\\") + e + "'");
+        }
+        continue;
+      }
+      s += c;
+    }
+    return make(TokKind::String, pos, std::move(s));
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) { return Lexer(src).run(); }
+
+}  // namespace vsd::spec

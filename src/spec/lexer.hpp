@@ -1,0 +1,49 @@
+// vspec lexer: source text -> token stream with 1-based line/column
+// positions. Comments run from '#' or '//' to end of line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace vsd::spec {
+
+enum class TokKind : uint8_t {
+  Ident,    // identifiers and keywords (resolved by the parser)
+  Int,      // decimal or 0x-hex literal
+  Ipv4,     // dotted quad, value() is the host-order address
+  String,   // "..." literal (may span lines; \" and \\ escapes)
+  LParen,
+  RParen,
+  Semi,
+  Dot,
+  Assign,   // =
+  EqEq,     // ==
+  NotEq,    // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,   // &&
+  OrOr,     // ||
+  Bang,     // !
+  End,      // end of input
+};
+
+const char* tok_kind_name(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::End;
+  Pos pos;
+  std::string text;    // Ident / String contents; punctuation spelling
+  uint64_t value = 0;  // Int / Ipv4
+};
+
+// Tokenizes `src`. Throws SpecError on stray characters, unterminated
+// strings, malformed numbers, or bad dotted quads. The returned vector
+// always ends with an End token.
+std::vector<Token> lex(const std::string& src);
+
+}  // namespace vsd::spec

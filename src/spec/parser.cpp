@@ -1,0 +1,491 @@
+#include "spec/parser.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "elements/registry.hpp"
+#include "spec/lexer.hpp"
+#include "verify/predicates.hpp"
+
+namespace vsd::spec {
+
+const char* cmp_op_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Ne: return "!=";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr size_t kMaxPacketLen = 9000;  // jumbo frame
+
+// Typo suggestions share the registry's matcher so element, field, and
+// predicate did-you-means behave identically.
+std::string nearest(const std::string& name,
+                    const std::vector<std::string>& candidates) {
+  return elements::nearest_name(name, candidates);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : toks_(lex(src)) {}
+
+  SpecFile run() {
+    SpecFile spec;
+    bool have_pipeline = false;
+    while (!at(TokKind::End)) {
+      const Token& kw = expect(TokKind::Ident, "a statement keyword");
+      if (kw.text == "pipeline") {
+        if (have_pipeline) {
+          throw SpecError(kw.pos, "duplicate pipeline declaration");
+        }
+        const Token& cfg = expect(TokKind::String, "the pipeline config "
+                                                   "string");
+        spec.pipeline_config = cfg.text;
+        spec.pipeline_pos = cfg.pos;
+        have_pipeline = true;
+        expect(TokKind::Semi, "';' after the pipeline declaration");
+      } else if (kw.text == "set") {
+        parse_set(&spec);
+      } else if (kw.text == "let") {
+        parse_let(&spec);
+      } else if (kw.text == "assert") {
+        parse_assert(&spec, kw.pos);
+      } else {
+        throw SpecError(kw.pos, "expected 'pipeline', 'set', 'let' or "
+                                "'assert', got '" +
+                                    kw.text + "'");
+      }
+    }
+    if (!have_pipeline) {
+      throw SpecError(Pos{1, 1}, "spec declares no pipeline (add: pipeline "
+                                 "\"A -> B\";)");
+    }
+    if (spec.assertions.empty()) {
+      throw SpecError(Pos{1, 1}, "spec contains no assertions");
+    }
+    check(spec);
+    return spec;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = std::min(i_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  bool at(TokKind k) const { return peek().kind == k; }
+  bool at_ident(const char* word) const {
+    return at(TokKind::Ident) && peek().text == word;
+  }
+  const Token& advance() {
+    const Token& t = toks_[i_];
+    if (t.kind != TokKind::End) ++i_;
+    return t;
+  }
+  const Token& expect(TokKind k, const std::string& what) {
+    if (!at(k)) {
+      throw SpecError(peek().pos, "expected " + what + ", got " +
+                                      describe(peek()));
+    }
+    return advance();
+  }
+  static std::string describe(const Token& t) {
+    if (t.kind == TokKind::Ident) return "'" + t.text + "'";
+    if (t.kind == TokKind::Int || t.kind == TokKind::Ipv4) {
+      return "'" + t.text + "'";
+    }
+    return tok_kind_name(t.kind);
+  }
+
+  void parse_set(SpecFile* spec) {
+    const Token& key = expect(TokKind::Ident, "'packet_len' or 'ip_offset'");
+    expect(TokKind::Assign, "'='");
+    const Token& val = expect(TokKind::Int, "an integer");
+    expect(TokKind::Semi, "';'");
+    if (key.text == "packet_len") {
+      if (val.value == 0 || val.value > kMaxPacketLen) {
+        throw SpecError(val.pos, "packet_len must be in [1, " +
+                                     std::to_string(kMaxPacketLen) + "]");
+      }
+      spec->packet_len = static_cast<size_t>(val.value);
+    } else if (key.text == "ip_offset") {
+      if (val.value > kMaxPacketLen) {
+        throw SpecError(val.pos, "ip_offset is out of range");
+      }
+      spec->ip_offset = static_cast<size_t>(val.value);
+    } else {
+      throw SpecError(key.pos, "unknown option '" + key.text +
+                                   "' (expected 'packet_len' or "
+                                   "'ip_offset')");
+    }
+  }
+
+  void parse_let(SpecFile* spec) {
+    const Token& name = expect(TokKind::Ident, "a predicate name");
+    if (name.text == "wellformed" || name.text == "wellformed_checksummed") {
+      throw SpecError(name.pos,
+                      "'" + name.text + "' is a built-in predicate");
+    }
+    for (const auto& [n, _] : spec->lets) {
+      if (n == name.text) {
+        throw SpecError(name.pos, "duplicate predicate '" + name.text + "'");
+      }
+    }
+    expect(TokKind::Assign, "'='");
+    auto pred = parse_pred();
+    expect(TokKind::Semi, "';' after the predicate");
+    spec->lets.emplace_back(name.text, std::move(pred));
+  }
+
+  void parse_assert(SpecFile* spec, Pos pos) {
+    Assertion a;
+    a.pos = pos;
+    const Token& prop = expect(TokKind::Ident, "a property (crash_free, "
+                                               "instructions, reachable, "
+                                               "never)");
+    if (prop.text == "crash_free") {
+      a.prop = PropKind::CrashFree;
+    } else if (prop.text == "instructions") {
+      a.prop = PropKind::InstructionBound;
+      expect(TokKind::Le, "'<=' after 'instructions'");
+      const Token& bound = expect(TokKind::Int, "the instruction bound");
+      if (bound.value == 0) {
+        throw SpecError(bound.pos, "instruction bound must be positive");
+      }
+      a.bound = bound.value;
+    } else if (prop.text == "reachable") {
+      a.prop = PropKind::Reachable;
+      expect(TokKind::LParen, "'(' after 'reachable'");
+      const Token& out = expect(TokKind::Ident, "'output'");
+      if (out.text != "output") {
+        throw SpecError(out.pos,
+                        "expected 'output', got '" + out.text + "'");
+      }
+      const Token& port = expect(TokKind::Int, "an output port number");
+      if (port.value > 0xffffffffull) {
+        throw SpecError(port.pos, "output port is out of range");
+      }
+      a.port = static_cast<uint32_t>(port.value);
+      expect(TokKind::RParen, "')'");
+    } else if (prop.text == "never") {
+      a.prop = PropKind::NeverDrop;
+      expect(TokKind::LParen, "'(' after 'never'");
+      const Token& what = expect(TokKind::Ident, "'drop'");
+      if (what.text != "drop") {
+        throw SpecError(what.pos,
+                        "expected 'drop', got '" + what.text + "'");
+      }
+      expect(TokKind::RParen, "')'");
+    } else {
+      const std::string sugg = nearest(
+          prop.text, {"crash_free", "instructions", "reachable", "never"});
+      throw SpecError(prop.pos,
+                      "unknown property '" + prop.text + "'" +
+                          (sugg.empty() ? "" : " (did you mean '" + sugg +
+                                                   "'?)"));
+    }
+    if (at_ident("when")) {
+      const Token& when = advance();
+      if (a.prop == PropKind::InstructionBound) {
+        throw SpecError(when.pos,
+                        "'when' is not supported for instruction bounds");
+      }
+      a.when = parse_pred();
+    }
+    expect(TokKind::Semi, "';' after the assertion");
+    a.text = assertion_text(a);
+    spec->assertions.push_back(std::move(a));
+  }
+
+  std::unique_ptr<Pred> parse_pred() { return parse_or(); }
+
+  std::unique_ptr<Pred> parse_or() {
+    auto lhs = parse_and();
+    while (at(TokKind::OrOr)) {
+      const Pos pos = advance().pos;
+      auto node = std::make_unique<Pred>();
+      node->kind = PredKind::Or;
+      node->pos = pos;
+      node->kids.push_back(std::move(lhs));
+      node->kids.push_back(parse_and());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Pred> parse_and() {
+    auto lhs = parse_unary();
+    while (at(TokKind::AndAnd)) {
+      const Pos pos = advance().pos;
+      auto node = std::make_unique<Pred>();
+      node->kind = PredKind::And;
+      node->pos = pos;
+      node->kids.push_back(std::move(lhs));
+      node->kids.push_back(parse_unary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Pred> parse_unary() {
+    if (at(TokKind::Bang)) {
+      const Pos pos = advance().pos;
+      auto node = std::make_unique<Pred>();
+      node->kind = PredKind::Not;
+      node->pos = pos;
+      node->kids.push_back(parse_unary());
+      return node;
+    }
+    if (at(TokKind::LParen)) {
+      advance();
+      auto inner = parse_pred();
+      expect(TokKind::RParen, "')'");
+      return inner;
+    }
+    return parse_atom();
+  }
+
+  std::unique_ptr<Pred> parse_atom() {
+    const Token& name = expect(TokKind::Ident, "a predicate (field "
+                                               "comparison, built-in, or "
+                                               "let-bound name)");
+    auto node = std::make_unique<Pred>();
+    node->pos = name.pos;
+    if (name.text == "wellformed" || name.text == "wellformed_checksummed") {
+      node->kind = PredKind::Builtin;
+      node->builtin = name.text == "wellformed"
+                          ? BuiltinPred::WellFormed
+                          : BuiltinPred::WellFormedChecksummed;
+      return node;
+    }
+    if (at(TokKind::Dot)) {
+      advance();
+      const Token& field = expect(TokKind::Ident, "a field name after '.'");
+      node->kind = PredKind::Cmp;
+      node->proto = name.text;
+      node->field = field.text;
+      node->op = parse_relop();
+      const Token& val = peek();
+      if (val.kind != TokKind::Int && val.kind != TokKind::Ipv4) {
+        throw SpecError(val.pos, "expected an integer or IPv4 literal, got " +
+                                     describe(val));
+      }
+      advance();
+      node->value = val.value;
+      node->value_text = val.text;
+      return node;
+    }
+    node->kind = PredKind::Ref;
+    node->ref = name.text;
+    return node;
+  }
+
+  CmpOp parse_relop() {
+    switch (peek().kind) {
+      case TokKind::EqEq: advance(); return CmpOp::Eq;
+      case TokKind::NotEq: advance(); return CmpOp::Ne;
+      case TokKind::Lt: advance(); return CmpOp::Lt;
+      case TokKind::Le: advance(); return CmpOp::Le;
+      case TokKind::Gt: advance(); return CmpOp::Gt;
+      case TokKind::Ge: advance(); return CmpOp::Ge;
+      default:
+        throw SpecError(peek().pos, "expected a comparison operator (==, "
+                                    "!=, <, <=, >, >=), got " +
+                                        describe(peek()));
+    }
+  }
+
+  // --- Type/arity checking ----------------------------------------------------
+
+  void check(const SpecFile& spec) {
+    check_pipeline(spec);
+    // Lets and assertions are each stored in file order; walk them merged
+    // by source position so define-before-use applies to assertion
+    // predicates exactly as it does to let bodies.
+    const auto pos_before = [](Pos a, Pos b) {
+      return a.line < b.line || (a.line == b.line && a.col < b.col);
+    };
+    std::set<std::string> defined;
+    size_t li = 0;
+    const auto admit_lets_before = [&](Pos limit, bool all) {
+      while (li < spec.lets.size() &&
+             (all || pos_before(spec.lets[li].second->pos, limit))) {
+        check_pred(spec, *spec.lets[li].second, defined);
+        defined.insert(spec.lets[li].first);
+        ++li;
+      }
+    };
+    for (const Assertion& a : spec.assertions) {
+      admit_lets_before(a.pos, /*all=*/false);
+      if (a.when) check_pred(spec, *a.when, defined);
+    }
+    admit_lets_before(Pos{}, /*all=*/true);
+  }
+
+  void check_pipeline(const SpecFile& spec) {
+    try {
+      elements::parse_pipeline(spec.pipeline_config);
+    } catch (const elements::ConfigError& e) {
+      // Re-anchor into the .vspec file. The config's line 1 starts one
+      // quote to the right of the string literal; later lines (strings may
+      // wrap) keep their own columns. Escape sequences before the error
+      // would shift this by a character each — configs don't need them.
+      Pos pos = spec.pipeline_pos;
+      if (e.line() == 1) {
+        pos.col += 1 + (e.col() - 1);
+      } else {
+        pos.line += e.line() - 1;
+        pos.col = e.col();
+      }
+      throw SpecError(pos, "in pipeline config: " + msg_without_pos(e));
+    } catch (const std::exception& e) {
+      throw SpecError(spec.pipeline_pos,
+                      std::string("in pipeline config: ") + e.what());
+    }
+  }
+
+  // ConfigError::what() is "line:col: msg"; strip the position prefix since
+  // we re-anchor it.
+  static std::string msg_without_pos(const elements::ConfigError& e) {
+    const std::string w = e.what();
+    const size_t first = w.find(':');
+    const size_t second = first == std::string::npos
+                              ? std::string::npos
+                              : w.find(':', first + 1);
+    return second == std::string::npos ? w : w.substr(second + 2);
+  }
+
+  void check_pred(const SpecFile& spec, const Pred& p,
+                  const std::set<std::string>& defined,
+                  bool positive = true) {
+    switch (p.kind) {
+      case PredKind::And:
+      case PredKind::Or:
+        check_pred(spec, *p.kids[0], defined, positive);
+        check_pred(spec, *p.kids[1], defined, positive);
+        return;
+      case PredKind::Not:
+        check_pred(spec, *p.kids[0], defined, !positive);
+        return;
+      case PredKind::Builtin: {
+        // The builtins require a full IPv4 header: on a shorter symbolic
+        // packet a positive occurrence compiles to constant false and
+        // silently makes every guarded assertion vacuous — reject like an
+        // out-of-range field instead. (Negated occurrences are constant
+        // true and stay legal.)
+        const size_t need = spec.ip_offset + net::kIpv4MinHeaderSize;
+        if (positive && spec.packet_len < need) {
+          throw SpecError(p.pos,
+                          "'" + to_string(p) + "' can never hold at "
+                          "packet_len = " +
+                              std::to_string(spec.packet_len) +
+                              " (needs ip_offset + 20 = " +
+                              std::to_string(need) + " bytes)");
+        }
+        return;
+      }
+      case PredKind::Ref: {
+        if (defined.count(p.ref)) return;
+        std::vector<std::string> cands = {"wellformed",
+                                          "wellformed_checksummed"};
+        for (const auto& d : defined) cands.push_back(d);
+        const std::string sugg = nearest(p.ref, cands);
+        throw SpecError(p.pos,
+                        "unknown predicate '" + p.ref + "'" +
+                            (sugg.empty() ? "" : " (did you mean '" + sugg +
+                                                     "'?)"));
+      }
+      case PredKind::Cmp: {
+        const auto f =
+            verify::lookup_field(p.proto, p.field, spec.ip_offset);
+        if (!f) {
+          const std::string name = p.proto + "." + p.field;
+          if (p.proto == "eth" &&
+              spec.ip_offset < net::kEtherHeaderSize &&
+              verify::lookup_field("eth", p.field, net::kEtherHeaderSize)) {
+            throw SpecError(p.pos, "'" + name + "' needs an Ethernet header "
+                                   "(ip_offset >= 14; this spec sets "
+                                   "ip_offset = " +
+                                       std::to_string(spec.ip_offset) + ")");
+          }
+          const std::string sugg =
+              nearest(name, verify::known_field_names());
+          throw SpecError(p.pos,
+                          "unknown field '" + name + "'" +
+                              (sugg.empty() ? "" : " (did you mean '" +
+                                                       sugg + "'?)"));
+        }
+        const unsigned width = f->value_width();
+        if (width < 64 && p.value >= (1ull << width)) {
+          throw SpecError(p.pos, "value " + p.value_text + " does not fit "
+                                 "field " +
+                                     p.proto + "." + p.field + " (" +
+                                     std::to_string(width) + " bits)");
+        }
+        if (f->offset + f->bytes > spec.packet_len) {
+          throw SpecError(p.pos, "field " + p.proto + "." + p.field +
+                                     " lies beyond packet_len = " +
+                                     std::to_string(spec.packet_len));
+        }
+        return;
+      }
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+std::string to_string(const Pred& p) {
+  switch (p.kind) {
+    case PredKind::And:
+      return "(" + to_string(*p.kids[0]) + " && " + to_string(*p.kids[1]) +
+             ")";
+    case PredKind::Or:
+      return "(" + to_string(*p.kids[0]) + " || " + to_string(*p.kids[1]) +
+             ")";
+    case PredKind::Not:
+      return "!" + to_string(*p.kids[0]);
+    case PredKind::Cmp:
+      return p.proto + "." + p.field + " " + cmp_op_name(p.op) + " " +
+             p.value_text;
+    case PredKind::Builtin:
+      return p.builtin == BuiltinPred::WellFormed ? "wellformed"
+                                                  : "wellformed_checksummed";
+    case PredKind::Ref:
+      return p.ref;
+  }
+  return "?";
+}
+
+std::string assertion_text(const Assertion& a) {
+  std::string s = "assert ";
+  switch (a.prop) {
+    case PropKind::CrashFree:
+      s += "crash_free";
+      break;
+    case PropKind::InstructionBound:
+      s += "instructions <= " + std::to_string(a.bound);
+      break;
+    case PropKind::Reachable:
+      s += "reachable(output " + std::to_string(a.port) + ")";
+      break;
+    case PropKind::NeverDrop:
+      s += "never(drop)";
+      break;
+  }
+  if (a.when) s += " when " + to_string(*a.when);
+  return s;
+}
+
+SpecFile parse_spec(const std::string& src) { return Parser(src).run(); }
+
+}  // namespace vsd::spec

@@ -1,0 +1,46 @@
+// vspec recursive-descent parser + type/arity checker.
+//
+// Grammar (EBNF; '#' or '//' start a line comment):
+//
+//   spec      = { stmt } ;
+//   stmt      = "pipeline" STRING ";"
+//             | "set" ("packet_len" | "ip_offset") "=" INT ";"
+//             | "let" IDENT "=" pred ";"
+//             | "assert" prop [ "when" pred ] ";" ;
+//   prop      = "crash_free"
+//             | "instructions" "<=" INT
+//             | "reachable" "(" "output" INT ")"
+//             | "never" "(" "drop" ")" ;
+//   pred      = orpred ;
+//   orpred    = andpred { "||" andpred } ;
+//   andpred   = unary { "&&" unary } ;
+//   unary     = "!" unary | "(" pred ")" | atom ;
+//   atom      = "wellformed" | "wellformed_checksummed"
+//             | field relop value
+//             | IDENT ;                       (* a let-bound name *)
+//   field     = ("ip" | "eth") "." IDENT ;
+//   relop     = "==" | "!=" | "<" | "<=" | ">" | ">=" ;
+//   value     = INT | IPV4 ;                  (* 0x hex or decimal; a.b.c.d *)
+//
+// The checker enforces: exactly one pipeline declaration whose config
+// parses against the element registry (errors are re-anchored to the .vspec
+// position), define-before-use and uniqueness of `let` names, known field
+// names, comparison values that fit the field width, eth.* fields only when
+// the frame has an Ethernet header (ip_offset >= 14), and no `when` on
+// instruction bounds. All failures throw SpecError with line/column.
+#pragma once
+
+#include <string>
+
+#include "spec/ast.hpp"
+
+namespace vsd::spec {
+
+// Parses and checks a complete .vspec source. Throws SpecError.
+SpecFile parse_spec(const std::string& src);
+
+// Pretty-printers used by reports and tests.
+std::string to_string(const Pred& p);
+std::string assertion_text(const Assertion& a);
+
+}  // namespace vsd::spec

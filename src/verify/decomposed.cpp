@@ -630,15 +630,20 @@ class DecomposedVerifier::Impl {
   // truncation, and the counterexample list come out exactly as at jobs=1.
   // `is_suspect` selects the property's suspect terminals and reports the
   // trap kind for the counterexample. Returns the violated flag.
+  // `is_suspect` may set *sat_is_unknown for suspects whose Sat outcome
+  // cannot certify a violation (over-approximated constraints): those
+  // degrade to Unknown instead of Violated.
   bool decide_suspects_mt(
       const pipeline::Pipeline& pl, ComposeState root, const SymPacket& entry,
       const MtVisitFn& should_visit, Precision precision,
       const std::function<bool(const TerminalRecord&, size_t worker,
-                               ir::TrapKind* trap)>& is_suspect,
+                               ir::TrapKind* trap, bool* sat_is_unknown)>&
+          is_suspect,
       std::vector<Counterexample>* counterexamples) {
     struct Outcome {
       std::vector<uint32_t> order;
       solver::Result res = solver::Result::Unknown;
+      bool sat_is_unknown = false;
       Counterexample ce;
     };
     std::mutex out_mu;
@@ -647,7 +652,8 @@ class DecomposedVerifier::Impl {
         pl, std::move(root),
         [&](size_t w, TerminalRecord&& t) {
           ir::TrapKind trap = ir::TrapKind::Unreachable;
-          if (!is_suspect(t, w, &trap)) return;
+          bool sat_unknown = false;
+          if (!is_suspect(t, w, &trap, &sat_unknown)) return;
           bv::Assignment model;
           std::string note;
           const solver::Result r = decide_suspect(pl, t.st, &model, &note,
@@ -655,7 +661,8 @@ class DecomposedVerifier::Impl {
           Outcome o;
           o.order = std::move(t.order);
           o.res = r;
-          if (r == solver::Result::Sat) {
+          o.sat_is_unknown = sat_unknown;
+          if (r == solver::Result::Sat && !sat_unknown) {
             o.ce = make_counterexample(pl, entry, t.st, model, trap,
                                        std::move(note));
           }
@@ -674,7 +681,8 @@ class DecomposedVerifier::Impl {
         ++stats.suspects_eliminated;
         continue;
       }
-      if (o.res == solver::Result::Unknown) {
+      if (o.res == solver::Result::Unknown ||
+          (o.res == solver::Result::Sat && o.sat_is_unknown)) {
         truncated_ = true;
         continue;
       }
@@ -726,7 +734,8 @@ class DecomposedVerifier::Impl {
     const bool violated = decide_suspects_mt(
         pl, root_state(entry), entry, [&](size_t e) { return filter[e]; },
         Precision::AcceptBounds,
-        [](const TerminalRecord& t, size_t /*w*/, ir::TrapKind* trap) {
+        [](const TerminalRecord& t, size_t /*w*/, ir::TrapKind* trap,
+           bool* /*sat_is_unknown*/) {
           if (t.seg->action != SegAction::Trap) return false;
           *trap = t.seg->trap;
           return true;
@@ -845,8 +854,39 @@ class DecomposedVerifier::Impl {
     return report;
   }
 
-  ReachabilityReport never_dropped_mt(const pipeline::Pipeline& pl,
-                                      const InputPredicate& predicate) {
+  // True when a composed terminal (Drop, Trap, or Emit leaving the
+  // pipeline at `port`) violates the spec.
+  static bool terminal_violates(const TerminalSpec& spec, SegAction action,
+                                uint32_t port) {
+    switch (action) {
+      case SegAction::Drop: return spec.drop_is_violation;
+      case SegAction::Trap: return spec.trap_is_violation;
+      case SegAction::Emit:
+        return spec.required_exit_port.has_value() &&
+               port != *spec.required_exit_port;
+    }
+    return false;
+  }
+
+  // Reach/never properties run at ExactDropsTraps: Drop/Trap suspects are
+  // decided on exact (unrolled) constraints, while Emit segments may keep
+  // their summarized-loop over-approximation. That keeps Proven sound for
+  // wrong-port-emit suspects too (over-approximation never hides a feasible
+  // terminal) without unrolling every loop-bearing element the way
+  // ExactAll does (exponential on e.g. IPOptions at MTU-ish lengths). The
+  // asymmetry: a Sat wrong-port emit whose path crossed a summarized loop
+  // is NOT a certified violation — the model may be an artifact of the
+  // havocked loop outputs — so it degrades to Unknown instead
+  // (sat_is_unknown below).
+  static bool sat_is_unknown(const TerminalSpec& spec, SegAction action,
+                             bool count_is_bound) {
+    return spec.required_exit_port.has_value() &&
+           action == SegAction::Emit && count_is_bound;
+  }
+
+  ReachabilityReport reach_never_mt(const pipeline::Pipeline& pl,
+                                    const InputPredicate& predicate,
+                                    const TerminalSpec& tspec) {
     Timer timer;
     begin_call_mt();
     ReachabilityReport report;
@@ -863,12 +903,16 @@ class DecomposedVerifier::Impl {
     const bool violated = decide_suspects_mt(
         pl, std::move(root), entry, [](size_t) { return true; },
         Precision::ExactDropsTraps,
-        [this](const TerminalRecord& t, size_t w, ir::TrapKind* trap) {
-          // Both explicit drops and traps lose the packet.
-          if (t.seg->action == SegAction::Emit) return false;
+        [this, &tspec](const TerminalRecord& t, size_t w, ir::TrapKind* trap,
+                       bool* sat_unknown) {
+          if (!terminal_violates(tspec, t.seg->action, t.seg->port)) {
+            return false;
+          }
           ++mt_stats_[w].suspects_found;
           *trap = t.seg->action == SegAction::Trap ? t.seg->trap
                                                    : ir::TrapKind::Unreachable;
+          *sat_unknown =
+              sat_is_unknown(tspec, t.seg->action, t.st.count_is_bound);
           return true;
         },
         &report.counterexamples);
@@ -1123,8 +1167,14 @@ ComposedPaths DecomposedVerifier::enumerate_paths(
 
 ReachabilityReport DecomposedVerifier::verify_never_dropped(
     const pipeline::Pipeline& pl, const InputPredicate& predicate) {
+  return verify_reach_never(pl, predicate, TerminalSpec{});
+}
+
+ReachabilityReport DecomposedVerifier::verify_reach_never(
+    const pipeline::Pipeline& pl, const InputPredicate& predicate,
+    const TerminalSpec& tspec) {
   Impl& im = *impl_;
-  if (im.jobs > 1) return im.never_dropped_mt(pl, predicate);
+  if (im.jobs > 1) return im.reach_never_mt(pl, predicate, tspec);
   Timer timer;
   im.begin_call();
   ReachabilityReport report;
@@ -1142,8 +1192,7 @@ ReachabilityReport DecomposedVerifier::verify_never_dropped(
   const bool complete = im.walk(
       pl, 0, std::move(root),
       [&](const Impl::ComposeState& st, size_t /*elem*/, const Segment& g) {
-        // Both explicit drops and traps lose the packet.
-        if (g.action == SegAction::Emit) return;
+        if (!Impl::terminal_violates(tspec, g.action, g.port)) return;
         ++im.stats.suspects_found;
         bv::Assignment model;
         std::string note;
@@ -1153,7 +1202,9 @@ ReachabilityReport DecomposedVerifier::verify_never_dropped(
           ++im.stats.suspects_eliminated;
           return;
         }
-        if (r == solver::Result::Unknown) {
+        if (r == solver::Result::Unknown ||
+            (r == solver::Result::Sat &&
+             Impl::sat_is_unknown(tspec, g.action, st.count_is_bound))) {
           im.truncated_ = true;
           return;
         }

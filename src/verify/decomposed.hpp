@@ -52,6 +52,19 @@ struct DecomposedConfig {
 using InputPredicate =
     std::function<bv::ExprRef(const symbex::SymPacket& entry)>;
 
+// Which composed terminals violate a reach/never property. The generic
+// shape is "no packet satisfying the input predicate may end at a bad
+// terminal": never(drop) marks Drop and Trap terminals bad;
+// reachable(output N) additionally marks any Emit that leaves the pipeline
+// at a port other than N.
+struct TerminalSpec {
+  bool drop_is_violation = true;
+  bool trap_is_violation = true;
+  // When set, an Emit leaving the pipeline at any other port is a violation
+  // (the "every matching packet reaches output N" property).
+  std::optional<uint32_t> required_exit_port;
+};
+
 // One fully stitched end-to-end path through the pipeline: the composed
 // constraint over the entry packet, the elements traversed, and the final
 // disposition. This is the verifier's working material (Step 2) exposed as
@@ -87,8 +100,16 @@ class DecomposedVerifier {
   InstructionBoundReport verify_instruction_bound(const pipeline::Pipeline& pl);
 
   // Property 3: no packet satisfying `predicate` is ever dropped.
+  // Equivalent to verify_reach_never with the default TerminalSpec.
   ReachabilityReport verify_never_dropped(const pipeline::Pipeline& pl,
                                           const InputPredicate& predicate);
+
+  // Generic terminal property: no packet satisfying `predicate` may reach a
+  // terminal the spec marks as a violation. Powers never(drop),
+  // reachable(output N), and predicated crash freedom (trap-only spec).
+  ReachabilityReport verify_reach_never(const pipeline::Pipeline& pl,
+                                        const InputPredicate& predicate,
+                                        const TerminalSpec& spec);
 
   // Enumerates every composed end-to-end path (Step 2's stitched view of
   // the pipeline) without deciding any property. Exact loop handling

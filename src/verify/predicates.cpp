@@ -1,48 +1,119 @@
 #include "verify/predicates.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace vsd::verify {
 
 using bv::ExprRef;
 
 namespace {
 
-ExprRef load_be(const symbex::SymPacket& p, size_t off, unsigned bytes) {
+ExprRef load_be_field(const symbex::SymPacket& p, size_t off,
+                      unsigned bytes) {
   return p.load(off, bytes).value;
+}
+
+// Layout relative to the start of the IP header; offset 64 flags an eth.*
+// field (relative to the start of the Ethernet header, ip_offset - 14).
+struct RelField {
+  int rel = 0;         // byte offset within the protocol header
+  unsigned bytes = 1;
+  unsigned bit_lo = 0;
+  unsigned bit_width = 0;
+};
+
+const std::map<std::string, RelField>& eth_fields() {
+  static const std::map<std::string, RelField> t = {
+      {"dst", {0, 6}}, {"src", {6, 6}}, {"type", {12, 2}},
+  };
+  return t;
+}
+
+const std::map<std::string, RelField>& ip_fields() {
+  static const std::map<std::string, RelField> t = {
+      {"ver", {0, 1, 4, 4}},  // high nibble of the first byte
+      {"ihl", {0, 1, 0, 4}},  // low nibble
+      {"tos", {1, 1}},        {"len", {2, 2}},   {"id", {4, 2}},
+      {"frag", {6, 2}},       {"ttl", {8, 1}},   {"proto", {9, 1}},
+      {"checksum", {10, 2}},  {"src", {12, 4}},  {"dst", {16, 4}},
+  };
+  return t;
 }
 
 }  // namespace
 
-bv::ExprRef wellformed_ipv4(const symbex::SymPacket& p, size_t eth_offset) {
-  const size_t ip = eth_offset + net::kEtherHeaderSize;
-  if (p.size() < ip + net::kIpv4MinHeaderSize) return bv::mk_bool(false);
+std::optional<FieldSpec> lookup_field(const std::string& proto,
+                                      const std::string& field,
+                                      size_t ip_offset) {
+  const RelField* rel = nullptr;
+  size_t base = 0;
+  if (proto == "ip") {
+    const auto it = ip_fields().find(field);
+    if (it == ip_fields().end()) return std::nullopt;
+    rel = &it->second;
+    base = ip_offset;
+  } else if (proto == "eth") {
+    if (ip_offset < net::kEtherHeaderSize) return std::nullopt;
+    const auto it = eth_fields().find(field);
+    if (it == eth_fields().end()) return std::nullopt;
+    rel = &it->second;
+    base = ip_offset - net::kEtherHeaderSize;
+  } else {
+    return std::nullopt;
+  }
+  FieldSpec f;
+  f.offset = base + static_cast<size_t>(rel->rel);
+  f.bytes = rel->bytes;
+  f.bit_lo = rel->bit_lo;
+  f.bit_width = rel->bit_width;
+  return f;
+}
+
+std::vector<std::string> known_field_names() {
+  std::vector<std::string> names;
+  for (const auto& [n, _] : eth_fields()) names.push_back("eth." + n);
+  for (const auto& [n, _] : ip_fields()) names.push_back("ip." + n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::optional<bv::ExprRef> field_value(const symbex::SymPacket& p,
+                                       const FieldSpec& f) {
+  if (p.size() < f.offset + f.bytes) return std::nullopt;
+  ExprRef v = load_be_field(p, f.offset, f.bytes);
+  if (f.bit_width != 0) v = bv::mk_extract(v, f.bit_lo, f.bit_width);
+  return v;
+}
+
+bv::ExprRef wellformed_ipv4_at(const symbex::SymPacket& p, size_t ip_offset) {
+  if (p.size() < ip_offset + net::kIpv4MinHeaderSize) return bv::mk_bool(false);
   ExprRef c = bv::mk_bool(true);
-  c = bv::mk_land(c, bv::mk_eq(load_be(p, eth_offset + 12, 2),
-                               bv::mk_const(net::kEtherTypeIpv4, 16)));
-  const ExprRef ver_ihl = load_be(p, ip + 0, 1);
+  const ExprRef ver_ihl = load_be_field(p, ip_offset + 0, 1);
   c = bv::mk_land(c, bv::mk_eq(ver_ihl, bv::mk_const(0x45, 8)));  // v4, ihl 5
-  const ExprRef totlen = load_be(p, ip + 2, 2);
+  const ExprRef totlen = load_be_field(p, ip_offset + 2, 2);
   c = bv::mk_land(c, bv::mk_uge(totlen, bv::mk_const(20, 16)));
-  // total_len must not exceed the bytes actually present after the MAC hdr.
-  const uint64_t avail = p.size() - ip;
+  // total_len must not exceed the bytes actually present after the IP start.
+  const uint64_t avail = p.size() - ip_offset;
   c = bv::mk_land(
       c, bv::mk_ule(totlen, bv::mk_const(std::min<uint64_t>(avail, 0xffff), 16)));
   // Not a fragment (fragments may legitimately bypass L4 processing).
-  const ExprRef frag = load_be(p, ip + 6, 2);
+  const ExprRef frag = load_be_field(p, ip_offset + 6, 2);
   c = bv::mk_land(c, bv::mk_eq(bv::mk_and(frag, bv::mk_const(0x3fff, 16)),
                                bv::mk_const(0, 16)));
-  const ExprRef ttl = load_be(p, ip + 8, 1);
+  const ExprRef ttl = load_be_field(p, ip_offset + 8, 1);
   c = bv::mk_land(c, bv::mk_ugt(ttl, bv::mk_const(1, 8)));
   return c;
 }
 
-bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
-                                        size_t eth_offset) {
-  ExprRef c = wellformed_ipv4(p, eth_offset);
+bv::ExprRef wellformed_ipv4_checksummed_at(const symbex::SymPacket& p,
+                                           size_t ip_offset) {
+  ExprRef c = wellformed_ipv4_at(p, ip_offset);
   if (c->is_false()) return c;
-  const size_t ip = eth_offset + net::kEtherHeaderSize;
   ExprRef sum = bv::mk_const(0, 32);
-  for (size_t w = 0; w < 10; ++w) {  // ihl == 5 per wellformed_ipv4
-    sum = bv::mk_add(sum, bv::mk_zext(load_be(p, ip + 2 * w, 2), 32));
+  for (size_t w = 0; w < 10; ++w) {  // ihl == 5 per wellformed_ipv4_at
+    sum = bv::mk_add(sum, bv::mk_zext(load_be_field(p, ip_offset + 2 * w, 2),
+                                      32));
   }
   for (int fold = 0; fold < 3; ++fold) {
     sum = bv::mk_add(bv::mk_and(sum, bv::mk_const(0xffff, 32)),
@@ -51,10 +122,30 @@ bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
   return bv::mk_land(c, bv::mk_eq(sum, bv::mk_const(0xffff, 32)));
 }
 
+bv::ExprRef wellformed_ipv4(const symbex::SymPacket& p, size_t eth_offset) {
+  const size_t ip = eth_offset + net::kEtherHeaderSize;
+  if (p.size() < ip + net::kIpv4MinHeaderSize) return bv::mk_bool(false);
+  const ExprRef ethertype_ok =
+      bv::mk_eq(load_be_field(p, eth_offset + 12, 2),
+                bv::mk_const(net::kEtherTypeIpv4, 16));
+  return bv::mk_land(ethertype_ok, wellformed_ipv4_at(p, ip));
+}
+
+bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
+                                        size_t eth_offset) {
+  const size_t ip = eth_offset + net::kEtherHeaderSize;
+  if (p.size() < ip + net::kIpv4MinHeaderSize) return bv::mk_bool(false);
+  const ExprRef ethertype_ok =
+      bv::mk_eq(load_be_field(p, eth_offset + 12, 2),
+                bv::mk_const(net::kEtherTypeIpv4, 16));
+  return bv::mk_land(ethertype_ok, wellformed_ipv4_checksummed_at(p, ip));
+}
+
 bv::ExprRef dst_ip_is(const symbex::SymPacket& p, uint32_t addr,
                       size_t ip_offset) {
   if (p.size() < ip_offset + 20) return bv::mk_bool(false);
-  return bv::mk_eq(load_be(p, ip_offset + 16, 4), bv::mk_const(addr, 32));
+  return bv::mk_eq(load_be_field(p, ip_offset + 16, 4),
+                   bv::mk_const(addr, 32));
 }
 
 }  // namespace vsd::verify

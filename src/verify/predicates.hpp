@@ -1,9 +1,18 @@
-// Ready-made input predicates for reachability properties, e.g. the
-// paper's "any packet with destination IP address X will never be dropped
-// unless it is malformed" (§1).
+// Input predicates over the symbolic entry packet, e.g. the paper's "any
+// packet with destination IP address X will never be dropped unless it is
+// malformed" (§1).
+//
+// Two layers:
+//  - a reusable field-access layer: named header fields (FieldSpec) resolved
+//    by protocol/field name and lowered to bv expressions over a SymPacket —
+//    the vocabulary of the vspec property-specification language;
+//  - ready-made well-formedness predicates built on top of it.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "bv/expr.hpp"
 #include "net/headers.hpp"
@@ -11,15 +20,54 @@
 
 namespace vsd::verify {
 
-// True when the packet is a structurally well-formed Ethernet+IPv4 frame:
-// EtherType 0x0800, version 4, 5 <= ihl, header fits, total_len consistent,
-// TTL > 1, and no IP options (ihl == 5) so the fast path applies. The IP
-// header starts at `eth_offset + 14`.
+// --- Field-access layer ------------------------------------------------------
+
+// A named header field: a big-endian byte range within the frame, plus an
+// optional sub-byte bit slice (ip.ver / ip.ihl live in nibbles).
+struct FieldSpec {
+  size_t offset = 0;       // absolute byte offset within the frame
+  unsigned bytes = 1;      // big-endian width in bytes (1..8)
+  unsigned bit_lo = 0;     // bit slice [bit_lo, bit_lo+bit_width) of the value
+  unsigned bit_width = 0;  // 0 = the whole byte range
+  unsigned value_width() const { return bit_width ? bit_width : bytes * 8; }
+};
+
+// Resolves "proto.field" (e.g. "ip.dst", "eth.type", "ip.ttl") to its byte
+// layout. `ip_offset` is where the IPv4 header starts within the frame;
+// eth.* fields require ip_offset >= 14 (the Ethernet header precedes the IP
+// header) and return nullopt otherwise. Unknown names return nullopt.
+std::optional<FieldSpec> lookup_field(const std::string& proto,
+                                      const std::string& field,
+                                      size_t ip_offset);
+
+// All recognized "proto.field" names (for diagnostics/suggestions).
+std::vector<std::string> known_field_names();
+
+// The field's value as a bv expression over the packet bytes, or nullopt if
+// the packet is too short to contain the field (callers typically treat a
+// comparison on a missing field as false).
+std::optional<bv::ExprRef> field_value(const symbex::SymPacket& p,
+                                       const FieldSpec& f);
+
+// --- Well-formedness predicates ------------------------------------------------
+
+// Structural IPv4 well-formedness with the IP header at `ip_offset` (no
+// EtherType check — for pipelines whose packets start at the IP header):
+// version 4, ihl == 5 (no options, fast path), 20 <= total_len <= bytes
+// present, not a fragment, TTL > 1.
+bv::ExprRef wellformed_ipv4_at(const symbex::SymPacket& p, size_t ip_offset);
+
+// As above plus a valid header checksum (one's-complement sum over the
+// 20-byte header equals 0xffff).
+bv::ExprRef wellformed_ipv4_checksummed_at(const symbex::SymPacket& p,
+                                           size_t ip_offset);
+
+// Ethernet+IPv4 frame: EtherType 0x0800 at `eth_offset` plus the structural
+// clauses above with the IP header at `eth_offset + 14`.
 bv::ExprRef wellformed_ipv4(const symbex::SymPacket& p,
                             size_t eth_offset = 0);
 
-// As above plus valid header checksum (one's-complement sum over the
-// 20-byte header equals 0xffff).
+// As above plus valid header checksum.
 bv::ExprRef wellformed_ipv4_checksummed(const symbex::SymPacket& p,
                                         size_t eth_offset = 0);
 

@@ -4,6 +4,7 @@
 
 #include "elements/ip.hpp"
 #include "elements/l2.hpp"
+#include "elements/registry.hpp"
 #include "elements/stateful.hpp"
 #include "elements/toy.hpp"
 #include "interp/interp.hpp"
@@ -619,6 +620,100 @@ TEST(Counter, CountsPacketsAndBytes) {
   }
   EXPECT_EQ(kv.read(0, 0), 4u);
   EXPECT_EQ(kv.read(0, 1), 400u);
+}
+
+// --- Registry catalog + config diagnostics ---------------------------------------
+
+TEST(Registry, CatalogHasAUsageLinePerElement) {
+  const auto catalog = element_catalog();
+  EXPECT_EQ(catalog.size(), registered_elements().size());
+  for (const ElementInfo& info : catalog) {
+    EXPECT_FALSE(info.usage.empty()) << info.name;
+    // The usage line leads with the element's own name.
+    EXPECT_EQ(info.usage.rfind(info.name, 0), 0u) << info.usage;
+    EXPECT_EQ(element_usage(info.name), info.usage);
+  }
+  EXPECT_TRUE(element_usage("NoSuchElement").empty());
+}
+
+TEST(Registry, SuggestsNearestElementName) {
+  EXPECT_EQ(suggest_element("CheckIPHeadre"), "CheckIPHeader");
+  EXPECT_EQ(suggest_element("classifier"), "Classifier");
+  EXPECT_EQ(suggest_element("Nul"), "Null");
+  EXPECT_TRUE(suggest_element("CompletelyDifferent").empty());
+}
+
+TEST(Registry, UnknownElementErrorSuggests) {
+  try {
+    make_element("IPLookpu", "");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("IPLookpu"), std::string::npos);
+    EXPECT_NE(msg.find("did you mean 'IPLookup'"), std::string::npos);
+  }
+}
+
+// Returns the ConfigError a malformed pipeline config raises.
+ConfigError config_error(const std::string& config) {
+  try {
+    parse_pipeline(config);
+  } catch (const ConfigError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "config unexpectedly parsed: " << config;
+  return ConfigError(0, 0, "no error");
+}
+
+TEST(ParsePipeline, UnknownElementPointsAtTheName) {
+  const ConfigError e = config_error("Null -> Dicsard -> Null");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.col(), 9u);
+  const std::string msg = e.what();
+  EXPECT_NE(msg.find("Dicsard"), std::string::npos);
+  EXPECT_NE(msg.find("did you mean 'Discard'"), std::string::npos);
+}
+
+TEST(ParsePipeline, EmptyStagePointsAtTheGap) {
+  const ConfigError e = config_error("Null ->  -> Null");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.col(), 8u);
+  EXPECT_NE(std::string(e.what()).find("empty pipeline stage"),
+            std::string::npos);
+}
+
+TEST(ParsePipeline, TrailingArrowIsAnEmptyStage) {
+  const ConfigError e = config_error("Null -> Null ->");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.col(), 16u);
+}
+
+TEST(ParsePipeline, UnbalancedParensPointAtTheParen) {
+  const ConfigError e = config_error("Null -> IPLookup(10.0.0.0/8 0");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.col(), 17u);
+  EXPECT_NE(std::string(e.what()).find("unbalanced"), std::string::npos);
+}
+
+TEST(ParsePipeline, BadElementArgumentsPointAtTheArgs) {
+  const ConfigError e = config_error("Null -> IPLookup(10.0.0.0/8)");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.col(), 18u);
+  const std::string msg = e.what();
+  EXPECT_NE(msg.find("IPLookup"), std::string::npos);
+}
+
+TEST(ParsePipeline, MultiLineConfigsTrackLines) {
+  const ConfigError e = config_error("Null\n  -> Dicsard");
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_EQ(e.col(), 6u);
+}
+
+TEST(ParsePipeline, ErrorsAreStillInvalidArgument) {
+  // Existing catch sites key on std::invalid_argument; ConfigError must
+  // remain substitutable.
+  EXPECT_THROW(parse_pipeline("Bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_pipeline(""), std::invalid_argument);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 //
 // Usage:
 //   vsd list
+//   vsd check    <file.vspec> [...] [--jobs N]   batch property checker
 //   vsd show     "<pipeline>"
 //   vsd run      "<pipeline>" [--count N] [--traffic CLASS] [--seed S]
 //   vsd verify   "<pipeline>" --property crash|bound [--len N] [--unroll]
@@ -33,6 +34,8 @@
 #include "net/headers.hpp"
 #include "net/workload.hpp"
 #include "pipeline/pipeline.hpp"
+#include "spec/check.hpp"
+#include "spec/parser.hpp"
 #include "verify/certify.hpp"
 #include "verify/decomposed.hpp"
 #include "verify/monolithic.hpp"
@@ -86,6 +89,8 @@ int usage() {
   std::puts(
       "vsd — verifiable software dataplane tool\n"
       "  vsd list                                  registered elements\n"
+      "  vsd check <file.vspec> [...] [--jobs N]   run every assertion of "
+      "the spec(s)\n"
       "  vsd show \"<pipeline>\"                     print element IR\n"
       "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
       "malformed|random|tiny] [--seed S]\n"
@@ -115,10 +120,56 @@ void print_counterexample(const verify::Counterexample& ce) {
 }
 
 int cmd_list() {
-  for (const std::string& n : elements::registered_elements()) {
-    std::printf("%s\n", n.c_str());
+  for (const elements::ElementInfo& info : elements::element_catalog()) {
+    std::printf("%s\n", info.usage.c_str());
   }
   return 0;
+}
+
+// --- vsd check: the vspec batch checker -------------------------------------
+
+void print_check_outcome(const spec::AssertionOutcome& o) {
+  std::printf("  %s  %s  [%s in %.2f s%s%s]\n", o.passed ? "PASS" : "FAIL",
+              o.text.c_str(), verify::verdict_name(o.verdict), o.seconds,
+              o.detail.empty() ? "" : "; ",
+              o.detail.empty() ? "" : o.detail.c_str());
+  for (size_t i = 0; i < o.counterexamples.size(); ++i) {
+    print_counterexample(o.counterexamples[i]);
+    if (i < o.replays.size()) {
+      std::printf("  %s\n", o.replays[i].c_str());
+    }
+  }
+}
+
+int cmd_check(const Args& a) {
+  spec::CheckOptions opts;
+  opts.jobs = a.get_u64("jobs", 1);
+  bool all_passed = true;
+  for (size_t i = 1; i < a.positional.size(); ++i) {
+    const std::string& path = a.positional[i];
+    spec::SpecFile sf;
+    try {
+      sf = spec::parse_spec(read_file(path));
+    } catch (const spec::SpecError& e) {
+      std::printf("%s:%s\n", path.c_str(), e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::printf("%s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    std::printf("%s: pipeline \"%s\"\n", path.c_str(),
+                sf.pipeline_config.c_str());
+    std::printf("  (packet_len %zu, ip_offset %zu, jobs %zu)\n",
+                sf.packet_len, sf.ip_offset, opts.jobs);
+    const spec::CheckReport rep = spec::check_spec(sf, opts);
+    for (const spec::AssertionOutcome& o : rep.outcomes) {
+      print_check_outcome(o);
+    }
+    std::printf("%s: %zu/%zu assertions passed\n", path.c_str(), rep.passed,
+                rep.outcomes.size());
+    all_passed = all_passed && rep.ok;
+  }
+  return all_passed ? 0 : 1;
 }
 
 int cmd_show(const Args& a) {
@@ -350,6 +401,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list();
     if (a.positional.size() < 2) return usage();
+    if (cmd == "check") return cmd_check(a);
     if (cmd == "show") return cmd_show(a);
     if (cmd == "run") return cmd_run(a);
     if (cmd == "verify") return cmd_verify(a);
