@@ -34,6 +34,14 @@ class KvState {
     tables_.at(t)[key] = value;
   }
   size_t entry_count(ir::TableId t) const { return tables_.at(t).size(); }
+  // Entries whose stored value differs from the default 0. A zero write
+  // restores the absent-key read semantics, so this is the occupancy the
+  // bounded-state verifier reasons about ("live" entries).
+  size_t live_entry_count(ir::TableId t) const {
+    size_t n = 0;
+    for (const auto& [k, v] : tables_.at(t)) n += v != 0 ? 1 : 0;
+    return n;
+  }
   void clear() {
     for (auto& m : tables_) m.clear();
   }

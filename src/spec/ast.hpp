@@ -73,12 +73,18 @@ struct Pred {
   Pos pos;
   std::vector<std::unique_ptr<Pred>> kids;
 
-  // Cmp payload.
-  std::string proto;   // "ip" / "eth"
+  // Cmp payload. Three shapes share it:
+  //   header field   proto in {"ip","eth","tcp","udp"}, field as written;
+  //   packet length  proto "pkt", field "len" (compares the symbolic
+  //                  packet's concrete length, so it folds to a constant);
+  //   metadata slot  proto "meta", field is the decimal slot index as
+  //                  written, meta_slot holds its value.
+  std::string proto;
   std::string field;   // "dst", "ttl", ...
   CmpOp op = CmpOp::Eq;
   uint64_t value = 0;
   std::string value_text;  // as written, for diagnostics
+  uint64_t meta_slot = 0;  // proto == "meta" only
 
   // Builtin payload.
   BuiltinPred builtin = BuiltinPred::WellFormed;
@@ -94,13 +100,17 @@ enum class PropKind : uint8_t {
   InstructionBound,  // assert instructions <= N;
   Reachable,         // assert reachable(output N) when p;
   NeverDrop,         // assert never(drop) when p;
+  BoundedState,      // assert bounded_state <= N [when p];
+  FlowOccupancy,     // assert flow_occupancy(Elem) <= N [when p];
 };
 
 struct Assertion {
   PropKind prop = PropKind::CrashFree;
   Pos pos;
-  uint64_t bound = 0;            // InstructionBound
+  uint64_t bound = 0;            // InstructionBound / BoundedState /
+                                 // FlowOccupancy
   uint32_t port = 0;             // Reachable
+  std::string elem;              // FlowOccupancy: the element's name
   std::unique_ptr<Pred> when;    // null when absent
   std::string text;              // the assertion as written, for reports
 };

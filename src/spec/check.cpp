@@ -17,7 +17,7 @@ using verify::Verdict;
 std::string replay_counterexample(const SpecFile& spec, const Assertion& a,
                                   const verify::Counterexample& ce,
                                   bool* confirms) {
-  if (!ce.state_note.empty()) {
+  if (ce.requires_sequence) {
     // The violation needs private state built by a prior packet sequence; a
     // single-packet replay cannot reproduce it. The bad-value analysis
     // already certified a feasible write history.
@@ -64,9 +64,69 @@ verify::TerminalSpec terminal_spec_for(const Assertion& a) {
       t.required_exit_port = a.port;
       break;
     case PropKind::InstructionBound:
+    case PropKind::BoundedState:
+    case PropKind::FlowOccupancy:
       break;  // not driven through verify_reach_never
   }
   return t;
+}
+
+AssertionOutcome run_bounded_state(const Assertion& a,
+                                   const pipeline::Pipeline& pl,
+                                   verify::DecomposedVerifier& verifier,
+                                   const verify::InputPredicate& pred) {
+  AssertionOutcome out;
+  out.text = a.text;
+  verify::StateBoundSpec sb;
+  sb.bound = a.bound;
+  if (a.prop == PropKind::FlowOccupancy) sb.element = a.elem;
+  const verify::StateBoundReport r =
+      verifier.verify_bounded_state(pl, pred, sb);
+  out.verdict = r.verdict;
+  out.seconds = r.seconds;
+  out.passed = r.verdict == Verdict::Proven;
+  if (r.verdict == Verdict::Proven) {
+    out.detail = "max occupancy " + std::to_string(r.occupancy) +
+                 " (all insertable keys enumerated) vs " +
+                 std::to_string(a.bound);
+    return out;
+  }
+  if (r.verdict == Verdict::Unknown) {
+    out.detail = r.sequence_uncertified
+                     ? "occupancy exceeded the bound symbolically but the "
+                       "sequence failed concrete replay (over-approximation "
+                       "artifact)"
+                     : "could not bound occupancy (key-enumeration or path "
+                       "budget exhausted)";
+    return out;
+  }
+  // Violated: the packet sequence is the counterexample; certify it with
+  // the verifier's own sequence-replay semantics (scratch state — the
+  // checker's pipeline instance stays pristine).
+  const size_t n = r.packet_sequence.size();
+  const uint64_t achieved = verify::replay_sequence_occupancy(
+      pl, r.packet_sequence,
+      a.prop == PropKind::FlowOccupancy ? a.elem : std::string());
+  std::string where = a.prop == PropKind::FlowOccupancy
+                          ? a.elem
+                          : std::string("the pipeline");
+  for (size_t i = 0; i < n; ++i) {
+    verify::Counterexample ce;
+    ce.packet = r.packet_sequence[i];
+    out.counterexamples.push_back(std::move(ce));
+    if (i + 1 < n) {
+      out.replays.push_back("sequence packet " + std::to_string(i + 1) +
+                            "/" + std::to_string(n));
+    }
+  }
+  out.replays.push_back(
+      "replay: injecting all " + std::to_string(n) + " packets drives " +
+      where + " to " + std::to_string(achieved) + " live entries (bound " +
+      std::to_string(a.bound) + ")");
+  out.replays_confirm = achieved > a.bound;
+  out.detail = "occupancy reaches " + std::to_string(r.occupancy) + " vs " +
+               std::to_string(a.bound);
+  return out;
 }
 
 AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
@@ -123,6 +183,10 @@ AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
       out.detail = "VACUOUS: no packet satisfies the 'when' predicate";
       return out;
     }
+  }
+
+  if (a.prop == PropKind::BoundedState || a.prop == PropKind::FlowOccupancy) {
+    return run_bounded_state(a, pl, verifier, pred);
   }
 
   verify::ReachabilityReport r;

@@ -11,8 +11,29 @@ using bv::ExprRef;
 
 namespace {
 
+ExprRef apply_cmp(const Pred& pred, const ExprRef& value) {
+  const ExprRef rhs = bv::mk_const(pred.value, value->width());
+  switch (pred.op) {
+    case CmpOp::Eq: return bv::mk_eq(value, rhs);
+    case CmpOp::Ne: return bv::mk_ne(value, rhs);
+    case CmpOp::Lt: return bv::mk_ult(value, rhs);
+    case CmpOp::Le: return bv::mk_ule(value, rhs);
+    case CmpOp::Gt: return bv::mk_ugt(value, rhs);
+    case CmpOp::Ge: return bv::mk_uge(value, rhs);
+  }
+  throw SpecError(pred.pos, "bad comparison operator");
+}
+
 ExprRef compile_cmp(const SpecFile& spec, const Pred& pred,
                     const symbex::SymPacket& p) {
+  if (pred.proto == "pkt") {  // pkt.len: the packet's concrete byte count
+    return apply_cmp(pred,
+                     bv::mk_const(static_cast<uint64_t>(p.size()), 32));
+  }
+  if (pred.proto == "meta") {  // entry metadata annotation, 32-bit slots
+    const ExprRef slot = p.meta(static_cast<size_t>(pred.meta_slot));
+    return apply_cmp(pred, slot ? slot : bv::mk_const(0, 32));
+  }
   const auto f = verify::lookup_field(pred.proto, pred.field, spec.ip_offset);
   if (!f) {
     throw SpecError(pred.pos,
@@ -20,16 +41,7 @@ ExprRef compile_cmp(const SpecFile& spec, const Pred& pred,
   }
   const auto value = verify::field_value(p, *f);
   if (!value) return bv::mk_bool(false);  // packet too short for the field
-  const ExprRef rhs = bv::mk_const(pred.value, (*value)->width());
-  switch (pred.op) {
-    case CmpOp::Eq: return bv::mk_eq(*value, rhs);
-    case CmpOp::Ne: return bv::mk_ne(*value, rhs);
-    case CmpOp::Lt: return bv::mk_ult(*value, rhs);
-    case CmpOp::Le: return bv::mk_ule(*value, rhs);
-    case CmpOp::Gt: return bv::mk_ugt(*value, rhs);
-    case CmpOp::Ge: return bv::mk_uge(*value, rhs);
-  }
-  throw SpecError(pred.pos, "bad comparison operator");
+  return apply_cmp(pred, *value);
 }
 
 ExprRef compile_builtin(const SpecFile& spec, const Pred& pred,

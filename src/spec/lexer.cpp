@@ -13,6 +13,9 @@ const char* tok_kind_name(TokKind k) {
     case TokKind::String: return "string";
     case TokKind::LParen: return "'('";
     case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Comma: return "','";
     case TokKind::Semi: return "';'";
     case TokKind::Dot: return "'.'";
     case TokKind::Assign: return "'='";
@@ -100,6 +103,9 @@ class Lexer {
     switch (c) {
       case '(': return make(TokKind::LParen, pos, "(");
       case ')': return make(TokKind::RParen, pos, ")");
+      case '[': return make(TokKind::LBracket, pos, "[");
+      case ']': return make(TokKind::RBracket, pos, "]");
+      case ',': return make(TokKind::Comma, pos, ",");
       case ';': return make(TokKind::Semi, pos, ";");
       case '.': return make(TokKind::Dot, pos, ".");
       case '=':

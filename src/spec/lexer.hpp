@@ -17,6 +17,9 @@ enum class TokKind : uint8_t {
   String,   // "..." literal (may span lines; \" and \\ escapes)
   LParen,
   RParen,
+  LBracket,
+  RBracket,
+  Comma,
   Semi,
   Dot,
   Assign,   // =

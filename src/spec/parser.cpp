@@ -148,7 +148,8 @@ class Parser {
     a.pos = pos;
     const Token& prop = expect(TokKind::Ident, "a property (crash_free, "
                                                "instructions, reachable, "
-                                               "never)");
+                                               "never, bounded_state, "
+                                               "flow_occupancy)");
     if (prop.text == "crash_free") {
       a.prop = PropKind::CrashFree;
     } else if (prop.text == "instructions") {
@@ -182,9 +183,25 @@ class Parser {
                         "expected 'drop', got '" + what.text + "'");
       }
       expect(TokKind::RParen, "')'");
+    } else if (prop.text == "bounded_state") {
+      a.prop = PropKind::BoundedState;
+      expect(TokKind::Le, "'<=' after 'bounded_state'");
+      const Token& bound = expect(TokKind::Int, "the entry-count bound");
+      a.bound = bound.value;
+    } else if (prop.text == "flow_occupancy") {
+      a.prop = PropKind::FlowOccupancy;
+      expect(TokKind::LParen, "'(' after 'flow_occupancy'");
+      const Token& elem = expect(TokKind::Ident, "an element name");
+      a.elem = elem.text;
+      elem_refs_.push_back({elem.text, elem.pos});
+      expect(TokKind::RParen, "')'");
+      expect(TokKind::Le, "'<=' after 'flow_occupancy(...)'");
+      const Token& bound = expect(TokKind::Int, "the entry-count bound");
+      a.bound = bound.value;
     } else {
       const std::string sugg = nearest(
-          prop.text, {"crash_free", "instructions", "reachable", "never"});
+          prop.text, {"crash_free", "instructions", "reachable", "never",
+                      "bounded_state", "flow_occupancy"});
       throw SpecError(prop.pos,
                       "unknown property '" + prop.text + "'" +
                           (sugg.empty() ? "" : " (did you mean '" + sugg +
@@ -264,26 +281,85 @@ class Parser {
                           : BuiltinPred::WellFormedChecksummed;
       return node;
     }
+    if (name.text == "meta" && at(TokKind::LBracket)) {
+      advance();
+      const Token& slot = expect(TokKind::Int, "a metadata slot index");
+      expect(TokKind::RBracket, "']' after the slot index");
+      node->kind = PredKind::Cmp;
+      node->proto = "meta";
+      node->field = slot.text;
+      node->meta_slot = slot.value;
+      return finish_cmp(std::move(node));
+    }
+    if (name.text == "meta" && at(TokKind::Dot)) {
+      // Without this, meta.<anything> would fall into the generic field
+      // branch and silently type-check as slot 0.
+      throw SpecError(name.pos,
+                      "metadata slots are indexed, not named: write "
+                      "meta[K] with K in 0.." +
+                          std::to_string(net::kMetaSlots - 1));
+    }
     if (at(TokKind::Dot)) {
       advance();
       const Token& field = expect(TokKind::Ident, "a field name after '.'");
       node->kind = PredKind::Cmp;
       node->proto = name.text;
       node->field = field.text;
-      node->op = parse_relop();
-      const Token& val = peek();
-      if (val.kind != TokKind::Int && val.kind != TokKind::Ipv4) {
-        throw SpecError(val.pos, "expected an integer or IPv4 literal, got " +
-                                     describe(val));
-      }
-      advance();
-      node->value = val.value;
-      node->value_text = val.text;
-      return node;
+      return finish_cmp(std::move(node));
     }
     node->kind = PredKind::Ref;
     node->ref = name.text;
     return node;
+  }
+
+  // Parses the comparison tail of a field atom: either `relop value` or the
+  // inclusive-range form `in [lo, hi]`, which desugars to
+  // (field >= lo && field <= hi).
+  std::unique_ptr<Pred> finish_cmp(std::unique_ptr<Pred> node) {
+    if (at_ident("in")) {
+      const Pos in_pos = advance().pos;
+      expect(TokKind::LBracket, "'[' after 'in'");
+      const Token& lo = parse_value();
+      expect(TokKind::Comma, "',' between the range bounds");
+      const Token& hi = parse_value();
+      expect(TokKind::RBracket, "']' after the range");
+      if (lo.value > hi.value) {
+        throw SpecError(in_pos, "empty range [" + lo.text + ", " + hi.text +
+                                    "] (lower bound exceeds upper)");
+      }
+      auto upper = std::make_unique<Pred>();
+      upper->kind = PredKind::Cmp;
+      upper->pos = node->pos;
+      upper->proto = node->proto;
+      upper->field = node->field;
+      upper->meta_slot = node->meta_slot;
+      upper->op = CmpOp::Le;
+      upper->value = hi.value;
+      upper->value_text = hi.text;
+      node->op = CmpOp::Ge;
+      node->value = lo.value;
+      node->value_text = lo.text;
+      auto both = std::make_unique<Pred>();
+      both->kind = PredKind::And;
+      both->pos = in_pos;
+      both->kids.push_back(std::move(node));
+      both->kids.push_back(std::move(upper));
+      return both;
+    }
+    node->op = parse_relop();
+    const Token& val = parse_value();
+    node->value = val.value;
+    node->value_text = val.text;
+    return node;
+  }
+
+  const Token& parse_value() {
+    const Token& val = peek();
+    if (val.kind != TokKind::Int && val.kind != TokKind::Ipv4) {
+      throw SpecError(val.pos, "expected an integer or IPv4 literal, got " +
+                                   describe(val));
+    }
+    return advance();
   }
 
   CmpOp parse_relop() {
@@ -328,9 +404,30 @@ class Parser {
     admit_lets_before(Pos{}, /*all=*/true);
   }
 
+  // Parses the pipeline config against the registry and checks every
+  // flow_occupancy(...) element reference against the element names the
+  // pipeline actually instantiates.
   void check_pipeline(const SpecFile& spec) {
     try {
-      elements::parse_pipeline(spec.pipeline_config);
+      const pipeline::Pipeline pl =
+          elements::parse_pipeline(spec.pipeline_config);
+      std::vector<std::string> names;
+      for (size_t e = 0; e < pl.size(); ++e) {
+        if (std::find(names.begin(), names.end(), pl.element(e).name()) ==
+            names.end()) {
+          names.push_back(pl.element(e).name());
+        }
+      }
+      for (const ElemRef& r : elem_refs_) {
+        if (std::find(names.begin(), names.end(), r.name) != names.end()) {
+          continue;
+        }
+        const std::string sugg = nearest(r.name, names);
+        throw SpecError(r.pos,
+                        "pipeline has no element named '" + r.name + "'" +
+                            (sugg.empty() ? "" : " (did you mean '" + sugg +
+                                                     "'?)"));
+      }
     } catch (const elements::ConfigError& e) {
       // Re-anchor into the .vspec file. The config's line 1 starts one
       // quote to the right of the string literal; later lines (strings may
@@ -344,6 +441,8 @@ class Parser {
         pos.col = e.col();
       }
       throw SpecError(pos, "in pipeline config: " + msg_without_pos(e));
+    } catch (const SpecError&) {
+      throw;  // the flow_occupancy check above already carries a position
     } catch (const std::exception& e) {
       throw SpecError(spec.pipeline_pos,
                       std::string("in pipeline config: ") + e.what());
@@ -402,6 +501,32 @@ class Parser {
                                                      "'?)"));
       }
       case PredKind::Cmp: {
+        if (p.proto == "pkt") {
+          if (p.field != "len") {
+            throw SpecError(p.pos, "unknown field 'pkt." + p.field +
+                                       "' (did you mean 'pkt.len'?)");
+          }
+          // pkt.len compares the spec's concrete packet length, so it folds
+          // to a constant — useful for guarding length-sensitive clauses.
+          if (p.value > 0xffffffffull) {
+            throw SpecError(p.pos, "value " + p.value_text + " does not fit "
+                                   "the 32-bit packet length");
+          }
+          return;
+        }
+        if (p.proto == "meta") {
+          if (p.meta_slot >= net::kMetaSlots) {
+            throw SpecError(p.pos,
+                            "metadata slot " + p.field + " is out of range "
+                            "(slots 0.." +
+                                std::to_string(net::kMetaSlots - 1) + ")");
+          }
+          if (p.value > 0xffffffffull) {
+            throw SpecError(p.pos, "value " + p.value_text + " does not fit "
+                                   "a 32-bit metadata slot");
+          }
+          return;
+        }
         const auto f =
             verify::lookup_field(p.proto, p.field, spec.ip_offset);
         if (!f) {
@@ -438,8 +563,16 @@ class Parser {
     }
   }
 
+  // flow_occupancy(...) element references, validated against the pipeline
+  // once it has parsed.
+  struct ElemRef {
+    std::string name;
+    Pos pos;
+  };
+
   std::vector<Token> toks_;
   size_t i_ = 0;
+  std::vector<ElemRef> elem_refs_;
 };
 
 }  // namespace
@@ -455,6 +588,10 @@ std::string to_string(const Pred& p) {
     case PredKind::Not:
       return "!" + to_string(*p.kids[0]);
     case PredKind::Cmp:
+      if (p.proto == "meta") {
+        return "meta[" + p.field + "] " + cmp_op_name(p.op) + " " +
+               p.value_text;
+      }
       return p.proto + "." + p.field + " " + cmp_op_name(p.op) + " " +
              p.value_text;
     case PredKind::Builtin:
@@ -480,6 +617,12 @@ std::string assertion_text(const Assertion& a) {
       break;
     case PropKind::NeverDrop:
       s += "never(drop)";
+      break;
+    case PropKind::BoundedState:
+      s += "bounded_state <= " + std::to_string(a.bound);
+      break;
+    case PropKind::FlowOccupancy:
+      s += "flow_occupancy(" + a.elem + ") <= " + std::to_string(a.bound);
       break;
   }
   if (a.when) s += " when " + to_string(*a.when);

@@ -10,15 +10,20 @@
 //   prop      = "crash_free"
 //             | "instructions" "<=" INT
 //             | "reachable" "(" "output" INT ")"
-//             | "never" "(" "drop" ")" ;
+//             | "never" "(" "drop" ")"
+//             | "bounded_state" "<=" INT
+//             | "flow_occupancy" "(" IDENT ")" "<=" INT ;
 //   pred      = orpred ;
 //   orpred    = andpred { "||" andpred } ;
 //   andpred   = unary { "&&" unary } ;
 //   unary     = "!" unary | "(" pred ")" | atom ;
 //   atom      = "wellformed" | "wellformed_checksummed"
 //             | field relop value
+//             | field "in" "[" value "," value "]"   (* inclusive range *)
 //             | IDENT ;                       (* a let-bound name *)
-//   field     = ("ip" | "eth") "." IDENT ;
+//   field     = ("ip" | "eth" | "tcp" | "udp") "." IDENT
+//             | "pkt" "." "len"
+//             | "meta" "[" INT "]" ;
 //   relop     = "==" | "!=" | "<" | "<=" | ">" | ">=" ;
 //   value     = INT | IPV4 ;                  (* 0x hex or decimal; a.b.c.d *)
 //
@@ -26,8 +31,10 @@
 // parses against the element registry (errors are re-anchored to the .vspec
 // position), define-before-use and uniqueness of `let` names, known field
 // names, comparison values that fit the field width, eth.* fields only when
-// the frame has an Ethernet header (ip_offset >= 14), and no `when` on
-// instruction bounds. All failures throw SpecError with line/column.
+// the frame has an Ethernet header (ip_offset >= 14), meta slot indices
+// within range, flow_occupancy element names that exist in the declared
+// pipeline (with did-you-mean suggestions), and no `when` on instruction
+// bounds. All failures throw SpecError with line/column.
 #pragma once
 
 #include <string>

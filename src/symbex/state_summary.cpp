@@ -1,0 +1,38 @@
+#include "symbex/state_summary.hpp"
+
+namespace vsd::symbex {
+
+StateSummary summarize_state(const ir::Program& program,
+                             const ElementSummary& summary) {
+  StateSummary out;
+  out.element_name = program.name;
+  out.tables.resize(program.kv_tables.size());
+  for (size_t t = 0; t < program.kv_tables.size(); ++t) {
+    TableStateSummary& ts = out.tables[t];
+    ts.table = static_cast<ir::TableId>(t);
+    ts.table_name = program.kv_tables[t].name;
+    ts.key_width = program.kv_tables[t].key_width;
+    ts.value_width = program.kv_tables[t].value_width;
+    ts.key_space = ts.key_width >= 64 ? ~uint64_t{0}
+                                      : (uint64_t{1} << ts.key_width);
+  }
+  for (size_t s = 0; s < summary.segments.size(); ++s) {
+    const Segment& seg = summary.segments[s];
+    if (seg.constraint->is_false()) continue;  // infeasible segment
+    for (size_t w = 0; w < seg.kv_writes.size(); ++w) {
+      const KvWriteRecord& wr = seg.kv_writes[w];
+      StateSite site;
+      site.segment = s;
+      site.write_index = w;
+      site.guard = seg.constraint;
+      site.key = wr.key;
+      site.value = wr.value;
+      site.is_evict = is_evict_write(wr.value);
+      TableStateSummary& ts = out.tables.at(wr.table);
+      (site.is_evict ? ts.evicts : ts.inserts).push_back(std::move(site));
+    }
+  }
+  return out;
+}
+
+}  // namespace vsd::symbex

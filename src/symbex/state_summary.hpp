@@ -1,0 +1,91 @@
+// Per-element state summaries: the occupancy-relevant view of an element's
+// private key/value tables, distilled from its Step-1 segment summary.
+//
+// The paper's state taxonomy (§3) makes private state reachable only
+// through KvRead/KvWrite, so every way an element can grow (or shrink) a
+// table is visible in its segments' write records. This module classifies
+// those writes into transfer functions over a symbolic entry counter:
+//
+//   * an INSERT site may add one entry — a KvWrite whose key did not
+//     necessarily exist before (reads of absent keys return 0, so any write
+//     can be a first write);
+//   * an EVICT site provably writes the table's default value 0, restoring
+//     the absent-key read semantics (the IR has no delete primitive, so a
+//     zero write is the only eviction shape) — it never grows occupancy and,
+//     under semantic occupancy, shrinks it.
+//
+// The verifier's bounded-state driver (DecomposedVerifier::
+// verify_bounded_state) consumes these sites after stitching them onto
+// pipeline paths: occupancy of a table is bounded by the number of
+// *distinct feasible key values* across its insert sites, which the driver
+// enumerates with solver blocking clauses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bv/expr.hpp"
+#include "ir/ir.hpp"
+#include "symbex/summary.hpp"
+
+namespace vsd::symbex {
+
+// The eviction rule, shared by the classification below and the
+// verifier's stitched-write walk so the two can never drift: a write
+// whose value folds to the table default 0 restores the absent-key read
+// semantics and cannot introduce a live entry.
+inline bool is_evict_write(const bv::ExprRef& value) {
+  return value->is_const_value(0);
+}
+
+// One KvWrite occurrence within one feasible segment, expressed over the
+// element's own entry variables (Step-1 frame, not yet stitched). The
+// verifier's driver keys on (segment, write_index) + the insert/evict
+// split to select which stitched writes can grow a table; guard/key/value
+// are the Step-1-frame expressions for tooling and tests.
+struct StateSite {
+  size_t segment = 0;      // index into ElementSummary::segments
+  size_t write_index = 0;  // index into that segment's kv_writes
+  bv::ExprRef guard;       // the segment's path constraint
+  bv::ExprRef key;         // key expression at the write
+  bv::ExprRef value;       // value expression at the write
+  // True when `value` folds to the constant 0 — the write restores the
+  // absent-key read semantics and cannot introduce a live entry.
+  bool is_evict = false;
+};
+
+// The occupancy view of one KV table of one element.
+struct TableStateSummary {
+  ir::TableId table = 0;
+  std::string table_name;
+  unsigned key_width = 0;
+  unsigned value_width = 0;
+  std::vector<StateSite> inserts;  // sites that may add an entry
+  std::vector<StateSite> evicts;   // provably-zero writes
+  // Total distinct keys the table can ever hold: 2^key_width, saturated.
+  // A useful a-priori bound when the key is narrow (e.g. a 1-byte control
+  // slot) regardless of what the segments do.
+  uint64_t key_space = 0;
+};
+
+struct StateSummary {
+  std::string element_name;
+  std::vector<TableStateSummary> tables;  // one per declared KvTable
+
+  bool has_state() const { return !tables.empty(); }
+  size_t insert_site_count() const {
+    size_t n = 0;
+    for (const TableStateSummary& t : tables) n += t.inserts.size();
+    return n;
+  }
+};
+
+// Derives the state summary of one element from its Step-1 segment
+// summary. Every KvWrite of every segment is classified; tables without
+// writes get an entry with empty site lists (their occupancy is provably
+// 0). Pure classification — no solver calls.
+StateSummary summarize_state(const ir::Program& program,
+                             const ElementSummary& summary);
+
+}  // namespace vsd::symbex

@@ -13,6 +13,7 @@
 #include "bv/printer.hpp"
 #include "interp/interp.hpp"
 #include "solver/pool.hpp"
+#include "symbex/state_summary.hpp"
 #include "verify/parallel.hpp"
 
 namespace vsd::verify {
@@ -41,6 +42,41 @@ struct Timer {
         .count();
   }
 };
+
+// Replays a packet sequence with persistent scratch private state (the
+// live pipeline is untouched); returns the total live entries across the
+// counted elements' tables afterwards. Backs the public
+// replay_sequence_occupancy and the bounded-state driver's certification.
+uint64_t replay_sequence_occupancy_counted(const pipeline::Pipeline& pl,
+                                           const std::vector<net::Packet>& seq,
+                                           const std::vector<bool>& counted) {
+  std::vector<interp::KvState> state;
+  state.reserve(pl.size());
+  for (size_t e = 0; e < pl.size(); ++e) {
+    state.emplace_back(pl.element(e).program().kv_tables.size());
+  }
+  for (const net::Packet& input : seq) {
+    net::Packet pkt = input;
+    size_t cur = 0;
+    for (;;) {
+      const interp::ExecResult r =
+          interp::run(pl.element(cur).program(), pkt, state[cur]);
+      if (r.action != interp::Action::Emit) break;
+      const auto d = pl.downstream(cur, r.port);
+      if (!d) break;
+      cur = *d;
+    }
+  }
+  uint64_t total = 0;
+  for (size_t e = 0; e < pl.size(); ++e) {
+    if (!counted[e]) continue;
+    const size_t ntables = pl.element(e).program().kv_tables.size();
+    for (size_t t = 0; t < ntables; ++t) {
+      total += state[e].live_entry_count(static_cast<ir::TableId>(t));
+    }
+  }
+  return total;
+}
 
 // Runs a packet through the pipeline with scratch private state, returning
 // the total executed instruction count without touching the live elements.
@@ -192,6 +228,7 @@ class DecomposedVerifier::Impl {
     std::vector<ExprRef> out_bytes;
     std::array<ExprRef, net::kMetaSlots> out_meta;
     std::vector<symbex::KvReadRecord> kv_reads;
+    std::vector<symbex::KvWriteRecord> kv_writes;  // only when requested
   };
 
   // Variables of a segment that are not the element's declared inputs:
@@ -239,7 +276,8 @@ class DecomposedVerifier::Impl {
   std::optional<Instantiated> instantiate(const ElementSummary& sum,
                                           const Segment& g,
                                           const ComposeState& st,
-                                          bool need_outputs) {
+                                          bool need_outputs,
+                                          bool need_writes = false) {
     bv::Substitution sub;
     const auto& in_vars = sum.entry.input_byte_vars();
     for (size_t i = 0; i < in_vars.size() && i < st.bytes.size(); ++i) {
@@ -259,6 +297,13 @@ class DecomposedVerifier::Impl {
     for (const auto& r : g.kv_reads) {
       out.kv_reads.push_back(symbex::KvReadRecord{
           r.table, bv::substitute(r.key, sub), bv::substitute(r.value, sub)});
+    }
+    if (need_writes) {
+      for (const auto& w : g.kv_writes) {
+        out.kv_writes.push_back(symbex::KvWriteRecord{
+            w.table, bv::substitute(w.key, sub),
+            bv::substitute(w.value, sub)});
+      }
     }
     if (need_outputs) {
       out.out_bytes.reserve(g.exit_packet.size());
@@ -383,6 +428,8 @@ class DecomposedVerifier::Impl {
     stats = {};
     truncated_ = false;
     budget_exhausted_ = false;
+    refine_cache_.clear();
+    state_writes_memo_.clear();
     solver.reset_stats();
   }
 
@@ -406,6 +453,9 @@ class DecomposedVerifier::Impl {
       stats.solver_queries += s.solver_queries;
       stats.instructions_interpreted += s.instructions_interpreted;
       stats.forks += s.forks;
+      stats.refinements_attempted += s.refinements_attempted;
+      stats.refinements_certified += s.refinements_certified;
+      stats.refinements_eliminated += s.refinements_eliminated;
     }
     mt_stats_.assign(jobs, VerifyStats{});
   }
@@ -570,6 +620,439 @@ class DecomposedVerifier::Impl {
   }
 
   // ---------------------------------------------------------------------
+  // Per-path unroll refinement
+  // ---------------------------------------------------------------------
+  //
+  // A reach/never suspect ending at a wrong-port Emit whose path crossed a
+  // summarized loop is Sat-but-uncertifiable: the model may be an artifact
+  // of the havocked loop outputs (sat_is_unknown below). Instead of
+  // degrading to Unknown, re-execute JUST that element trace with loops
+  // concretely unrolled (exact summaries) and decide the violating exits
+  // again. Upgrades the suspect to a certified Violated (a model over
+  // exact constraints, concretely replayable) or eliminates it (every
+  // exact wrong-port exit on the trace is infeasible); stays Unknown only
+  // when the exact re-walk blows its budget or the solver gives up. Much
+  // cheaper than ExactAll everywhere: one trace's loop-bearing elements
+  // are unrolled, not every element of every path.
+
+  struct RefineOutcome {
+    solver::Result res = solver::Result::Unknown;
+    Counterexample ce;  // valid when res == Sat
+  };
+
+  // Exact (unrolled) summaries for the refinement come from a dedicated
+  // cache whose executor carries the refinement's wall-clock budget: a
+  // loop-heavy element that cannot be unrolled within the budget yields a
+  // truncated summary (-> the refinement gives up as Unknown) instead of
+  // hanging, and never pollutes the unbudgeted cache_unroll.
+  symbex::SharedSummaryCache cache_refine_;
+
+  const ElementSummary& refine_summary(const ir::Program& prog, size_t len,
+                                       solver::Solver& sv,
+                                       VerifyStats& vstats) {
+    symbex::ExecOptions eo;
+    eo.loop_mode = symbex::LoopMode::Unroll;
+    eo.fork_check = symbex::ForkCheck::Solver;
+    eo.solver = &sv;
+    eo.time_budget_seconds = cfg.refine_time_budget_seconds;
+    symbex::Executor exec(eo);
+    bool was_miss = false;
+    const ElementSummary& s = cache_refine_.get(prog, len, exec, &was_miss);
+    if (was_miss) {
+      ++vstats.elements_summarized;
+      vstats.segments_total += s.segments.size();
+      vstats.instructions_interpreted += s.stats.instructions_interpreted;
+      vstats.forks += s.stats.forks;
+    } else {
+      ++vstats.summary_cache_hits;
+    }
+    return s;
+  }
+
+  RefineOutcome refine_summarized_path(const pipeline::Pipeline& pl,
+                                       const TerminalSpec& tspec,
+                                       const SymPacket& entry,
+                                       const ExprRef& root_constraint,
+                                       const std::vector<size_t>& trace,
+                                       solver::Solver& sv,
+                                       VerifyStats& vstats) {
+    RefineOutcome out;
+    if (!cfg.unroll_fallback || trace.empty()) return out;
+    ++vstats.refinements_attempted;
+    uint64_t paths = 0;
+    bool gave_up = false;  // budget/truncation: result stays Unknown
+    bool solver_unknown = false;
+    ComposeState root = root_state(entry);
+    root.constraint = root_constraint;
+    const std::function<void(size_t, ComposeState)> go =
+        [&](size_t depth, ComposeState st) {
+          if (out.res == solver::Result::Sat || gave_up) return;
+          const size_t elem = trace[depth];
+          const ElementSummary& sum = refine_summary(
+              pl.element(elem).program(), st.bytes.size(), sv, vstats);
+          if (sum.truncated) {
+            gave_up = true;
+            return;
+          }
+          const bool last = depth + 1 == trace.size();
+          for (const Segment& g : sum.segments) {
+            if (out.res == solver::Result::Sat || gave_up) return;
+            const bool is_emit = g.action == SegAction::Emit;
+            const std::optional<size_t> down =
+                is_emit ? pl.downstream(elem, g.port) : std::nullopt;
+            if (!last) {
+              // Interior step: follow only Emit edges into the trace's
+              // next element.
+              if (!is_emit || !down || *down != trace[depth + 1]) continue;
+              auto expanded = expand_segment(sum, g, st, elem, down, vstats);
+              if (!expanded) continue;
+              if (++paths > cfg.max_refine_paths) {
+                gave_up = true;
+                return;
+              }
+              go(depth + 1, std::move(*expanded));
+              continue;
+            }
+            // The trace's terminal element: re-decide wrong-port exits
+            // exactly. (Drop/Trap suspects were already decided on exact
+            // constraints by the ExactDropsTraps walk — re-deciding them
+            // here would double-report.)
+            if (!is_emit || down.has_value()) continue;
+            if (!terminal_violates(tspec, g.action, g.port)) continue;
+            auto expanded = expand_segment(sum, g, st, elem, down, vstats);
+            if (!expanded) continue;
+            if (++paths > cfg.max_refine_paths) {
+              gave_up = true;
+              return;
+            }
+            bv::Assignment model;
+            std::string note;
+            const solver::Result r =
+                decide_suspect(pl, *expanded, &model, &note, sv, vstats);
+            if (r == solver::Result::Unknown) {
+              solver_unknown = true;
+              continue;
+            }
+            if (r == solver::Result::Unsat) {
+              ++vstats.suspects_eliminated;
+              continue;
+            }
+            out.res = solver::Result::Sat;
+            out.ce = make_counterexample(pl, entry, *expanded, model,
+                                         ir::TrapKind::Unreachable,
+                                         std::move(note));
+            // Annotate without flipping requires_sequence: a refined model
+            // satisfies exact constraints and replays as a single packet
+            // (unless the KV analysis above also flagged it).
+            const char* refined_note =
+                "certified by per-path unroll refinement (summarized loop "
+                "re-executed unrolled along this path)";
+            out.ce.state_note = out.ce.state_note.empty()
+                                    ? refined_note
+                                    : out.ce.state_note + "; " + refined_note;
+          }
+        };
+    go(0, std::move(root));
+    if (out.res == solver::Result::Sat) {
+      ++vstats.refinements_certified;
+      return out;
+    }
+    if (gave_up || solver_unknown) return out;  // Unknown
+    out.res = solver::Result::Unsat;  // every exact exit infeasible
+    ++vstats.refinements_eliminated;
+    return out;
+  }
+
+  // Several uncertifiable suspects can share one element trace (the
+  // trace's last element may have multiple wrong-port exits): the exact
+  // re-walk is paid once per trace and its counterexample reported once.
+  // `first` tells the caller whether this call computed the outcome.
+  std::map<std::vector<size_t>, RefineOutcome> refine_cache_;
+
+  const RefineOutcome& refine_cached(const pipeline::Pipeline& pl,
+                                     const TerminalSpec& tspec,
+                                     const SymPacket& entry,
+                                     const ExprRef& root_constraint,
+                                     const std::vector<size_t>& trace,
+                                     solver::Solver& sv, VerifyStats& vstats,
+                                     bool* first) {
+    const auto it = refine_cache_.find(trace);
+    if (it != refine_cache_.end()) {
+      *first = false;
+      return it->second;
+    }
+    *first = true;
+    return refine_cache_
+        .emplace(trace, refine_summarized_path(pl, tspec, entry,
+                                               root_constraint, trace, sv,
+                                               vstats))
+        .first->second;
+  }
+
+  // ---------------------------------------------------------------------
+  // Bounded state / flow occupancy
+  // ---------------------------------------------------------------------
+
+  // A KvWrite site stitched onto a pipeline path: the path+segment
+  // constraint and the key expression, both over the entry packet.
+  struct PathInsertSite {
+    size_t elem = 0;
+    ir::TableId table = 0;
+    ExprRef guard;
+    ExprRef key;
+    std::vector<PathKvRead> kv_reads;  // reads along the path (refinement)
+  };
+
+  // Per-(element, packet length) state summaries, derived from the
+  // segment summary actually used at that pipeline position. Keying by
+  // length matters: an element downstream of encap/decap executes at a
+  // different length than the pipeline entry, and its writes may be
+  // reachable only there.
+  std::map<std::pair<size_t, size_t>, symbex::StateSummary>
+      state_writes_memo_;
+
+  const symbex::StateSummary& element_state_at(const pipeline::Pipeline& pl,
+                                               size_t elem, size_t len,
+                                               const ElementSummary& sum) {
+    const auto key = std::make_pair(elem, len);
+    const auto it = state_writes_memo_.find(key);
+    if (it != state_writes_memo_.end()) return it->second;
+    return state_writes_memo_
+        .emplace(key, symbex::summarize_state(pl.element(elem).program(), sum))
+        .first->second;
+  }
+
+  // DFS over the composed pipeline collecting every insert site of the
+  // counted elements. `filter` prunes subtrees that cannot reach a
+  // counted element.
+  void collect_state_sites(const pipeline::Pipeline& pl, size_t elem,
+                           ComposeState st, const std::vector<bool>& counted,
+                           const std::vector<bool>& filter,
+                           std::vector<PathInsertSite>* out) {
+    if (!filter[elem] || truncated_ || budget_exhausted_) return;
+    const ElementSummary& sum =
+        summary_for(pl.element(elem).program(), st.bytes.size(),
+                    Precision::AcceptBounds, solver, stats);
+    if (sum.truncated) {
+      truncated_ = true;
+      return;
+    }
+    // The element's state summary classifies which writes of which
+    // segments can insert; only those are stitched below.
+    const symbex::StateSummary* ss = nullptr;
+    if (counted[elem]) {
+      const symbex::StateSummary& s =
+          element_state_at(pl, elem, st.bytes.size(), sum);
+      if (s.insert_site_count() > 0) ss = &s;
+    }
+    for (size_t si = 0; si < sum.segments.size(); ++si) {
+      const Segment& g = sum.segments[si];
+      if (truncated_ || budget_exhausted_) return;
+      const bool is_emit = g.action == SegAction::Emit;
+      const std::optional<size_t> down =
+          is_emit ? pl.downstream(elem, g.port) : std::nullopt;
+      const bool continues = is_emit && down.has_value();
+      if (!continues && ss == nullptr) continue;
+      auto inst = instantiate(sum, g, st, continues, ss != nullptr);
+      if (!inst) continue;
+      ComposeState next;
+      next.constraint = inst->constraint;
+      next.kv_reads = st.kv_reads;
+      for (const auto& r : inst->kv_reads) {
+        next.kv_reads.push_back(PathKvRead{elem, st.bytes.size(), r});
+      }
+      next.elem_trace = st.elem_trace;
+      next.elem_trace.push_back(elem);
+      if (ss != nullptr) {
+        for (const symbex::TableStateSummary& ts : ss->tables) {
+          for (const symbex::StateSite& site_in : ts.inserts) {
+            if (site_in.segment != si) continue;
+            const auto& wr = inst->kv_writes.at(site_in.write_index);
+            // Stitching only folds further: a write whose stitched value
+            // is now provably 0 is an eviction after all.
+            if (symbex::is_evict_write(wr.value)) continue;
+            // An entry is live only when the written value is non-zero;
+            // folding it into the guard forces enumeration models to
+            // choose genuinely-live insertions, so certification replay
+            // counts exactly what enumeration counted.
+            const ExprRef live = bv::mk_land(
+                inst->constraint,
+                bv::mk_ne(wr.value, bv::mk_const(0, wr.value->width())));
+            if (live->is_false()) continue;
+            PathInsertSite site;
+            site.elem = elem;
+            site.table = ts.table;
+            site.guard = live;
+            site.key = wr.key;
+            site.kv_reads = next.kv_reads;
+            out->push_back(std::move(site));
+          }
+        }
+      }
+      if (continues) {
+        ++stats.composed_paths_checked;
+        if (stats.composed_paths_checked > cfg.max_composed_paths) {
+          budget_exhausted_ = true;
+          return;
+        }
+        next.bytes = std::move(inst->out_bytes);
+        next.meta = inst->out_meta;
+        collect_state_sites(pl, *down, std::move(next), counted, filter,
+                            out);
+      }
+    }
+  }
+
+  StateBoundReport bounded_state(const pipeline::Pipeline& pl,
+                                 const InputPredicate& predicate,
+                                 const StateBoundSpec& spec) {
+    Timer timer;
+    StateBoundReport report;
+    report.bound = spec.bound;
+
+    std::vector<bool> counted(pl.size(), false);
+    for (size_t e = 0; e < pl.size(); ++e) {
+      counted[e] =
+          spec.element.empty() || pl.element(e).name() == spec.element;
+    }
+
+    // Step 1 (parallel engine: fanned out across workers; the enumeration
+    // below is inherently sequential — every query depends on the keys
+    // found so far — so it runs identically at any job count).
+    if (jobs > 1) {
+      begin_call_mt();
+      prewarm(pl, Precision::AcceptBounds);
+      merge_mt_stats();
+    } else {
+      begin_call();
+    }
+
+    // Report scaffolding: every table of every counted element appears in
+    // the report, even when provably empty. (Table declarations don't
+    // depend on packet length; whether a table has reachable insert sites
+    // does, and is decided per pipeline position during the walk below.)
+    std::map<std::pair<size_t, ir::TableId>, TableOccupancy> occupancy;
+    for (size_t e = 0; e < pl.size(); ++e) {
+      if (!counted[e]) continue;
+      const ir::Program& prog = pl.element(e).program();
+      for (size_t t = 0; t < prog.kv_tables.size(); ++t) {
+        TableOccupancy occ;
+        occ.element = e;
+        occ.element_name = pl.element(e).name();
+        occ.table_name = prog.kv_tables[t].name;
+        occ.exhausted = true;  // until enumeration says otherwise
+        occupancy.emplace(
+            std::make_pair(e, static_cast<ir::TableId>(t)), occ);
+      }
+    }
+
+    const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
+    ComposeState root = root_state(entry);
+    root.constraint = predicate(entry);
+
+    // Steps 1+2: stitch every insert site onto its pipeline paths
+    // (summaries come from the cache prewarm above when jobs > 1).
+    std::vector<PathInsertSite> sites;
+    {
+      const std::vector<bool> filter = reachability_filter(pl, counted);
+      collect_state_sites(pl, 0, std::move(root), counted, filter, &sites);
+    }
+    if (truncated_ || budget_exhausted_) {
+      report.verdict = Verdict::Unknown;
+      report.stats = stats;
+      report.seconds = timer.seconds();
+      return report;
+    }
+
+    // Step 3: enumerate distinct feasible keys per (element, table) with
+    // blocking clauses. Each Sat model is one injectable packet creating
+    // one new entry; Unsat with all found keys blocked exhausts the table.
+    std::map<std::pair<size_t, ir::TableId>,
+             std::vector<const PathInsertSite*>>
+        groups;
+    for (const PathInsertSite& s : sites) {
+      groups[{s.elem, s.table}].push_back(&s);
+    }
+    uint64_t total = 0;
+    uint64_t keys_budget = 0;
+    bool unknown = false;
+    bool over = false;
+    // A table with insert sites counts as exhausted only once every site
+    // ran dry; tables skipped because the bound was already exceeded must
+    // not claim a proof.
+    for (const auto& [id, group] : groups) {
+      (void)group;
+      occupancy.at(id).exhausted = false;
+    }
+    for (const auto& [id, group] : groups) {
+      TableOccupancy& occ = occupancy.at(id);
+      std::vector<uint64_t> found;
+      for (const PathInsertSite* site : group) {
+        for (;;) {
+          if (++keys_budget > cfg.max_state_keys) {
+            unknown = true;
+            break;
+          }
+          ExprRef q = site->guard;
+          for (const uint64_t v : found) {
+            q = bv::mk_land(
+                q, bv::mk_ne(site->key,
+                             bv::mk_const(v, site->key->width())));
+          }
+          ComposeState cs;
+          cs.constraint = q;
+          cs.kv_reads = site->kv_reads;
+          bv::Assignment model;
+          const solver::Result r =
+              decide_suspect(pl, cs, &model, nullptr, solver, stats);
+          if (r == solver::Result::Unsat) break;  // site dry; next site
+          if (r == solver::Result::Unknown) {
+            unknown = true;
+            break;
+          }
+          found.push_back(bv::evaluate(site->key, model));
+          report.packet_sequence.push_back(entry.to_concrete(model));
+          ++total;
+          if (total > spec.bound) {
+            over = true;
+            break;
+          }
+        }
+        if (unknown || over) break;
+      }
+      occ.keys_found = found.size();
+      if (unknown || over) break;
+      occ.exhausted = true;  // every site of this table ran dry
+    }
+    for (auto& [id, occ] : occupancy) report.tables.push_back(occ);
+    report.occupancy = total;
+
+    if (over) {
+      // Certify: the sequence must concretely drive occupancy past the
+      // bound (guards Violated against loop-havoc artifacts in stitched
+      // constraints).
+      const uint64_t replayed = replay_sequence_occupancy_counted(
+          pl, report.packet_sequence, counted);
+      if (replayed > spec.bound) {
+        report.verdict = Verdict::Violated;
+      } else {
+        report.verdict = Verdict::Unknown;
+        report.sequence_uncertified = true;
+        report.packet_sequence.clear();
+      }
+    } else if (unknown) {
+      report.verdict = Verdict::Unknown;
+      report.packet_sequence.clear();
+    } else {
+      report.verdict = Verdict::Proven;
+      report.packet_sequence.clear();
+    }
+    report.stats = stats;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  // ---------------------------------------------------------------------
   // Helpers shared by the public property drivers
   // ---------------------------------------------------------------------
 
@@ -609,6 +1092,9 @@ class DecomposedVerifier::Impl {
       ce.element_path.push_back(pl.element(e).name());
     }
     ce.trap = trap;
+    // A note at this point always comes from the KV bad-value analysis:
+    // the model relies on private state a prior packet sequence must build.
+    ce.requires_sequence = !note.empty();
     ce.state_note = std::move(note);
     return ce;
   }
@@ -639,12 +1125,15 @@ class DecomposedVerifier::Impl {
       const std::function<bool(const TerminalRecord&, size_t worker,
                                ir::TrapKind* trap, bool* sat_is_unknown)>&
           is_suspect,
-      std::vector<Counterexample>* counterexamples) {
+      std::vector<Counterexample>* counterexamples,
+      const TerminalSpec* refine_tspec = nullptr,
+      const ExprRef* refine_root = nullptr) {
     struct Outcome {
       std::vector<uint32_t> order;
       solver::Result res = solver::Result::Unknown;
       bool sat_is_unknown = false;
       Counterexample ce;
+      std::vector<size_t> trace;  // for the unroll refinement
     };
     std::mutex out_mu;
     std::vector<Outcome> outcomes;
@@ -665,6 +1154,8 @@ class DecomposedVerifier::Impl {
           if (r == solver::Result::Sat && !sat_unknown) {
             o.ce = make_counterexample(pl, entry, t.st, model, trap,
                                        std::move(note));
+          } else if (r == solver::Result::Sat) {
+            o.trace = t.st.elem_trace;
           }
           std::lock_guard<std::mutex> lock(out_mu);
           outcomes.push_back(std::move(o));
@@ -681,8 +1172,25 @@ class DecomposedVerifier::Impl {
         ++stats.suspects_eliminated;
         continue;
       }
-      if (o.res == solver::Result::Unknown ||
-          (o.res == solver::Result::Sat && o.sat_is_unknown)) {
+      if (o.res == solver::Result::Sat && o.sat_is_unknown) {
+        // Uncertifiable summarized-loop suspect: refine on the main
+        // solver, in DFS order — outcomes stay identical at any job count.
+        if (refine_tspec != nullptr && refine_root != nullptr) {
+          bool first = false;
+          const RefineOutcome& ro =
+              refine_cached(pl, *refine_tspec, entry, *refine_root, o.trace,
+                            solver, stats, &first);
+          if (ro.res == solver::Result::Sat) {
+            violated = true;
+            if (first) counterexamples->push_back(ro.ce);
+            continue;
+          }
+          if (ro.res == solver::Result::Unsat) continue;  // eliminated
+        }
+        truncated_ = true;
+        continue;
+      }
+      if (o.res == solver::Result::Unknown) {
         truncated_ = true;
         continue;
       }
@@ -899,6 +1407,7 @@ class DecomposedVerifier::Impl {
       report.seconds = timer.seconds();
       return report;
     }
+    const ExprRef root_constraint = root.constraint;
     prewarm(pl, Precision::ExactDropsTraps);
     const bool violated = decide_suspects_mt(
         pl, std::move(root), entry, [](size_t) { return true; },
@@ -915,7 +1424,7 @@ class DecomposedVerifier::Impl {
               sat_is_unknown(tspec, t.seg->action, t.st.count_is_bound);
           return true;
         },
-        &report.counterexamples);
+        &report.counterexamples, &tspec, &root_constraint);
 
     if (violated) {
       report.verdict = Verdict::Violated;
@@ -984,6 +1493,16 @@ class DecomposedVerifier::Impl {
 // ---------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------
+
+uint64_t replay_sequence_occupancy(const pipeline::Pipeline& pl,
+                                   const std::vector<net::Packet>& sequence,
+                                   const std::string& element) {
+  std::vector<bool> counted(pl.size(), false);
+  for (size_t e = 0; e < pl.size(); ++e) {
+    counted[e] = element.empty() || pl.element(e).name() == element;
+  }
+  return replay_sequence_occupancy_counted(pl, sequence, counted);
+}
 
 DecomposedVerifier::DecomposedVerifier(DecomposedConfig config)
     : impl_(std::make_unique<Impl>(config)) {}
@@ -1170,6 +1689,12 @@ ReachabilityReport DecomposedVerifier::verify_never_dropped(
   return verify_reach_never(pl, predicate, TerminalSpec{});
 }
 
+StateBoundReport DecomposedVerifier::verify_bounded_state(
+    const pipeline::Pipeline& pl, const InputPredicate& predicate,
+    const StateBoundSpec& spec) {
+  return impl_->bounded_state(pl, predicate, spec);
+}
+
 ReachabilityReport DecomposedVerifier::verify_reach_never(
     const pipeline::Pipeline& pl, const InputPredicate& predicate,
     const TerminalSpec& tspec) {
@@ -1187,6 +1712,7 @@ ReachabilityReport DecomposedVerifier::verify_reach_never(
     report.seconds = timer.seconds();
     return report;
   }
+  const bv::ExprRef root_constraint = root.constraint;
 
   bool violated = false;
   const bool complete = im.walk(
@@ -1202,11 +1728,25 @@ ReachabilityReport DecomposedVerifier::verify_reach_never(
           ++im.stats.suspects_eliminated;
           return;
         }
-        if (r == solver::Result::Unknown ||
-            (r == solver::Result::Sat &&
-             Impl::sat_is_unknown(tspec, g.action, st.count_is_bound))) {
+        if (r == solver::Result::Unknown) {
           im.truncated_ = true;
           return;
+        }
+        if (Impl::sat_is_unknown(tspec, g.action, st.count_is_bound)) {
+          // Sat on over-approximated loop outputs proves nothing; re-walk
+          // just this path with the loop concretely unrolled (memoized:
+          // suspects sharing a trace pay for and report one refinement).
+          bool first = false;
+          const Impl::RefineOutcome& ro =
+              im.refine_cached(pl, tspec, entry, root_constraint,
+                               st.elem_trace, im.solver, im.stats, &first);
+          if (ro.res == solver::Result::Sat) {
+            violated = true;
+            if (first) report.counterexamples.push_back(ro.ce);
+          } else if (ro.res == solver::Result::Unknown) {
+            im.truncated_ = true;
+          }
+          return;  // Unsat: certified infeasible once unrolled
         }
         violated = true;
         report.counterexamples.push_back(im.make_counterexample(

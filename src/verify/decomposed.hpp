@@ -39,6 +39,22 @@ struct DecomposedConfig {
   uint64_t max_composed_paths = 1u << 20;
   // Conflict budget per SAT query.
   uint64_t max_solver_conflicts = 1u << 22;
+  // Bounded-state verification: cap on distinct keys enumerated per call
+  // (the occupancy decision is an enumerate-up-to-N+1 procedure; bounds
+  // beyond this budget come back Unknown rather than running forever on an
+  // unbounded table).
+  uint64_t max_state_keys = 1u << 12;
+  // Per-path unroll refinement (reach/never): when a wrong-port-emit
+  // suspect on a summarized-loop path is Sat but uncertifiable, re-walk
+  // just that element trace with loops concretely unrolled, spending at
+  // most this many exact composed paths before giving up as Unknown.
+  uint64_t max_refine_paths = 1u << 14;
+  // Wall-clock budget for each exact (unrolled) element summarization the
+  // refinement requests. Unrolling a loop-heavy element at MTU-ish packet
+  // lengths can blow up (the reason ExactAll is not the default precision)
+  // — past the budget the refinement honestly gives up as Unknown instead
+  // of hanging. 0 = unlimited.
+  double refine_time_budget_seconds = 5.0;
   // Worker threads for the parallel engine: Step 1 summarizes elements
   // concurrently and Step 2 walks/decides stitched paths concurrently, each
   // worker with its own solver instance. 1 keeps the seed's sequential
@@ -63,6 +79,26 @@ struct TerminalSpec {
   // When set, an Emit leaving the pipeline at any other port is a violation
   // (the "every matching packet reaches output N" property).
   std::optional<uint32_t> required_exit_port;
+};
+
+// Concrete replay of a packet sequence with persistent scratch private
+// state (the pipeline's live elements are untouched): returns the total
+// LIVE entries (non-default values) across the tables of elements whose
+// name matches `element` (empty = every element) after the whole sequence
+// ran. This is the certification semantics of bounded-state
+// counterexamples — the verifier and the spec checker share it.
+uint64_t replay_sequence_occupancy(const pipeline::Pipeline& pl,
+                                   const std::vector<net::Packet>& sequence,
+                                   const std::string& element = {});
+
+// What verify_bounded_state must bound: total private-state occupancy of
+// either the whole pipeline or the instances of one named element.
+struct StateBoundSpec {
+  // Empty = every element; otherwise only elements whose name matches
+  // (all instances of that name are counted together).
+  std::string element;
+  // Maximum admissible total number of live table entries.
+  uint64_t bound = 0;
 };
 
 // One fully stitched end-to-end path through the pipeline: the composed
@@ -110,6 +146,23 @@ class DecomposedVerifier {
   ReachabilityReport verify_reach_never(const pipeline::Pipeline& pl,
                                         const InputPredicate& predicate,
                                         const TerminalSpec& spec);
+
+  // Stateful property: across ANY sequence of input packets each satisfying
+  // `predicate`, the selected elements' private tables never hold more than
+  // spec.bound entries in total. Implemented over the per-element state
+  // summaries (symbex/state_summary.hpp): stitch every KvWrite site onto
+  // its pipeline paths, then enumerate distinct feasible key values with
+  // solver blocking clauses. Proven returns the exact count of insertable
+  // entries (an upper bound on simultaneous occupancy — tight unless an
+  // insert segment also evicts other keys); Violated returns a concrete
+  // packet sequence inserting bound+1 distinct entries, certified by
+  // sequence replay. With jobs > 1, Step 1
+  // summarization fans out across workers; the enumeration itself is
+  // inherently sequential (each query depends on the keys found so far) and
+  // gives identical results at any job count.
+  StateBoundReport verify_bounded_state(const pipeline::Pipeline& pl,
+                                        const InputPredicate& predicate,
+                                        const StateBoundSpec& spec);
 
   // Enumerates every composed end-to-end path (Step 2's stitched view of
   // the pipeline) without deciding any property. Exact loop handling

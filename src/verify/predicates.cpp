@@ -41,6 +41,28 @@ const std::map<std::string, RelField>& ip_fields() {
   return t;
 }
 
+// L4 fields sit right after the 20-byte IPv4 header. The layout assumes
+// ihl == 5 (the fast path `wellformed` pins); a spec constraining tcp.*
+// or udp.* of an options-bearing packet constrains the options bytes
+// instead, which is why the vspec docs say to conjoin `wellformed`.
+const std::map<std::string, RelField>& tcp_fields() {
+  static const std::map<std::string, RelField> t = {
+      {"sport", {0, 2}}, {"dport", {2, 2}}, {"seq", {4, 4}},
+      {"ack", {8, 4}},   {"flags", {13, 1}},
+  };
+  return t;
+}
+
+const std::map<std::string, RelField>& udp_fields() {
+  static const std::map<std::string, RelField> t = {
+      {"sport", {0, 2}},
+      {"dport", {2, 2}},
+      {"len", {4, 2}},
+      {"checksum", {6, 2}},
+  };
+  return t;
+}
+
 }  // namespace
 
 std::optional<FieldSpec> lookup_field(const std::string& proto,
@@ -59,6 +81,16 @@ std::optional<FieldSpec> lookup_field(const std::string& proto,
     if (it == eth_fields().end()) return std::nullopt;
     rel = &it->second;
     base = ip_offset - net::kEtherHeaderSize;
+  } else if (proto == "tcp") {
+    const auto it = tcp_fields().find(field);
+    if (it == tcp_fields().end()) return std::nullopt;
+    rel = &it->second;
+    base = ip_offset + net::kIpv4MinHeaderSize;
+  } else if (proto == "udp") {
+    const auto it = udp_fields().find(field);
+    if (it == udp_fields().end()) return std::nullopt;
+    rel = &it->second;
+    base = ip_offset + net::kIpv4MinHeaderSize;
   } else {
     return std::nullopt;
   }
@@ -74,6 +106,9 @@ std::vector<std::string> known_field_names() {
   std::vector<std::string> names;
   for (const auto& [n, _] : eth_fields()) names.push_back("eth." + n);
   for (const auto& [n, _] : ip_fields()) names.push_back("ip." + n);
+  for (const auto& [n, _] : tcp_fields()) names.push_back("tcp." + n);
+  for (const auto& [n, _] : udp_fields()) names.push_back("udp." + n);
+  names.push_back("pkt.len");
   std::sort(names.begin(), names.end());
   return names;
 }

@@ -32,10 +32,13 @@ struct FieldSpec {
   unsigned value_width() const { return bit_width ? bit_width : bytes * 8; }
 };
 
-// Resolves "proto.field" (e.g. "ip.dst", "eth.type", "ip.ttl") to its byte
-// layout. `ip_offset` is where the IPv4 header starts within the frame;
-// eth.* fields require ip_offset >= 14 (the Ethernet header precedes the IP
-// header) and return nullopt otherwise. Unknown names return nullopt.
+// Resolves "proto.field" (e.g. "ip.dst", "eth.type", "tcp.dport") to its
+// byte layout. `ip_offset` is where the IPv4 header starts within the
+// frame; eth.* fields require ip_offset >= 14 (the Ethernet header precedes
+// the IP header) and return nullopt otherwise. tcp.*/udp.* fields sit at
+// ip_offset + 20, i.e. they assume the 20-byte option-less IPv4 header
+// (conjoin `wellformed` in specs to pin ihl == 5). Unknown names return
+// nullopt.
 std::optional<FieldSpec> lookup_field(const std::string& proto,
                                       const std::string& field,
                                       size_t ip_offset);

@@ -26,9 +26,13 @@ struct Counterexample {
   net::Packet packet;  // concrete input that triggers the violation
   std::vector<std::string> element_path;  // element names traversed
   ir::TrapKind trap = ir::TrapKind::Unreachable;
-  // Non-empty when the violation additionally depends on private state
-  // reachable only through a prior packet sequence (KV bad-value analysis).
+  // Extra context for reports (KV bad-value analysis, unroll refinement).
   std::string state_note;
+  // True when the violation additionally depends on private state reachable
+  // only through a prior packet sequence (KV bad-value analysis): a
+  // single-packet replay cannot reproduce it. False counterexamples replay
+  // concretely as-is.
+  bool requires_sequence = false;
 };
 
 struct VerifyStats {
@@ -41,6 +45,12 @@ struct VerifyStats {
   uint64_t solver_queries = 0;
   uint64_t instructions_interpreted = 0;
   uint64_t forks = 0;
+  // Per-path unroll refinement (reach/never across summarized loops):
+  // attempts, suspects certified Violated, suspects eliminated (proved
+  // infeasible once the loop was concretely unrolled).
+  uint64_t refinements_attempted = 0;
+  uint64_t refinements_certified = 0;
+  uint64_t refinements_eliminated = 0;
 };
 
 struct CrashFreedomReport {
@@ -67,6 +77,45 @@ struct InstructionBoundReport {
 struct ReachabilityReport {
   Verdict verdict = Verdict::Unknown;  // Proven: no matching packet dropped
   std::vector<Counterexample> counterexamples;
+  VerifyStats stats;
+  double seconds = 0.0;
+};
+
+// --- Bounded state / flow-table occupancy ------------------------------------
+
+// Occupancy of one KV table of one pipeline element instance: how many
+// distinct keys the adversary (any sequence of matching input packets) can
+// make it hold.
+struct TableOccupancy {
+  size_t element = 0;          // pipeline element index
+  std::string element_name;
+  std::string table_name;
+  uint64_t keys_found = 0;     // distinct feasible keys enumerated
+  // True when enumeration exhausted the table (solver returned Unsat with
+  // all found keys blocked): keys_found is then the table's exact maximum
+  // occupancy. False when the bound was exceeded first or a budget ran out.
+  bool exhausted = false;
+};
+
+struct StateBoundReport {
+  // Proven: no packet sequence (each packet satisfying the input
+  // predicate) drives total occupancy past the bound. Violated: the
+  // packet_sequence below concretely inserts bound+1 distinct entries.
+  Verdict verdict = Verdict::Unknown;
+  uint64_t bound = 0;
+  // Proven: the exact number of distinct insertable (table, key) entries —
+  // a tight upper bound on simultaneous occupancy (exact unless an insert
+  // segment also evicts other keys). Violated: the number of distinct
+  // entries demonstrated (bound + 1).
+  uint64_t occupancy = 0;
+  std::vector<TableOccupancy> tables;
+  // Violated only: concrete input packets, in injection order; each inserts
+  // a distinct entry into one of the counted tables.
+  std::vector<net::Packet> packet_sequence;
+  // Unknown only: true when the bound was exceeded symbolically but the
+  // packet sequence failed to reproduce it on concrete replay (a stitched
+  // over-approximation artifact) — as opposed to a budget running out.
+  bool sequence_uncertified = false;
   VerifyStats stats;
   double seconds = 0.0;
 };

@@ -118,7 +118,7 @@ std::multiset<SuspectId> suspect_ids(
   std::multiset<SuspectId> out;
   for (const Counterexample& ce : ces) {
     out.insert({ce.element_path, static_cast<int>(ce.trap),
-                ce.state_note.empty()});
+                ce.requires_sequence});
   }
   return out;
 }
@@ -159,7 +159,7 @@ TEST_P(CrashDeterminism, SameReportAtAnyJobCount) {
     // Counterexamples that need no prior state must replay to a concrete
     // trap — witness packets are validated, not byte-compared.
     for (const Counterexample& ce : rn.counterexamples) {
-      if (!ce.state_note.empty()) continue;
+      if (ce.requires_sequence) continue;
       pipeline::Pipeline pl = elements::parse_pipeline(c.config);
       net::Packet p = ce.packet;
       EXPECT_EQ(pl.process(p).action, pipeline::FinalAction::Trapped)

@@ -184,6 +184,93 @@ TEST(Parser, LetsAreDefineBeforeUseAndUnique) {
                SpecError);
 }
 
+TEST(Parser, L4FieldsParseAndMisspellingsSuggest) {
+  // tcp.*/udp.* resolve through the field-access layer...
+  const SpecFile spec = parse_spec(
+      "pipeline \"Null\";\nset ip_offset = 0;\n"
+      "assert never(drop) when tcp.sport == 443 && udp.dport != 53;\n");
+  EXPECT_EQ(to_string(*spec.assertions[0].when),
+            "(tcp.sport == 443 && udp.dport != 53)");
+  // ...and misspellings get did-you-mean suggestions with exact positions.
+  const std::string src =
+      "pipeline \"Null\";\nassert never(drop) when tcp.sprot == 443;\n";
+  const std::string msg = error_msg(src);
+  EXPECT_NE(msg.find("tcp.sprot"), std::string::npos);
+  EXPECT_NE(msg.find("did you mean 'tcp.sport'"), std::string::npos);
+  const Pos p = error_pos(src);
+  EXPECT_EQ(p.line, 2u);
+  EXPECT_EQ(p.col, 25u);
+  EXPECT_NE(error_msg("pipeline \"Null\";\n"
+                      "assert never(drop) when pkt.size == 64;\n")
+                .find("did you mean 'pkt.len'"),
+            std::string::npos);
+}
+
+TEST(Parser, RangeSyntaxDesugarsAndRejectsEmptyRanges) {
+  const SpecFile spec = parse_spec(
+      "pipeline \"Null\";\n"
+      "assert never(drop) when ip.ttl in [2, 64];\n");
+  EXPECT_EQ(to_string(*spec.assertions[0].when),
+            "(ip.ttl >= 2 && ip.ttl <= 64)");
+  const std::string src =
+      "pipeline \"Null\";\nassert never(drop) when ip.ttl in [64, 2];\n";
+  EXPECT_NE(error_msg(src).find("empty range"), std::string::npos);
+  const Pos p = error_pos(src);
+  EXPECT_EQ(p.line, 2u);
+  EXPECT_EQ(p.col, 32u);  // the 'in' keyword
+  EXPECT_THROW(parse_spec("pipeline \"Null\";\n"
+                          "assert never(drop) when ip.ttl in [2 64];\n"),
+               SpecError);  // missing comma
+}
+
+TEST(Parser, MetaSlotsParseAndRangeCheck) {
+  const SpecFile spec = parse_spec(
+      "pipeline \"Null\";\n"
+      "assert never(drop) when meta[3] == 0x10;\n");
+  EXPECT_EQ(to_string(*spec.assertions[0].when), "meta[3] == 0x10");
+  const std::string msg = error_msg(
+      "pipeline \"Null\";\nassert never(drop) when meta[8] == 1;\n");
+  EXPECT_NE(msg.find("slot 8 is out of range"), std::string::npos);
+  // Dot-form meta must not silently become slot 0.
+  EXPECT_NE(error_msg("pipeline \"Null\";\n"
+                      "assert never(drop) when meta.port == 1;\n")
+                .find("write meta[K]"),
+            std::string::npos);
+}
+
+TEST(Parser, StatefulPropsParseWithBoundsAndSuggestions) {
+  const SpecFile spec = parse_spec(
+      "pipeline \"NAT -> NetFlow\";\nset ip_offset = 0;\n"
+      "assert bounded_state <= 64;\n"
+      "assert flow_occupancy(NetFlow) <= 8 when wellformed;\n");
+  ASSERT_EQ(spec.assertions.size(), 2u);
+  EXPECT_EQ(spec.assertions[0].prop, PropKind::BoundedState);
+  EXPECT_EQ(spec.assertions[0].bound, 64u);
+  EXPECT_EQ(spec.assertions[1].prop, PropKind::FlowOccupancy);
+  EXPECT_EQ(spec.assertions[1].elem, "NetFlow");
+  EXPECT_EQ(spec.assertions[1].text,
+            "assert flow_occupancy(NetFlow) <= 8 when wellformed");
+  // A misspelled property name suggests the stateful props too.
+  EXPECT_NE(error_msg("pipeline \"Null\";\nassert flow_ocupancy(Null) <= 1;\n")
+                .find("did you mean 'flow_occupancy'"),
+            std::string::npos);
+  EXPECT_NE(error_msg("pipeline \"Null\";\nassert bounded_stat <= 1;\n")
+                .find("did you mean 'bounded_state'"),
+            std::string::npos);
+}
+
+TEST(Parser, FlowOccupancyElementMustExistInThePipeline) {
+  const std::string src =
+      "pipeline \"NAT -> NetFlow\";\nset ip_offset = 0;\n"
+      "assert flow_occupancy(NetFlw) <= 8;\n";
+  const std::string msg = error_msg(src);
+  EXPECT_NE(msg.find("no element named 'NetFlw'"), std::string::npos);
+  EXPECT_NE(msg.find("did you mean 'NetFlow'"), std::string::npos);
+  const Pos p = error_pos(src);
+  EXPECT_EQ(p.line, 3u);
+  EXPECT_EQ(p.col, 23u);
+}
+
 TEST(Parser, WhenIsRejectedOnInstructionBounds) {
   const std::string src =
       "pipeline \"Null\";\nassert instructions <= 100 when wellformed;\n";

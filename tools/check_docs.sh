@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Docs health checks, grep-based so they run anywhere:
+#
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file;
+#   2. the vspec reference (docs/vspec.md) mentions every keyword the
+#      vspec parser actually accepts — adding a keyword to the grammar
+#      without documenting it fails this check.
+#
+# Run from the repo root: ./tools/check_docs.sh
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. internal links -------------------------------------------------------
+for f in README.md docs/*.md; do
+  dir=$(dirname "$f")
+  # Targets of [text](target); external URLs and pure anchors are skipped,
+  # fragment suffixes are stripped before the existence check.
+  for target in $(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//'); do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $f -> $target"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. EBNF keyword sync ----------------------------------------------------
+# The parser's accepted keywords, harvested from the comparison sites in
+# src/spec/parser.cpp (statement/property/builtin/field-shape keywords)
+# and src/verify/predicates.cpp (protocol namespaces).
+keywords=$(
+  {
+    grep -ohE '\.text (==|!=) "[a-z_0-9]+"' src/spec/parser.cpp
+    grep -ohE 'at_ident\("[a-z_0-9]+"\)' src/spec/parser.cpp
+    grep -ohE '\.(proto|field) (==|!=) "[a-z_0-9]+"' src/spec/parser.cpp
+    grep -ohE 'proto == "[a-z_0-9]+"' src/verify/predicates.cpp
+  } | grep -oE '"[a-z_0-9]+"' | tr -d '"' | sort -u
+)
+if [ -z "$keywords" ]; then
+  echo "EBNF SYNC: harvested no keywords from the parser — check the greps"
+  fail=1
+fi
+for kw in $keywords; do
+  if ! grep -qw -- "$kw" docs/vspec.md; then
+    echo "EBNF OUT OF SYNC: parser accepts '$kw' but docs/vspec.md never mentions it"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  count=$(echo "$keywords" | wc -w | tr -d ' ')
+  echo "docs OK: links resolve, vspec reference covers all $count parser keywords"
+fi
+exit "$fail"

@@ -12,6 +12,8 @@
 //                [--jobs N]
 //   vsd reach    "<pipeline>" --dst A.B.C.D [--len N] [--eth-offset N]
 //                [--jobs N]
+//   vsd state    "<pipeline>" --bound N [--element NAME] [--len N]
+//                [--jobs N]                 bounded private-state occupancy
 //   vsd certify  "<base>" --candidate "<element>" [--after K] [--len N]
 //                [--jobs N]
 //   vsd baseline "<pipeline>" [--len N] [--budget SECONDS]
@@ -20,6 +22,7 @@
 //
 // Pipelines use the registry config syntax, e.g.
 //   "Classifier -> EthDecap -> CheckIPHeader -> IPLookup(10.0.0.0/8 0)"
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -97,6 +100,8 @@ int usage() {
       "  vsd verify \"<pipeline>\" --property crash|bound [--len N] "
       "[--unroll] [--jobs N]\n"
       "  vsd reach \"<pipeline>\" --dst A.B.C.D [--len N] [--eth-offset N] "
+      "[--jobs N]\n"
+      "  vsd state \"<pipeline>\" --bound N [--element NAME] [--len N] "
       "[--jobs N]\n"
       "  vsd certify \"<base>\" --candidate \"<element>\" [--after K] "
       "[--len N] [--jobs N]\n"
@@ -288,6 +293,51 @@ int cmd_reach(const Args& a) {
   return r.verdict == verify::Verdict::Proven ? 0 : 1;
 }
 
+int cmd_state(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  cfg.jobs = a.get_u64("jobs", 1);
+  verify::DecomposedVerifier verifier(cfg);
+  verify::StateBoundSpec spec;
+  spec.bound = a.get_u64("bound", 0);
+  spec.element = a.get("element", "");
+  if (!spec.element.empty()) {
+    // A misspelled element would silently bound an empty set of tables
+    // and "prove" occupancy 0 — reject it like the vspec checker does.
+    std::vector<std::string> names;
+    for (size_t e = 0; e < pl.size(); ++e) names.push_back(pl.element(e).name());
+    if (std::find(names.begin(), names.end(), spec.element) == names.end()) {
+      const std::string sugg = elements::nearest_name(spec.element, names);
+      std::printf("pipeline has no element named '%s'%s\n",
+                  spec.element.c_str(),
+                  sugg.empty() ? ""
+                               : (" (did you mean '" + sugg + "'?)").c_str());
+      return 2;
+    }
+  }
+  const verify::StateBoundReport r = verifier.verify_bounded_state(
+      pl, [](const symbex::SymPacket&) { return bv::mk_bool(true); }, spec);
+  std::printf("bounded state (%s <= %llu, len %zu): %s in %.2f s\n",
+              spec.element.empty() ? "pipeline" : spec.element.c_str(),
+              static_cast<unsigned long long>(spec.bound), cfg.packet_len,
+              verify::verdict_name(r.verdict), r.seconds);
+  for (const verify::TableOccupancy& t : r.tables) {
+    std::printf("  [%zu] %s.%s: %llu distinct key(s)%s\n", t.element,
+                t.element_name.c_str(), t.table_name.c_str(),
+                static_cast<unsigned long long>(t.keys_found),
+                t.exhausted ? " (exhausted)" : "");
+  }
+  if (r.verdict == verify::Verdict::Violated) {
+    std::printf("  packet sequence inserting %llu entries:\n",
+                static_cast<unsigned long long>(r.occupancy));
+    for (const net::Packet& p : r.packet_sequence) {
+      std::printf("    %s\n", p.hex(32).c_str());
+    }
+  }
+  return r.verdict == verify::Verdict::Proven ? 0 : 1;
+}
+
 int cmd_certify(const Args& a) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
@@ -406,6 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "reach") return cmd_reach(a);
+    if (cmd == "state") return cmd_state(a);
     if (cmd == "certify") return cmd_certify(a);
     if (cmd == "baseline") return cmd_baseline(a);
     if (cmd == "paths") return cmd_paths(a);
