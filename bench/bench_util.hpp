@@ -7,10 +7,104 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 namespace vsd::benchutil {
+
+// --- machine-readable output (--json <file>) --------------------------------
+//
+// Every bench binary accepts `--json <file>`: each printed table is also
+// recorded (named after the enclosing section) and the file is rewritten on
+// every print, so even an interrupted bench leaves valid JSON behind. The
+// schema is {"tables": [{"name", "headers": [...], "rows": [[...]]}]} —
+// one metric row per table row, for BENCH_*.json perf trajectories.
+
+struct JsonTable {
+  std::string name;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonSink {
+  std::string path;            // empty = disabled
+  std::string current_section; // most recent section() title
+  std::vector<JsonTable> tables;
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink s;
+  return s;
+}
+
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void flush_json() {
+  JsonSink& s = json_sink();
+  if (s.path.empty()) return;
+  std::ofstream f(s.path);
+  if (!f) return;
+  f << "{\n  \"tables\": [";
+  for (size_t t = 0; t < s.tables.size(); ++t) {
+    const JsonTable& jt = s.tables[t];
+    f << (t ? ",\n    {" : "\n    {");
+    f << "\"name\": \"" << json_escape(jt.name) << "\", \"headers\": [";
+    for (size_t i = 0; i < jt.headers.size(); ++i) {
+      f << (i ? ", " : "") << '"' << json_escape(jt.headers[i]) << '"';
+    }
+    f << "], \"rows\": [";
+    for (size_t r = 0; r < jt.rows.size(); ++r) {
+      f << (r ? ", [" : "[");
+      for (size_t i = 0; i < jt.rows[r].size(); ++i) {
+        f << (i ? ", " : "") << '"' << json_escape(jt.rows[r][i]) << '"';
+      }
+      f << ']';
+    }
+    f << "]}";
+  }
+  f << "\n  ]\n}\n";
+}
+
+// Strips `--json <file>` from the argument list (enabling the sink) and
+// returns the remaining positional arguments in order. Call at the top of
+// main() instead of reading argv directly.
+inline std::vector<std::string> parse_bench_args(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a file path\n", argv[0]);
+        std::exit(2);
+      }
+      json_sink().path = argv[++i];
+      continue;
+    }
+    positional.emplace_back(argv[i]);
+  }
+  return positional;
+}
 
 class Stopwatch {
  public:
@@ -35,6 +129,15 @@ class Table {
   }
 
   void print() const {
+    JsonSink& sink = json_sink();
+    if (!sink.path.empty()) {
+      sink.tables.push_back(JsonTable{
+          sink.current_section.empty()
+              ? "table_" + std::to_string(sink.tables.size())
+              : sink.current_section,
+          headers_, rows_});
+      flush_json();
+    }
     std::vector<size_t> w(headers_.size(), 0);
     for (size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
     for (const auto& r : rows_) {
@@ -78,6 +181,7 @@ inline std::string fmt_seconds(double s) {
 inline std::string fmt_u64(uint64_t v) { return std::to_string(v); }
 
 inline void section(const std::string& title) {
+  json_sink().current_section = title;
   std::puts("");
   std::puts(("== " + title + " ==").c_str());
 }

@@ -15,7 +15,8 @@
 
 using namespace vsd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section("FIG1: toy program execution tree (paper Fig. 1)");
 
   const ir::Program prog = elements::make_toy_fig1();

@@ -16,7 +16,8 @@
 
 using namespace vsd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section("FIG2 Step 1: per-element segment summaries");
   symbex::Executor exec;
   const symbex::ElementSummary s1 =

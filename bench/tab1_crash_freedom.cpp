@@ -14,7 +14,8 @@
 
 using namespace vsd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section(
       "TAB1: crash freedom of IP-router element pipelines (paper 3)");
 

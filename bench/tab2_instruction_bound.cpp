@@ -17,7 +17,8 @@
 
 using namespace vsd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section("TAB2: per-packet instruction bound with witness");
 
   benchutil::Table t(

@@ -38,11 +38,13 @@ std::string chain_of_length(size_t k) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::vector<std::string> args =
+      benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   // Budget for the monolithic baseline per pipeline; the paper used 12h —
   // scaled down so the bench suite completes (pass a number of seconds to
   // override).
   double budget_s = 20.0;
-  if (argc > 1) budget_s = std::stod(argv[1]);
+  if (!args.empty()) budget_s = std::stod(args[0]);
 
   benchutil::section(
       "TAB3: decomposed vs monolithic verification (paper 3: ~18 min vs "

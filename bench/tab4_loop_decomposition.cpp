@@ -57,7 +57,8 @@ RunResult run(symbex::LoopMode mode, size_t len, solver::Solver* solver,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section(
       "TAB4: IP-options loop — naive unrolling vs mini-element "
       "decomposition (paper 3)");

@@ -68,7 +68,8 @@ RunResult run(size_t table_size, bool naive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section(
       "TAB5: mutable/large state — naive per-entry branching vs key/value "
       "modeling (paper 3)");

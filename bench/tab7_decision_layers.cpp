@@ -16,7 +16,8 @@
 
 using namespace vsd;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   benchutil::section(
       "TAB7 (ablation): decision-layer breakdown — folding vs intervals vs "
       "SAT");

@@ -79,8 +79,10 @@ void scaling_table(const std::string& workload_name, const RunFn& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::vector<std::string> args =
+      benchutil::parse_bench_args(argc, argv);  // enables --json <file>
   size_t k = 7;
-  if (argc > 1) k = std::stoul(argv[1]);
+  if (!args.empty()) k = std::stoul(args[0]);
 
   benchutil::section(
       "TAB8: parallel decomposed verification — 1/2/4/8 worker scaling");

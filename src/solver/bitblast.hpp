@@ -32,6 +32,14 @@ class BitBlaster {
   sat::Lit true_lit() const { return true_lit_; }
   sat::Lit false_lit() const { return ~true_lit_; }
 
+  // Incremental-context introspection: whether `e` already has a cached
+  // lowering (a prefix conjunct being reused), and how many expression
+  // nodes this blaster has lowered so far.
+  bool is_cached(const bv::ExprRef& e) const {
+    return cache_.find(e->uid()) != cache_.end();
+  }
+  size_t cache_size() const { return cache_.size(); }
+
  private:
   using Bits = std::vector<sat::Lit>;
 

@@ -40,6 +40,7 @@ Var SatSolver::new_var() {
   activity_.push_back(0.0);
   heap_index_.push_back(-1);
   seen_.push_back(0);
+  relevant_gen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   heap_insert(v);
@@ -88,6 +89,9 @@ void SatSolver::attach_clause(int idx) {
 bool SatSolver::enqueue(Lit l, int reason_idx) {
   if (value(l) == LBool::False) return false;
   if (value(l) == LBool::True) return true;
+  if (relevant_active_ && relevant_gen_[l.var()] == relevant_cur_gen_) {
+    --relevant_unassigned_;
+  }
   assigns_[l.var()] = lbool_from(!l.negated());
   phase_[l.var()] = !l.negated();
   level_[l.var()] = static_cast<int>(trail_lim_.size());
@@ -250,6 +254,9 @@ void SatSolver::backtrack(int target_level) {
   const size_t bound = trail_lim_[target_level];
   for (size_t i = trail_.size(); i > bound; --i) {
     const Var v = trail_[i - 1].var();
+    if (relevant_active_ && relevant_gen_[v] == relevant_cur_gen_) {
+      ++relevant_unassigned_;
+    }
     assigns_[v] = LBool::Undef;
     reason_[v] = -1;
     if (!heap_contains(v)) heap_insert(v);
@@ -304,9 +311,29 @@ void SatSolver::reduce_learnt_db() {
 }
 
 SatResult SatSolver::solve(uint64_t max_conflicts) {
+  return solve(std::vector<Lit>{}, max_conflicts);
+}
+
+SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
+                           uint64_t max_conflicts,
+                           const std::vector<Var>* relevant) {
+  final_conflict_.clear();
+  relevant_active_ = false;
   if (!ok_) return SatResult::Unsat;
+  assert(trail_lim_.empty() && "solve() must start at decision level 0");
+  if (relevant != nullptr) {
+    relevant_active_ = true;
+    ++relevant_cur_gen_;
+    relevant_unassigned_ = 0;
+    for (const Var v : *relevant) {
+      if (relevant_gen_[v] == relevant_cur_gen_) continue;  // duplicate
+      relevant_gen_[v] = relevant_cur_gen_;
+      if (assigns_[v] == LBool::Undef) ++relevant_unassigned_;
+    }
+  }
   if (propagate() != -1) {
     ok_ = false;
+    relevant_active_ = false;
     return SatResult::Unsat;
   }
 
@@ -316,6 +343,14 @@ SatResult SatSolver::solve(uint64_t max_conflicts) {
   uint64_t conflicts_since_restart = 0;
   uint64_t learnt_limit = std::max<size_t>(clauses_.size() / 3, 2000);
 
+  // Every exit retracts the assumptions: the trail returns to level 0, so
+  // clauses and variables can be added before the next solve.
+  const auto finish = [this](SatResult r) {
+    backtrack(0);
+    relevant_active_ = false;
+    return r;
+  };
+
   std::vector<Lit> learnt;
   for (;;) {
     const int conflict = propagate();
@@ -324,11 +359,16 @@ SatResult SatSolver::solve(uint64_t max_conflicts) {
       ++conflicts_total;
       ++conflicts_since_restart;
       if (trail_lim_.empty()) {
-        ok_ = false;
+        ok_ = false;  // conflict below every assumption: truly unsat
+        relevant_active_ = false;
         return SatResult::Unsat;
       }
       int backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+      // The learnt clause may assert below the assumption prefix; that is
+      // fine — the assumption decision levels are re-established by the
+      // branching step below, and a now-false assumption surfaces there as
+      // a final conflict.
       backtrack(backtrack_level);
       if (learnt.size() == 1) {
         enqueue(learnt[0], -1);
@@ -342,7 +382,7 @@ SatResult SatSolver::solve(uint64_t max_conflicts) {
         enqueue(learnt[0], idx);
       }
       decay_activities();
-      if (conflicts_total >= max_conflicts) return SatResult::Unknown;
+      if (conflicts_total >= max_conflicts) return finish(SatResult::Unknown);
       continue;
     }
     // No conflict.
@@ -357,17 +397,86 @@ SatResult SatSolver::solve(uint64_t max_conflicts) {
       reduce_learnt_db();
       learnt_limit = learnt_limit + learnt_limit / 2;
     }
-    const Lit next = pick_branch_lit();
-    if (next == kLitUndef) return SatResult::Sat;  // all vars assigned
-    ++stats_.decisions;
+    // The first |assumptions| decision levels are the assumptions, in
+    // order. An assumption already true gets an empty decision level (so
+    // backtracking never undoes it past its position); one already false is
+    // the final conflict.
+    Lit next = kLitUndef;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value(a) == LBool::True) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (value(a) == LBool::False) {
+        analyze_final(~a);
+        return finish(SatResult::Unsat);
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      // Early Sat: all relevant (circuit-source) variables assigned at a
+      // propagation fixpoint with every assumption established — per the
+      // contract in sat.hpp, the remaining circuits always extend, so the
+      // retired queries of an incremental context cost no decisions here.
+      if (relevant_active_ && relevant_unassigned_ == 0) {
+        capture_model();
+        return finish(SatResult::Sat);
+      }
+      next = pick_branch_lit();
+      if (next == kLitUndef) {
+        capture_model();  // all vars assigned
+        return finish(SatResult::Sat);
+      }
+      ++stats_.decisions;
+    }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
     enqueue(next, -1);
   }
 }
 
+// `p` is the true literal contradicting a failed assumption (~p was
+// assumed). Walks the implication trail backwards, expanding reasons, until
+// only decisions — which under the assumption prefix are assumptions —
+// remain: those, negated, plus p form the final conflict clause.
+void SatSolver::analyze_final(Lit p) {
+  final_conflict_.clear();
+  final_conflict_.push_back(p);
+  if (trail_lim_.empty()) return;
+  std::vector<Var> to_clear;
+  seen_[p.var()] = 1;
+  to_clear.push_back(p.var());
+  for (size_t i = trail_.size(); i > static_cast<size_t>(trail_lim_[0]); --i) {
+    const Var x = trail_[i - 1].var();
+    if (seen_[x] == 0) continue;
+    const int r = reason_[x];
+    if (r == -1) {
+      assert(level_[x] > 0);
+      final_conflict_.push_back(~trail_[i - 1]);
+    } else {
+      const Clause& c = clauses_[r];
+      for (size_t j = 1; j < c.lits.size(); ++j) {
+        const Var v = c.lits[j].var();
+        if (seen_[v] == 0 && level_[v] > 0) {
+          seen_[v] = 1;
+          to_clear.push_back(v);
+        }
+      }
+    }
+  }
+  for (const Var v : to_clear) seen_[v] = 0;
+}
+
+void SatSolver::capture_model() {
+  model_.resize(assigns_.size());
+  for (size_t v = 0; v < assigns_.size(); ++v) {
+    model_[v] = assigns_[v] == LBool::True ? 1 : 0;
+  }
+}
+
 bool SatSolver::model_value(Var v) const {
-  assert(value(v) != LBool::Undef);
-  return value(v) == LBool::True;
+  assert(static_cast<size_t>(v) < model_.size());
+  return model_[v] != 0;
 }
 
 // --- order heap -----------------------------------------------------------

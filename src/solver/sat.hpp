@@ -66,6 +66,14 @@ enum class SatResult { Sat, Unsat, Unknown };
 //   s.add_clause({Lit(a,false), Lit(b,true)});
 //   SatResult r = s.solve();
 //   if (r == SatResult::Sat) bool va = s.model_value(a);
+//
+// The solver is incremental in the MiniSat sense: solve(assumptions) decides
+// the clause database under a set of assumed literals without asserting
+// them, so the same instance can be re-solved many times with different
+// assumptions, and clauses (including new variables) may be added between
+// solves. All learnt clauses are implied by the clause database alone —
+// assumptions enter as decisions, never as clauses — so everything learnt
+// in one call keeps pruning every later call.
 class SatSolver {
  public:
   SatSolver();
@@ -78,13 +86,54 @@ class SatSolver {
 
   // Adds a clause; returns false if the instance is already unsatisfiable.
   // Duplicate literals are removed; tautologies are dropped silently.
+  // Legal before the first solve and between solves (the trail is always
+  // restored to decision level 0 when solve returns).
   bool add_clause(std::vector<Lit> lits);
 
   // Solves, optionally bounded by a conflict budget (Unknown on exhaustion).
   SatResult solve(uint64_t max_conflicts = UINT64_MAX);
 
-  // Valid after solve() returns Sat.
+  // Solves under assumptions: decides whether the clause database has a
+  // model in which every assumption literal is true. Assumptions are
+  // retracted on return — backtracking never undoes the database below the
+  // assumption prefix during search, and the trail is restored to level 0
+  // afterwards. Unsat here means "unsat under these assumptions" unless
+  // okay() also turned false (the database itself became unsat).
+  //
+  // `relevant` (optional) enables early Sat termination: the solver answers
+  // Sat as soon as every listed variable is assigned with propagation
+  // complete and no conflict, instead of assigning every variable in the
+  // database. SOUNDNESS CONTRACT (the caller's obligation): every non-unit
+  // problem clause must be part of a propagation-complete acyclic gate
+  // definition (Tseitin encodings as produced by BitBlaster), every unit
+  // clause must pin a root of a circuit whose source variables are all
+  // listed in `relevant`, and the assumptions' circuits' sources likewise.
+  // Then at the early stop every cone gate has been propagated to its
+  // semantic value, so extending the assignment by evaluating the remaining
+  // (unpinned) circuits bottom-up yields a total model; learnt clauses are
+  // implied by the problem clauses and cannot be violated by it. This is
+  // what keeps an incremental context from paying O(all retired circuits)
+  // decisions for every Sat answer. Model values are then meaningful for
+  // the relevant cone (unassigned variables read as false).
+  SatResult solve(const std::vector<Lit>& assumptions,
+                  uint64_t max_conflicts = UINT64_MAX,
+                  const std::vector<Var>* relevant = nullptr);
+
+  // Valid after the most recent solve() returned Sat (the model is captured
+  // before assumptions are retracted, so it stays readable between solves).
   bool model_value(Var v) const;
+
+  // After solve(assumptions) returns Unsat with okay() still true: the
+  // final conflict clause ¬a1 ∨ ... ∨ ¬ak over the subset of assumptions
+  // the unsatisfiability proof actually used.
+  const std::vector<Lit>& final_conflict() const { return final_conflict_; }
+
+  // False once the clause database is unsatisfiable independent of any
+  // assumptions.
+  bool okay() const { return ok_; }
+
+  size_t num_clauses() const { return clauses_.size(); }
+  size_t num_learnts() const { return learnt_indices_.size(); }
 
   const SolverStats& stats() const { return stats_; }
 
@@ -109,6 +158,8 @@ class SatSolver {
   bool enqueue(Lit l, int reason_idx);
   int propagate();  // returns conflicting clause index or -1
   void analyze(int conflict_idx, std::vector<Lit>& learnt, int& backtrack_level);
+  void analyze_final(Lit p);  // fills final_conflict_ from the trail
+  void capture_model();
   void backtrack(int level);
   Lit pick_branch_lit();
   void attach_clause(int idx);
@@ -144,6 +195,16 @@ class SatSolver {
   std::vector<int> heap_index_;
 
   std::vector<uint8_t> seen_;  // scratch for analyze()
+
+  std::vector<uint8_t> model_;       // captured at Sat, survives retraction
+  std::vector<Lit> final_conflict_;  // assumption-unsat explanation
+
+  // Early-termination bookkeeping for solve(..., relevant): generation-
+  // stamped membership mask plus a live count of unassigned relevant vars.
+  std::vector<uint32_t> relevant_gen_;
+  uint32_t relevant_cur_gen_ = 0;
+  bool relevant_active_ = false;
+  size_t relevant_unassigned_ = 0;
 
   bool ok_ = true;
   SolverStats stats_;

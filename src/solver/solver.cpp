@@ -1,7 +1,6 @@
 #include "solver/solver.hpp"
 
-#include "solver/bitblast.hpp"
-#include "solver/sat.hpp"
+#include <cassert>
 
 namespace vsd::solver {
 
@@ -14,43 +13,245 @@ const char* result_name(Result r) {
   return "?";
 }
 
-Solver::Solver() = default;
+// --- SolverContext ----------------------------------------------------------
 
-CheckResult Solver::check(const bv::ExprRef& e) {
-  ++stats_.queries;
-  auto it = cache_.find(e->uid());
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
-  }
-  CheckResult r = check_uncached(e);
-  cache_.emplace(e->uid(), r);
-  return r;
+SolverContext::SolverContext(Solver& owner)
+    : owner_(owner), blaster_(sat_) {
+  ++owner_.stats_.contexts_opened;
 }
 
-CheckResult Solver::check_uncached(const bv::ExprRef& e) {
+void SolverContext::push_var_bits(const bv::ExprRef& v,
+                                  std::vector<sat::Var>* out) {
+  for (const sat::Lit l : blaster_.blast(v)) out->push_back(l.var());
+}
+
+// One traversal serves both bookkeeping needs: model-extraction tracking
+// (vars_) and the bit-variable list `bits` joins the relevant cone —
+// base_bits_ permanently for assertions, relevant_scratch_ per query.
+void SolverContext::note_vars(const bv::ExprRef& e,
+                              std::vector<sat::Var>* bits) {
+  for (const bv::ExprRef& v : bv::free_variables(e)) {
+    vars_.emplace(v->var_id(), v);
+    push_var_bits(v, bits);
+  }
+}
+
+bool SolverContext::collect_conjuncts(const bv::ExprRef& e,
+                                      std::vector<sat::Lit>* lits) {
+  if (e->is_true()) return true;
+  if (e->is_false()) return false;
+  // Stitched constraints are left-leaning And-spines: splitting them means
+  // the shared path prefix is blasted exactly once across a query group
+  // and each conjunct's root literal doubles as its activation literal.
+  if (e->kind() == bv::Kind::And && e->width() == 1) {
+    return collect_conjuncts(e->operand(0), lits) &&
+           collect_conjuncts(e->operand(1), lits);
+  }
+  const bool reused = blaster_.is_cached(e);
+  const size_t before = blaster_.cache_size();
+  const sat::Lit l = blaster_.blast(e)[0];
+  if (reused) {
+    ++owner_.stats_.assumption_reuses;
+  } else {
+    owner_.stats_.blast_nodes += blaster_.cache_size() - before;
+  }
+  lits->push_back(l);
+  return true;
+}
+
+void SolverContext::assert_base(const bv::ExprRef& e) {
+  assert(e->width() == 1);
+  if (base_false_) return;
+  std::vector<sat::Lit> lits;
+  if (!collect_conjuncts(e, &lits)) {
+    base_false_ = true;
+    return;
+  }
+  note_vars(e, &base_bits_);
+  for (const sat::Lit l : lits) {
+    if (!sat_.add_clause({l})) base_false_ = true;
+  }
+}
+
+CheckResult SolverContext::check_assuming(const bv::ExprRef& e,
+                                          bool need_model) {
+  assert(e->width() == 1);
   CheckResult out;
+  if (base_false_ || !sat_.okay()) {
+    out.result = Result::Unsat;
+    return out;
+  }
+  std::vector<sat::Lit> assumptions;
+  if (!collect_conjuncts(e, &assumptions)) {
+    out.result = Result::Unsat;
+    return out;
+  }
+  // Relevant cone for early Sat termination: the circuit-source bits of the
+  // base assertions plus this query's free variables (duplicates are fine —
+  // the solver's membership mask dedupes).
+  relevant_scratch_ = base_bits_;
+  note_vars(e, &relevant_scratch_);
+
+  CheckStats& cs = owner_.stats_;
+  ++cs.incremental_queries;
+  cs.learnt_retained += sat_.num_learnts();
+  const sat::SolverStats before = sat_.stats();
+  const sat::SatResult r =
+      sat_.solve(assumptions, owner_.max_conflicts_, &relevant_scratch_);
+  cs.sat_conflicts += sat_.stats().conflicts - before.conflicts;
+  cs.sat_decisions += sat_.stats().decisions - before.decisions;
+
+  switch (r) {
+    case sat::SatResult::Unsat:
+      out.result = Result::Unsat;
+      return out;
+    case sat::SatResult::Unknown:
+      out.result = Result::Unknown;
+      return out;
+    case sat::SatResult::Sat:
+      break;
+  }
+  out.result = Result::Sat;
+  if (need_model) {
+    for (const auto& [id, v] : vars_) {
+      out.model.emplace(id, blaster_.model_value(v));
+    }
+  }
+  return out;
+}
+
+// --- Solver -----------------------------------------------------------------
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+SolverContext& Solver::context() {
+  if (!ctx_) ctx_ = std::make_unique<SolverContext>(*this);
+  return *ctx_;
+}
+
+void Solver::set_cache_capacity(size_t cap) {
+  cache_capacity_ = cap;
+  while (cache_capacity_ != 0 && cache_.size() > cache_capacity_) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+    ++stats_.cache_evictions;
+  }
+}
+
+const Solver::CacheEntry* Solver::cache_find(uint64_t uid) {
+  const auto it = cache_.find(uid);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void Solver::cache_store(uint64_t uid, CheckResult r, bool has_model) {
+  const auto it = cache_.find(uid);
+  if (it != cache_.end()) {
+    // Upgrade in place (model-less Sat -> Sat with model); FIFO position
+    // is unchanged so a uid is never queued twice.
+    it->second = CacheEntry{std::move(r), has_model};
+    return;
+  }
+  cache_.emplace(uid, CacheEntry{std::move(r), has_model});
+  cache_fifo_.push_back(uid);
+  while (cache_capacity_ != 0 && cache_.size() > cache_capacity_) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+    ++stats_.cache_evictions;
+  }
+}
+
+bool Solver::check_cheap(const bv::ExprRef& e, CheckResult* out) {
   // Layer 1: the factories already folded; a constant decides immediately.
   if (e->is_true()) {
     ++stats_.decided_by_folding;
-    out.result = Result::Sat;
-    return out;  // empty model: all variables unconstrained, pick zeros
+    out->result = Result::Sat;
+    return true;  // empty model: all variables unconstrained, pick zeros
   }
   if (e->is_false()) {
     ++stats_.decided_by_folding;
-    out.result = Result::Unsat;
-    return out;
+    out->result = Result::Unsat;
+    return true;
   }
   // Layer 2: interval reasoning.
   if (auto decided = bv::decide_by_interval(e)) {
     ++stats_.decided_by_interval;
-    out.result = *decided ? Result::Sat : Result::Unsat;
-    return out;  // Sat-by-interval means *every* assignment satisfies it
+    out->result = *decided ? Result::Sat : Result::Unsat;
+    return true;  // Sat-by-interval means *every* assignment satisfies it
   }
-  // Layer 3: bit-blast + CDCL.
+  return false;
+}
+
+CheckResult Solver::check(const bv::ExprRef& e) {
+  ++stats_.queries;
+  CheckResult out;
+  if (check_cheap(e, &out)) return out;
+  bool known_sat = false;
+  if (const CacheEntry* hit = cache_find(e->uid())) {
+    ++stats_.cache_hits;
+    if (hit->has_model || hit->r.result != Result::Sat) return hit->r;
+    // Sat decided without a model (check_feasible): derive one below.
+    known_sat = true;
+  } else if (incremental_) {
+    // Front-run with the live context: Unsat (the common stitched-suspect
+    // outcome) is decided with full clause reuse and no one-shot blast.
+    // Sat falls through to the deterministic one-shot model derivation,
+    // and Unknown retries one-shot so a polluted context can never make a
+    // previously-decidable query undecidable.
+    const Result pre = context().check_assuming(e, /*need_model=*/false).result;
+    if (pre == Result::Unsat) {
+      out.result = Result::Unsat;
+      cache_store(e->uid(), out, true);
+      return out;
+    }
+    known_sat = pre == Result::Sat;
+  }
+  CheckResult r = check_uncached(e);
+  if (r.result == Result::Unknown && known_sat) {
+    // The query is Sat (already proven incrementally) but the fresh
+    // one-shot model derivation blew its conflict budget: no deterministic
+    // witness is derivable, so report Unknown — while keeping the cache's
+    // verdict monotone at Sat so feasibility answers never regress.
+    CheckResult sat_no_model;
+    sat_no_model.result = Result::Sat;
+    cache_store(e->uid(), std::move(sat_no_model), false);
+    return r;
+  }
+  cache_store(e->uid(), r, true);
+  return r;
+}
+
+Result Solver::check_feasible(const bv::ExprRef& e) {
+  ++stats_.queries;
+  CheckResult out;
+  if (check_cheap(e, &out)) return out.result;
+  if (const CacheEntry* hit = cache_find(e->uid())) {
+    ++stats_.cache_hits;
+    return hit->r.result;
+  }
+  if (incremental_) {
+    const Result pre = context().check_assuming(e, /*need_model=*/false).result;
+    if (pre != Result::Unknown) {
+      CheckResult r;
+      r.result = pre;
+      cache_store(e->uid(), std::move(r), /*has_model=*/pre != Result::Sat);
+      return pre;
+    }
+  }
+  CheckResult r = check_uncached(e);
+  const Result res = r.result;
+  cache_store(e->uid(), std::move(r), true);
+  return res;
+}
+
+CheckResult Solver::check_uncached(const bv::ExprRef& e) {
+  CheckResult out;
+  // Layer 3: one-shot bit-blast + CDCL. Deterministic in `e` alone, which
+  // is what makes check() models schedule- and history-independent.
   sat::SatSolver sat_solver;
   BitBlaster blaster(sat_solver);
   blaster.assert_true(e);
+  stats_.blast_nodes += blaster.cache_size();
   const sat::SatResult r = sat_solver.solve(max_conflicts_);
   ++stats_.decided_by_sat;
   stats_.sat_conflicts += sat_solver.stats().conflicts;
@@ -73,11 +274,11 @@ CheckResult Solver::check_uncached(const bv::ExprRef& e) {
 }
 
 bool Solver::maybe_sat(const bv::ExprRef& e) {
-  return check(e).result != Result::Unsat;
+  return check_feasible(e) != Result::Unsat;
 }
 
 bool Solver::is_unsat(const bv::ExprRef& e) {
-  return check(e).result == Result::Unsat;
+  return check_feasible(e) == Result::Unsat;
 }
 
 }  // namespace vsd::solver

@@ -7,14 +7,26 @@
 //   2. a cheap unsigned-interval pass decides most remaining comparisons;
 //   3. otherwise the constraint is bit-blasted and handed to the CDCL SAT
 //      solver, which also produces a model (a concrete packet witness).
+//
+// Layer 3 is incremental: a Solver keeps a live SolverContext — one
+// persistent SatSolver + BitBlaster whose expr→literal cache survives
+// across queries — and decides each query under assumptions instead of
+// re-Tseitin-blasting the whole constraint from scratch. Step-2 stitched
+// queries, key enumeration, and unroll refinement issue long runs of
+// queries sharing a path-constraint prefix; the shared conjuncts blast
+// once and every learnt clause keeps pruning later queries.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "bv/analysis.hpp"
 #include "bv/expr.hpp"
+#include "solver/bitblast.hpp"
+#include "solver/sat.hpp"
 
 namespace vsd::solver {
 
@@ -26,10 +38,17 @@ struct CheckStats {
   uint64_t queries = 0;
   uint64_t decided_by_folding = 0;
   uint64_t decided_by_interval = 0;
-  uint64_t decided_by_sat = 0;
+  uint64_t decided_by_sat = 0;  // one-shot SAT solves (model derivation)
   uint64_t cache_hits = 0;
-  uint64_t sat_conflicts = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t sat_conflicts = 0;  // across one-shot AND incremental solves
   uint64_t sat_decisions = 0;
+  uint64_t blast_nodes = 0;  // expressions Tseitin-blasted (re-blasts count)
+  // Incremental (assumption-based) layer:
+  uint64_t contexts_opened = 0;      // live SolverContexts created
+  uint64_t incremental_queries = 0;  // check_assuming() solves
+  uint64_t assumption_reuses = 0;    // conjuncts served from a live blast cache
+  uint64_t learnt_retained = 0;      // learnt clauses alive at query start
 };
 
 struct CheckResult {
@@ -38,13 +57,86 @@ struct CheckResult {
   bv::Assignment model;
 };
 
+class Solver;
+
+// A live incremental solving scope: one SatSolver plus one BitBlaster whose
+// expr→literal cache persists across queries. Base constraints (path
+// prefixes, blocking clauses) are asserted once and stay; each
+// check_assuming() query is decided under assumptions — the blasted root
+// literal of every top-level conjunct acts as that conjunct's activation
+// literal (the Tseitin definitions are full equivalences, so the circuit is
+// inert until its root is assumed, and retraction is just not assuming it
+// again). Learnt clauses never depend on assumption "facts" (assumptions
+// enter as decisions), so everything learnt under one query soundly prunes
+// the next.
+//
+// Sat models are read from the live solver state and therefore depend on
+// the query history: callers needing history-independent (deterministic
+// across schedules) witnesses must re-derive the model one-shot — that is
+// what Solver::check() does. A context fed a deterministic query sequence
+// (e.g. the sequential key enumeration) yields deterministic models.
+class SolverContext {
+ public:
+  // Stats and the conflict budget are the owning Solver's.
+  explicit SolverContext(Solver& owner);
+
+  // Permanently asserts the width-1 expression `e` for the lifetime of the
+  // context: base path-constraint prefixes and blocking clauses. Top-level
+  // conjunctions are split so each conjunct blasts (and is cached) alone.
+  void assert_base(const bv::ExprRef& e);
+
+  // Decides base ∧ e without retaining e. On Sat with need_model, the
+  // model covers every free variable this context has seen (a superset of
+  // e's variables; unassigned lookups default to 0 downstream).
+  CheckResult check_assuming(const bv::ExprRef& e, bool need_model = true);
+
+  size_t num_learnts() const { return sat_.num_learnts(); }
+  size_t blast_cache_size() const { return blaster_.cache_size(); }
+
+ private:
+  // Splits the And-spine of a width-1 expression and blasts each conjunct
+  // to its root literal. Returns false when a conjunct folds to false.
+  bool collect_conjuncts(const bv::ExprRef& e, std::vector<sat::Lit>* lits);
+  // Records e's free variables for model extraction and appends their bit
+  // variables to `bits` (the permanent base cone or a query's scratch).
+  void note_vars(const bv::ExprRef& e, std::vector<sat::Var>* bits);
+  void push_var_bits(const bv::ExprRef& v, std::vector<sat::Var>* out);
+
+  Solver& owner_;
+  sat::SatSolver sat_;
+  BitBlaster blaster_;
+  // Every free variable asserted or assumed so far, for model extraction.
+  std::unordered_map<uint64_t, bv::ExprRef> vars_;
+  // Circuit-source bits of the base assertions (grows with assert_base):
+  // together with the current query's source bits this is the `relevant`
+  // set handed to SatSolver::solve for early Sat termination — retired
+  // queries' circuits cost no completion decisions.
+  std::vector<sat::Var> base_bits_;
+  std::vector<sat::Var> relevant_scratch_;
+  bool base_false_ = false;
+};
+
 class Solver {
  public:
   Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
 
   // Decides satisfiability of a width-1 expression. The model covers every
-  // free variable of `e` (variables not mentioned are unconstrained).
+  // free variable of `e` (variables not mentioned are unconstrained). Sat
+  // models are always derived by a deterministic one-shot solve, so the
+  // witness bytes depend only on `e` — never on what this solver decided
+  // before (required for jobs-count-independent counterexamples). The
+  // incremental context still front-runs the query: an Unsat answer (the
+  // common case for stitched suspects) never pays a one-shot blast.
   CheckResult check(const bv::ExprRef& e);
+
+  // Decides satisfiability without deriving a model — the fast path for
+  // feasibility pruning (symbolic-execution fork checks, speculative
+  // instruction-bound decisions). Runs entirely on the incremental context
+  // when enabled.
+  Result check_feasible(const bv::ExprRef& e);
 
   // Convenience: true iff `e` is satisfiable. Treats Unknown as satisfiable
   // (conservative for proof soundness: we never prune a maybe-feasible path).
@@ -56,17 +148,50 @@ class Solver {
   // Budget for the SAT backend, to keep monolithic-baseline benches bounded.
   void set_max_conflicts(uint64_t m) { max_conflicts_ = m; }
 
+  // Incremental assumption-based solving (default on). When off, every
+  // query re-blasts from scratch — the pre-incremental behavior, kept for
+  // A/B measurement (bench/tab9_incremental.cpp).
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
+  // The live internal context (created lazily on first use).
+  SolverContext& context();
+  // Drops the live context. Verification drivers call this per top-level
+  // property call: reuse within a call, bounded memory across a batch.
+  void reset_context() { ctx_.reset(); }
+
+  // Per-uid result cache cap (entries; 0 = unbounded). FIFO eviction.
+  void set_cache_capacity(size_t cap);
+
   const CheckStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
  private:
+  friend class SolverContext;
+
+  struct CacheEntry {
+    CheckResult r;
+    // False for a Sat decided without model derivation (check_feasible):
+    // a later check() upgrades the entry with a one-shot model.
+    bool has_model = true;
+  };
+
   CheckResult check_uncached(const bv::ExprRef& e);
+  // Layers 1+2 (folding, intervals). Returns true when decided.
+  bool check_cheap(const bv::ExprRef& e, CheckResult* out);
+  const CacheEntry* cache_find(uint64_t uid);
+  void cache_store(uint64_t uid, CheckResult r, bool has_model);
 
   uint64_t max_conflicts_ = UINT64_MAX;
+  bool incremental_ = true;
   CheckStats stats_;
+  std::unique_ptr<SolverContext> ctx_;
   // Result cache keyed by node identity; models are cached too because the
   // Step-2 composition frequently re-queries identical stitched constraints.
-  std::unordered_map<uint64_t, CheckResult> cache_;
+  // Capped (FIFO) so a long `vsd check` batch cannot grow it unboundedly.
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::deque<uint64_t> cache_fifo_;
+  size_t cache_capacity_ = size_t{1} << 16;
 };
 
 }  // namespace vsd::solver

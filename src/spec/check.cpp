@@ -84,6 +84,7 @@ AssertionOutcome run_bounded_state(const Assertion& a,
       verifier.verify_bounded_state(pl, pred, sb);
   out.verdict = r.verdict;
   out.seconds = r.seconds;
+  out.stats = r.stats;
   out.passed = r.verdict == Verdict::Proven;
   if (r.verdict == Verdict::Proven) {
     out.detail = "max occupancy " + std::to_string(r.occupancy) +
@@ -140,6 +141,7 @@ AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
         verifier.verify_instruction_bound(pl);
     out.verdict = r.verdict;
     out.seconds = r.seconds;
+    out.stats = r.stats;
     out.max_instructions = r.max_instructions;
     if (r.verdict != Verdict::Proven) {
       out.passed = false;
@@ -195,11 +197,13 @@ AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
     r.verdict = cr.verdict;
     r.counterexamples = cr.counterexamples;
     r.seconds = cr.seconds;
+    r.stats = cr.stats;
   } else {
     r = verifier.verify_reach_never(pl, pred, terminal_spec_for(a));
   }
   out.verdict = r.verdict;
   out.seconds = r.seconds;
+  out.stats = r.stats;
   out.passed = r.verdict == Verdict::Proven;
   if (r.verdict == Verdict::Unknown) {
     out.detail = a.prop == PropKind::Reachable
@@ -227,6 +231,7 @@ CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = spec.packet_len;
   cfg.jobs = opts.jobs;
+  cfg.incremental = opts.incremental;
   verify::DecomposedVerifier verifier(cfg);
 
   CheckReport report;

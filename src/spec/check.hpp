@@ -17,6 +17,8 @@ struct CheckOptions {
   // Worker threads for the verifier (0 = one per hardware thread).
   // Verdicts and counterexamples are identical at any job count.
   size_t jobs = 1;
+  // Incremental assumption-based solving (see DecomposedConfig::incremental).
+  bool incremental = true;
 };
 
 struct AssertionOutcome {
@@ -32,6 +34,9 @@ struct AssertionOutcome {
   // violations that need a prior packet sequence are noted, not replayed).
   bool replays_confirm = true;
   uint64_t max_instructions = 0;  // InstructionBound
+  // Verification statistics of the underlying property call (solver-layer
+  // totals included) — what `vsd check --stats` prints.
+  verify::VerifyStats stats;
   double seconds = 0.0;
 };
 

@@ -105,8 +105,9 @@ class DecomposedVerifier::Impl {
   explicit Impl(DecomposedConfig config)
       : cfg(config),
         jobs(resolve_jobs(config.jobs)),
-        pool(jobs, config.max_solver_conflicts) {
+        pool(jobs, config.max_solver_conflicts, config.incremental) {
     solver.set_max_conflicts(cfg.max_solver_conflicts);
+    solver.set_incremental(cfg.incremental);
     if (jobs > 1) queue = std::make_unique<WorkQueue>(jobs);
   }
 
@@ -431,6 +432,9 @@ class DecomposedVerifier::Impl {
     refine_cache_.clear();
     state_writes_memo_.clear();
     solver.reset_stats();
+    // One live incremental context per solver per top-level call: reuse
+    // within the call's query runs, bounded memory across a batch.
+    solver.reset_context();
   }
 
   void begin_call_mt() {
@@ -440,6 +444,28 @@ class DecomposedVerifier::Impl {
     mt_truncated_.store(false, std::memory_order_relaxed);
     mt_budget_exhausted_.store(false, std::memory_order_relaxed);
     pool.reset_stats();
+    pool.reset_contexts();
+  }
+
+  // Final per-call stats: the driver-level counters plus the solver-layer
+  // totals of every solver instance the call used.
+  VerifyStats snapshot_stats() {
+    VerifyStats out = stats;
+    const auto add = [&out](const solver::CheckStats& cs) {
+      out.sat_conflicts += cs.sat_conflicts;
+      out.sat_decisions += cs.sat_decisions;
+      out.blast_nodes += cs.blast_nodes;
+      out.solver_cache_hits += cs.cache_hits;
+      out.contexts_opened += cs.contexts_opened;
+      out.incremental_queries += cs.incremental_queries;
+      out.assumption_reuses += cs.assumption_reuses;
+      out.learnt_retained += cs.learnt_retained;
+    };
+    add(solver.stats());
+    if (jobs > 1) {
+      for (size_t w = 0; w < pool.size(); ++w) add(pool.at(w).stats());
+    }
+    return out;
   }
 
   void merge_mt_stats() {
@@ -959,7 +985,7 @@ class DecomposedVerifier::Impl {
     }
     if (truncated_ || budget_exhausted_) {
       report.verdict = Verdict::Unknown;
-      report.stats = stats;
+      report.stats = snapshot_stats();
       report.seconds = timer.seconds();
       return report;
     }
@@ -987,29 +1013,65 @@ class DecomposedVerifier::Impl {
     for (const auto& [id, group] : groups) {
       TableOccupancy& occ = occupancy.at(id);
       std::vector<uint64_t> found;
+      // Incremental enumeration: one live SAT context per table. Each
+      // site's refined constraint (guard ∧ KV write history, fixed per
+      // site) is passed as assumptions — switching sites retracts it for
+      // free — while everything learnt finding or excluding one key keeps
+      // pruning the next query. Enumeration is sequential-by-design on the
+      // main solver at any job count and the context starts fresh here, so
+      // the models (hence packet bytes) are byte-identical at any --jobs.
+      std::unique_ptr<solver::SolverContext> ectx;
+      if (cfg.incremental) {
+        ectx = std::make_unique<solver::SolverContext>(solver);
+      }
       for (const PathInsertSite* site : group) {
+        // The bad-value refinement for reads along the site's path: fixed
+        // per site, so it is conjoined up front (and blasted once) rather
+        // than re-derived per model as the one-shot path does.
+        ExprRef refined;
+        if (ectx && !site->kv_reads.empty()) {
+          refined = site->guard;
+          for (const PathKvRead& pr : site->kv_reads) {
+            refined = bv::mk_land(
+                refined, kv_history_constraint(pl, pr, solver, stats));
+          }
+        }
         for (;;) {
           if (++keys_budget > cfg.max_state_keys) {
             unknown = true;
             break;
           }
-          ExprRef q = site->guard;
+          ExprRef q = ectx && refined ? refined : site->guard;
           for (const uint64_t v : found) {
             q = bv::mk_land(
                 q, bv::mk_ne(site->key,
                              bv::mk_const(v, site->key->width())));
           }
-          ComposeState cs;
-          cs.constraint = q;
-          cs.kv_reads = site->kv_reads;
           bv::Assignment model;
-          const solver::Result r =
-              decide_suspect(pl, cs, &model, nullptr, solver, stats);
+          solver::Result r;
+          if (ectx) {
+            ++stats.solver_queries;
+            solver::CheckResult cr = ectx->check_assuming(q);
+            r = cr.result;
+            model = std::move(cr.model);
+          } else {
+            ComposeState cs;
+            cs.constraint = q;
+            cs.kv_reads = site->kv_reads;
+            r = decide_suspect(pl, cs, &model, nullptr, solver, stats);
+          }
           if (r == solver::Result::Unsat) break;  // site dry; next site
           if (r == solver::Result::Unknown) {
             unknown = true;
             break;
           }
+          // The blocking clause joins the live context as a new assumption
+          // conjunct on the next iteration: it blasts once, stays cached
+          // for the rest of the table's enumeration, and every conflict
+          // learnt from it keeps pruning later models — yet it retracts
+          // automatically when enumeration moves to a site with a
+          // different key expression (a permanent assertion would leak
+          // this site's blocks into the other sites' queries).
           found.push_back(bv::evaluate(site->key, model));
           report.packet_sequence.push_back(entry.to_concrete(model));
           ++total;
@@ -1047,7 +1109,7 @@ class DecomposedVerifier::Impl {
       report.verdict = Verdict::Proven;
       report.packet_sequence.clear();
     }
-    report.stats = stats;
+    report.stats = snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1222,7 +1284,7 @@ class DecomposedVerifier::Impl {
     if (any_truncated) {
       merge_mt_stats();
       report.verdict = Verdict::Unknown;
-      report.stats = stats;
+      report.stats = snapshot_stats();
       report.seconds = timer.seconds();
       return report;
     }
@@ -1230,7 +1292,7 @@ class DecomposedVerifier::Impl {
                      [](bool b) { return b; })) {
       merge_mt_stats();
       report.verdict = Verdict::Proven;
-      report.stats = stats;
+      report.stats = snapshot_stats();
       report.seconds = timer.seconds();
       return report;
     }
@@ -1257,7 +1319,7 @@ class DecomposedVerifier::Impl {
     } else {
       report.verdict = Verdict::Proven;
     }
-    report.stats = stats;
+    report.stats = snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1308,7 +1370,7 @@ class DecomposedVerifier::Impl {
     // speculation differs.
     uint64_t best = 0;
     bool best_is_bound = false;
-    bv::Assignment best_model;
+    bv::ExprRef best_constraint;
     bool saw_unknown = false;
     const size_t batch_max = std::max<size_t>(4 * jobs, 16);
     size_t cursor = 0;
@@ -1326,22 +1388,22 @@ class DecomposedVerifier::Impl {
         }
       }
       if (batch.empty()) break;
-      std::vector<solver::CheckResult> res(batch.size());
+      std::vector<solver::Result> res(batch.size(), solver::Result::Unknown);
       parallel_for(*queue, batch.size(), [&](size_t bi, size_t w) {
         ++mt_stats_[w].solver_queries;
-        res[bi] = pool.at(w).check(recs[batch[bi]].constraint);
+        res[bi] = pool.at(w).check_feasible(recs[batch[bi]].constraint);
       });
       for (size_t bi = 0; bi < batch.size(); ++bi) {
         Rec& r = recs[batch[bi]];
         if (r.total <= best) continue;  // wasted speculation; seq skipped it
-        if (res[bi].result == solver::Result::Unsat) continue;
-        if (res[bi].result == solver::Result::Unknown) {
+        if (res[bi] == solver::Result::Unsat) continue;
+        if (res[bi] == solver::Result::Unknown) {
           saw_unknown = true;
           continue;
         }
         best = r.total;
         best_is_bound = r.is_bound;
-        best_model = std::move(res[bi].model);
+        best_constraint = r.constraint;
       }
       cursor = next_cursor;
     }
@@ -1349,15 +1411,29 @@ class DecomposedVerifier::Impl {
 
     report.max_instructions = best;
     report.bound_is_exact = !best_is_bound;
-    if (truncated_ || budget_exhausted_ || saw_unknown) {
+    // The witness model comes from a one-shot solve on the main solver —
+    // deterministic in the constraint alone, so the packet bytes match
+    // jobs=1 exactly no matter which worker decided feasibility. Under a
+    // finite conflict budget that fresh solve can come back Unknown even
+    // though the incremental context already proved the path feasible; no
+    // witness is derivable then, so the verdict honestly degrades.
+    const bool already_unknown =
+        truncated_ || budget_exhausted_ || saw_unknown;
+    solver::CheckResult witness_model;
+    if (best_constraint && !already_unknown) {
+      witness_model = solver.check(best_constraint);
+    }
+    if (already_unknown ||
+        (best_constraint &&
+         witness_model.result != solver::Result::Sat)) {
       report.verdict = Verdict::Unknown;
     } else {
       report.verdict = Verdict::Proven;
-      net::Packet witness = entry.to_concrete(best_model);
+      net::Packet witness = entry.to_concrete(witness_model.model);
       report.witness_instructions = replay_instruction_count(pl, witness);
       report.witness = std::move(witness);
     }
-    report.stats = stats;
+    report.stats = snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1433,7 +1509,7 @@ class DecomposedVerifier::Impl {
     } else {
       report.verdict = Verdict::Proven;
     }
-    report.stats = stats;
+    report.stats = snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1542,7 +1618,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   }
   if (any_truncated) {
     report.verdict = Verdict::Unknown;
-    report.stats = im.stats;
+    report.stats = im.snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1552,7 +1628,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
     // No element can trap for any input: the pipeline provably never
     // crashes, no composition needed.
     report.verdict = Verdict::Proven;
-    report.stats = im.stats;
+    report.stats = im.snapshot_stats();
     report.seconds = timer.seconds();
     return report;
   }
@@ -1594,7 +1670,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   } else {
     report.verdict = Verdict::Proven;
   }
-  report.stats = im.stats;
+  report.stats = im.snapshot_stats();
   report.seconds = timer.seconds();
   return report;
 }
@@ -1612,7 +1688,7 @@ InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
 
   uint64_t best = 0;
   bool best_is_bound = false;
-  bv::Assignment best_model;
+  bv::ExprRef best_constraint;
   bool saw_unknown = false;
 
   const bool complete = im.walk(
@@ -1624,33 +1700,46 @@ InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
         const uint64_t total = st.count;
         if (total <= best) return;  // cannot improve the max
         ++im.stats.solver_queries;
-        const solver::CheckResult r = im.solver.check(st.constraint);
-        if (r.result == solver::Result::Unsat) return;
-        if (r.result == solver::Result::Unknown) {
+        // Feasibility only — these speculative decisions share long path
+        // prefixes, exactly the incremental context's workload. The witness
+        // model is derived once at the end, for the winning path only.
+        const solver::Result r = im.solver.check_feasible(st.constraint);
+        if (r == solver::Result::Unsat) return;
+        if (r == solver::Result::Unknown) {
           saw_unknown = true;
           return;
         }
         best = total;
         best_is_bound = st.count_is_bound || g.count_is_bound;
-        best_model = r.model;
+        best_constraint = st.constraint;
       },
       [](size_t) { return true; },
       Impl::Precision::AcceptBounds);
 
   report.max_instructions = best;
   report.bound_is_exact = !best_is_bound;
-  if (!complete || im.truncated_ || saw_unknown) {
+  // See instruction_bound_mt: the deterministic one-shot witness solve can
+  // exhaust a finite conflict budget even though feasibility was already
+  // decided — without a model there is no witness, hence no proof claim.
+  const bool already_unknown = !complete || im.truncated_ || saw_unknown;
+  solver::CheckResult witness_model;
+  if (best_constraint && !already_unknown) {
+    witness_model = im.solver.check(best_constraint);
+  }
+  if (already_unknown ||
+      (best_constraint &&
+       witness_model.result != solver::Result::Sat)) {
     report.verdict = Verdict::Unknown;
   } else {
     report.verdict = Verdict::Proven;
-    net::Packet witness = entry.to_concrete(best_model);
+    net::Packet witness = entry.to_concrete(witness_model.model);
     // Replay the witness concretely (scratch private state, the live
     // pipeline is untouched) to report the achieved count: equals the bound
     // when exact, a measured value under the bound otherwise.
     report.witness_instructions = replay_instruction_count(pl, witness);
     report.witness = std::move(witness);
   }
-  report.stats = im.stats;
+  report.stats = im.snapshot_stats();
   report.seconds = timer.seconds();
   return report;
 }
@@ -1764,7 +1853,7 @@ ReachabilityReport DecomposedVerifier::verify_reach_never(
   } else {
     report.verdict = Verdict::Proven;
   }
-  report.stats = im.stats;
+  report.stats = im.snapshot_stats();
   report.seconds = timer.seconds();
   return report;
 }

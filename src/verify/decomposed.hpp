@@ -61,6 +61,20 @@ struct DecomposedConfig {
   // engine; 0 means one worker per hardware thread. Verdicts, suspect sets,
   // and counterexample paths are identical at any value (within budgets).
   size_t jobs = 1;
+  // Incremental assumption-based solving (default on): every solver —
+  // sequential and per-worker — keeps a live SAT context across the
+  // query-heavy inner loops (Step-2 stitched decisions, bounded-state key
+  // enumeration, unroll-refinement re-walks, symbex fork checks) instead
+  // of re-blasting each query from scratch. Verdicts, counterexamples, and
+  // packet bytes stay byte-identical at any `jobs` value either way; off
+  // reproduces the pre-incremental one-shot behavior for A/B measurement.
+  // Caveat, analogous to the path-budget one on the parallel walk: if a
+  // query actually exhausts max_solver_conflicts, WHETHER it does can
+  // depend on the live context's history, which at jobs > 1 depends on
+  // scheduling — a budget-exhaustion Unknown is sound but not
+  // reproducible. Within the budget (tier-1 workloads sit orders of
+  // magnitude below the default) results are fully deterministic.
+  bool incremental = true;
 };
 
 // A predicate over the pipeline's symbolic input packet, used by

@@ -51,6 +51,23 @@ struct VerifyStats {
   uint64_t refinements_attempted = 0;
   uint64_t refinements_certified = 0;
   uint64_t refinements_eliminated = 0;
+  // Solver-layer totals for this call, aggregated across the sequential
+  // engine's solver and (at jobs > 1) every worker's. sat_conflicts /
+  // sat_decisions span one-shot and incremental solves alike, so they are
+  // directly comparable across DecomposedConfig::incremental settings —
+  // the tab9 bench and the CI perf-smoke assert on exactly these.
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_decisions = 0;
+  uint64_t blast_nodes = 0;
+  uint64_t solver_cache_hits = 0;
+  // Incremental decision layer: contexts opened, check_assuming() solves,
+  // conjuncts reused from a live blast cache, and learnt clauses that were
+  // already present when a query started (retained work). Tests assert
+  // reuse happened by checking these are non-zero.
+  uint64_t contexts_opened = 0;
+  uint64_t incremental_queries = 0;
+  uint64_t assumption_reuses = 0;
+  uint64_t learnt_retained = 0;
 };
 
 struct CrashFreedomReport {

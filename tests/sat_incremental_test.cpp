@@ -1,0 +1,406 @@
+// Incremental assumption-based solving: SAT-level assumption semantics,
+// SolverContext equivalence against one-shot decisions, and byte-identical
+// determinism of the verification drivers at any job count with the
+// incremental decision layer enabled (the default).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bv/analysis.hpp"
+#include "bv/expr.hpp"
+#include "elements/registry.hpp"
+#include "net/headers.hpp"
+#include "solver/sat.hpp"
+#include "solver/solver.hpp"
+#include "verify/decomposed.hpp"
+#include "verify/predicates.hpp"
+
+using namespace vsd;
+using sat::Lit;
+using sat::SatResult;
+using sat::SatSolver;
+using sat::Var;
+
+// --- SAT-level assumption semantics -----------------------------------------
+
+TEST(SatAssumptions, SatAndUnsatUnderAssumptions) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit(a, false), Lit(b, false)}));  // a | b
+
+  // Assume ~a: forced b.
+  EXPECT_EQ(s.solve({Lit(a, true)}), SatResult::Sat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+
+  // Assume ~a and ~b: contradicts the clause, but only under assumptions.
+  EXPECT_EQ(s.solve({Lit(a, true), Lit(b, true)}), SatResult::Unsat);
+  EXPECT_TRUE(s.okay());
+
+  // Assumptions were retracted: the instance is still satisfiable.
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(SatAssumptions, FinalConflictNamesTheUsedAssumptions) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit(a, true), Lit(c, true)}));  // ~a | ~c
+
+  // {a, b, c} fails because of a and c; b is irrelevant.
+  ASSERT_EQ(s.solve({Lit(a, false), Lit(b, false), Lit(c, false)}),
+            SatResult::Unsat);
+  EXPECT_TRUE(s.okay());
+  const std::vector<Lit>& fc = s.final_conflict();
+  ASSERT_FALSE(fc.empty());
+  for (const Lit l : fc) {
+    // Every literal is the negation of one of the failing assumptions.
+    EXPECT_TRUE(l == Lit(a, true) || l == Lit(c, true))
+        << "unexpected literal var=" << l.var() << " neg=" << l.negated();
+  }
+}
+
+TEST(SatAssumptions, ClauseAdditionAfterSolveFlipsTheAnswer) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit(a, false), Lit(b, false)}));
+  ASSERT_EQ(s.solve({Lit(a, true)}), SatResult::Sat);
+
+  // New clauses (and new variables) between solves.
+  const Var d = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit(b, true), Lit(d, false)}));  // ~b | d
+  ASSERT_TRUE(s.add_clause({Lit(d, true)}));                 // ~d
+  // Now ~a forces b forces d, contradiction with ~d.
+  EXPECT_EQ(s.solve({Lit(a, true)}), SatResult::Unsat);
+  EXPECT_TRUE(s.okay());
+  // Without the assumption, a=true satisfies everything.
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(SatAssumptions, RetractionAcrossManySolves) {
+  SatSolver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({Lit(x, false), Lit(y, false)}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(s.solve({Lit(x, i % 2 == 0)}), SatResult::Sat) << i;
+    EXPECT_EQ(s.model_value(x), i % 2 != 0) << i;
+  }
+  // Contradictory assumption pair: the second assumption is already false.
+  EXPECT_EQ(s.solve({Lit(x, false), Lit(x, true)}), SatResult::Unsat);
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(SatAssumptions, ModelSatisfiesClausesAndAssumptions) {
+  // Pigeonhole-ish set with a satisfying region: exercise real search.
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 12; ++i) v.push_back(s.new_var());
+  std::vector<std::vector<Lit>> clauses;
+  for (int i = 0; i + 2 < 12; i += 3) {
+    clauses.push_back({Lit(v[i], false), Lit(v[i + 1], false),
+                       Lit(v[i + 2], false)});
+    clauses.push_back({Lit(v[i], true), Lit(v[i + 1], true)});
+  }
+  for (const auto& c : clauses) ASSERT_TRUE(s.add_clause(c));
+  const std::vector<Lit> assumptions = {Lit(v[0], true), Lit(v[3], false)};
+  ASSERT_EQ(s.solve(assumptions), SatResult::Sat);
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (const Lit l : c) sat = sat || s.model_value(l.var()) != l.negated();
+    EXPECT_TRUE(sat);
+  }
+  for (const Lit l : assumptions) {
+    EXPECT_EQ(s.model_value(l.var()), !l.negated());
+  }
+}
+
+// --- SolverContext vs one-shot ----------------------------------------------
+
+namespace {
+
+// Deterministic PRNG (xorshift) — no global state, reproducible failures.
+struct Rng {
+  uint64_t s = 0x9e3779b97f4a7c15ull;
+  uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  uint64_t below(uint64_t n) { return next() % n; }
+};
+
+bv::ExprRef random_word(Rng& rng, const std::vector<bv::ExprRef>& vars,
+                        int depth) {
+  if (depth == 0 || rng.below(4) == 0) {
+    if (rng.below(3) == 0) return bv::mk_const(rng.below(256), 8);
+    return vars[rng.below(vars.size())];
+  }
+  const bv::ExprRef a = random_word(rng, vars, depth - 1);
+  const bv::ExprRef b = random_word(rng, vars, depth - 1);
+  switch (rng.below(6)) {
+    case 0: return bv::mk_add(a, b);
+    case 1: return bv::mk_sub(a, b);
+    case 2: return bv::mk_and(a, b);
+    case 3: return bv::mk_or(a, b);
+    case 4: return bv::mk_xor(a, b);
+    default: return bv::mk_mul(a, b);
+  }
+}
+
+bv::ExprRef random_pred(Rng& rng, const std::vector<bv::ExprRef>& vars,
+                        int depth) {
+  if (depth == 0 || rng.below(3) == 0) {
+    const bv::ExprRef a = random_word(rng, vars, 2);
+    const bv::ExprRef b = random_word(rng, vars, 2);
+    switch (rng.below(3)) {
+      case 0: return bv::mk_eq(a, b);
+      case 1: return bv::mk_ult(a, b);
+      default: return bv::mk_ule(a, b);
+    }
+  }
+  const bv::ExprRef p = random_pred(rng, vars, depth - 1);
+  const bv::ExprRef q = random_pred(rng, vars, depth - 1);
+  switch (rng.below(3)) {
+    case 0: return bv::mk_land(p, q);
+    case 1: return bv::mk_lor(p, q);
+    default: return bv::mk_lnot(p);
+  }
+}
+
+}  // namespace
+
+TEST(SolverContextTest, EquivalentToOneShotOnRandomizedExprs) {
+  Rng rng;
+  std::vector<bv::ExprRef> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(bv::mk_var("v" + std::to_string(i), 8));
+  }
+  solver::Solver one_shot;
+  one_shot.set_incremental(false);
+  solver::Solver owner;
+  solver::SolverContext ctx(owner);
+  for (int i = 0; i < 120; ++i) {
+    const bv::ExprRef e = random_pred(rng, vars, 3);
+    const solver::CheckResult ref = one_shot.check(e);
+    const solver::CheckResult inc = ctx.check_assuming(e);
+    ASSERT_EQ(inc.result, ref.result) << "query " << i;
+    if (inc.result == solver::Result::Sat) {
+      EXPECT_EQ(bv::evaluate(e, inc.model), 1u) << "query " << i;
+    }
+  }
+}
+
+TEST(SolverContextTest, BaseAssertionsConstrainEveryQuery) {
+  solver::Solver owner;
+  solver::SolverContext ctx(owner);
+  const bv::ExprRef x = bv::mk_var("x", 8);
+  ctx.assert_base(bv::mk_ult(x, bv::mk_const(50, 8)));  // x < 50
+
+  const solver::CheckResult over =
+      ctx.check_assuming(bv::mk_ult(bv::mk_const(60, 8), x));
+  EXPECT_EQ(over.result, solver::Result::Unsat);
+
+  const solver::CheckResult under =
+      ctx.check_assuming(bv::mk_ult(bv::mk_const(40, 8), x));
+  ASSERT_EQ(under.result, solver::Result::Sat);
+  const uint64_t val = under.model.at(x->var_id());
+  EXPECT_GT(val, 40u);
+  EXPECT_LT(val, 50u);
+
+  // The failed query was an assumption, not an assertion: still Sat.
+  EXPECT_EQ(ctx.check_assuming(bv::mk_bool(true)).result, solver::Result::Sat);
+}
+
+TEST(SolverContextTest, PrefixReuseIsCountedAndClausesRetained) {
+  solver::Solver owner;
+  solver::SolverContext ctx(owner);
+  const bv::ExprRef x = bv::mk_var("x", 16);
+  const bv::ExprRef y = bv::mk_var("y", 16);
+  // A fixed arithmetic prefix conjoined with a varying suffix — the Step-2
+  // stitched-query shape.
+  const bv::ExprRef prefix =
+      bv::mk_eq(bv::mk_mul(x, bv::mk_const(3, 16)),
+                bv::mk_add(y, bv::mk_const(7, 16)));
+  for (uint64_t k = 0; k < 8; ++k) {
+    const bv::ExprRef q =
+        bv::mk_land(prefix, bv::mk_eq(bv::mk_and(y, bv::mk_const(0xff, 16)),
+                                      bv::mk_const(k, 16)));
+    const solver::CheckResult r = ctx.check_assuming(q);
+    ASSERT_NE(r.result, solver::Result::Unknown);
+  }
+  EXPECT_GE(owner.stats().assumption_reuses, 7u);  // prefix blasted once
+  EXPECT_GE(owner.stats().incremental_queries, 8u);
+  EXPECT_EQ(owner.stats().contexts_opened, 1u);
+}
+
+TEST(SolverTest, ResultCacheIsCappedWithFifoEviction) {
+  solver::Solver s;
+  s.set_cache_capacity(2);
+  const bv::ExprRef x = bv::mk_var("xc", 8);
+  std::vector<bv::ExprRef> queries;
+  for (uint64_t k = 0; k < 5; ++k) {
+    queries.push_back(bv::mk_eq(bv::mk_add(x, bv::mk_const(k, 8)),
+                                bv::mk_const(2 * k + 1, 8)));
+  }
+  for (const auto& q : queries) {
+    EXPECT_EQ(s.check(q).result, solver::Result::Sat);
+  }
+  EXPECT_GE(s.stats().cache_evictions, 3u);
+  // Evicted queries are still answered correctly (recomputed).
+  for (const auto& q : queries) {
+    const solver::CheckResult r = s.check(q);
+    ASSERT_EQ(r.result, solver::Result::Sat);
+    EXPECT_EQ(bv::evaluate(q, r.model), 1u);
+  }
+}
+
+TEST(SolverTest, FeasibleThenModelUpgradesTheCacheEntry) {
+  solver::Solver s;
+  const bv::ExprRef x = bv::mk_var("xm", 8);
+  const bv::ExprRef q = bv::mk_eq(bv::mk_add(x, bv::mk_const(1, 8)),
+                                  bv::mk_const(7, 8));
+  EXPECT_EQ(s.check_feasible(q), solver::Result::Sat);  // no model derived
+  const solver::CheckResult r = s.check(q);             // must supply one
+  ASSERT_EQ(r.result, solver::Result::Sat);
+  EXPECT_EQ(r.model.at(x->var_id()), 6u);
+}
+
+// --- Driver determinism at any job count (incremental on: the default) ------
+
+namespace {
+
+std::vector<std::string> packet_hexes(const std::vector<net::Packet>& ps) {
+  std::vector<std::string> out;
+  for (const net::Packet& p : ps) out.push_back(p.hex(96));
+  return out;
+}
+
+}  // namespace
+
+TEST(IncrementalDeterminism, CrashCounterexampleBytesAcrossJobs) {
+  const char* config = "UnsafeStrip(14) -> CheckIPHeader -> Discard";
+  verify::CrashFreedomReport r1;
+  for (const size_t jobs : {size_t{1}, size_t{8}}) {
+    pipeline::Pipeline pl = elements::parse_pipeline(config);
+    verify::DecomposedConfig cfg;
+    cfg.packet_len = 8;
+    cfg.jobs = jobs;
+    ASSERT_TRUE(cfg.incremental);  // the default under test
+    verify::DecomposedVerifier v(cfg);
+    const verify::CrashFreedomReport rn = v.verify_crash_freedom(pl);
+    if (jobs == 1) {
+      r1 = rn;
+      EXPECT_EQ(rn.verdict, verify::Verdict::Violated);
+      continue;
+    }
+    EXPECT_EQ(rn.verdict, r1.verdict);
+    ASSERT_EQ(rn.counterexamples.size(), r1.counterexamples.size());
+    for (size_t i = 0; i < rn.counterexamples.size(); ++i) {
+      EXPECT_EQ(rn.counterexamples[i].packet.hex(96),
+                r1.counterexamples[i].packet.hex(96))
+          << "jobs=8 counterexample " << i;
+    }
+  }
+}
+
+TEST(IncrementalDeterminism, ReachCounterexampleBytesAcrossJobs) {
+  verify::ReachabilityReport r1;
+  for (const size_t jobs : {size_t{1}, size_t{8}}) {
+    pipeline::Pipeline pl = elements::make_ip_router_pipeline();
+    verify::DecomposedConfig cfg;
+    cfg.packet_len = 64;
+    cfg.jobs = jobs;
+    verify::DecomposedVerifier v(cfg);
+    const verify::ReachabilityReport rn = v.verify_never_dropped(
+        pl, [&](const symbex::SymPacket& p) {
+          return verify::both(
+              verify::wellformed_ipv4_checksummed(p),
+              verify::dst_ip_is(p, net::parse_ipv4("8.8.8.8"),
+                                net::kEtherHeaderSize));
+        });
+    if (jobs == 1) {
+      r1 = rn;
+      EXPECT_EQ(rn.verdict, verify::Verdict::Violated);
+      continue;
+    }
+    EXPECT_EQ(rn.verdict, r1.verdict);
+    ASSERT_EQ(rn.counterexamples.size(), r1.counterexamples.size());
+    for (size_t i = 0; i < rn.counterexamples.size(); ++i) {
+      EXPECT_EQ(rn.counterexamples[i].packet.hex(96),
+                r1.counterexamples[i].packet.hex(96))
+          << "jobs=8 counterexample " << i;
+      EXPECT_EQ(rn.counterexamples[i].element_path,
+                r1.counterexamples[i].element_path);
+    }
+  }
+}
+
+TEST(IncrementalDeterminism, StateSequenceBytesAcrossJobs) {
+  verify::StateBoundReport r1;
+  for (const size_t jobs : {size_t{1}, size_t{8}}) {
+    pipeline::Pipeline pl = elements::parse_pipeline("NetFlow");
+    verify::DecomposedConfig cfg;
+    cfg.packet_len = 40;
+    cfg.jobs = jobs;
+    verify::DecomposedVerifier v(cfg);
+    verify::StateBoundSpec spec;
+    spec.bound = 2;
+    const verify::StateBoundReport rn = v.verify_bounded_state(
+        pl, [](const symbex::SymPacket&) { return bv::mk_bool(true); }, spec);
+    if (jobs == 1) {
+      r1 = rn;
+      EXPECT_EQ(rn.verdict, verify::Verdict::Violated);
+      continue;
+    }
+    EXPECT_EQ(rn.verdict, r1.verdict);
+    EXPECT_EQ(packet_hexes(rn.packet_sequence),
+              packet_hexes(r1.packet_sequence));
+  }
+}
+
+TEST(IncrementalDeterminism, IncrementalMatchesOneShotVerdicts) {
+  // Same workloads, incremental on vs off: verdicts and counts must agree
+  // (witness bytes may differ only where models come from a live context —
+  // the bounded-state sequence — and must agree everywhere else).
+  const char* config =
+      "Classifier -> EthDecap -> CheckIPHeader -> IPLookup(10.0.0.0/8 0)";
+  for (const bool incremental : {false, true}) {
+    pipeline::Pipeline pl = elements::parse_pipeline(config);
+    verify::DecomposedConfig cfg;
+    cfg.packet_len = 46;
+    cfg.incremental = incremental;
+    verify::DecomposedVerifier v(cfg);
+    const verify::CrashFreedomReport cr = v.verify_crash_freedom(pl);
+    EXPECT_EQ(cr.verdict, verify::Verdict::Proven) << incremental;
+    const verify::InstructionBoundReport ir = v.verify_instruction_bound(pl);
+    EXPECT_EQ(ir.verdict, verify::Verdict::Proven) << incremental;
+    EXPECT_GT(ir.max_instructions, 0u);
+  }
+}
+
+TEST(IncrementalDeterminism, VerifyStatsReportIncrementalReuse) {
+  pipeline::Pipeline pl = elements::make_ip_router_pipeline();
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = 64;
+  verify::DecomposedVerifier v(cfg);
+  const verify::ReachabilityReport r = v.verify_never_dropped(
+      pl, [&](const symbex::SymPacket& p) {
+        return verify::both(
+            verify::wellformed_ipv4_checksummed(p),
+            verify::dst_ip_is(p, net::parse_ipv4("10.1.2.3"),
+                              net::kEtherHeaderSize));
+      });
+  EXPECT_GT(r.stats.contexts_opened, 0u);
+  EXPECT_GT(r.stats.incremental_queries, 0u);
+  EXPECT_GT(r.stats.assumption_reuses, 0u);
+  EXPECT_GT(r.stats.sat_conflicts + r.stats.sat_decisions, 0u);
+}

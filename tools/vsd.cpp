@@ -63,12 +63,21 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv) {
+  // Boolean flags never consume the next token — otherwise
+  // `vsd check --stats file.vspec` would swallow the file as the flag's
+  // value and silently check nothing.
+  static const char* kBoolFlags[] = {"stats", "one-shot", "unroll", "print"};
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       const std::string key = s.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const bool is_bool =
+          std::find_if(std::begin(kBoolFlags), std::end(kBoolFlags),
+                       [&key](const char* f) { return key == f; }) !=
+          std::end(kBoolFlags);
+      if (!is_bool && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         a.options[key] = argv[++i];
       } else {
         a.options[key] = "";
@@ -94,6 +103,8 @@ int usage() {
       "  vsd list                                  registered elements\n"
       "  vsd check <file.vspec> [...] [--jobs N]   run every assertion of "
       "the spec(s)\n"
+      "      (verify/reach/state/check also take --stats for solver-layer\n"
+      "       counters and --one-shot to disable incremental solving)\n"
       "  vsd show \"<pipeline>\"                     print element IR\n"
       "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
       "malformed|random|tiny] [--seed S]\n"
@@ -111,6 +122,33 @@ int usage() {
       "  vsd asm <file.vsd>                        assemble + validate\n"
       "  vsd verify-ir <file.vsd> --property crash|bound [--len N]");
   return 2;
+}
+
+// --stats: the solver-layer and verification counters of one property call
+// (CheckStats splits + the incremental decision-layer counters).
+void print_verify_stats(const verify::VerifyStats& s) {
+  const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf(
+      "  stats: %llu solver queries, %llu composed paths, %llu suspects "
+      "(%llu eliminated)\n",
+      u(s.solver_queries), u(s.composed_paths_checked), u(s.suspects_found),
+      u(s.suspects_eliminated));
+  std::printf(
+      "  solver: %llu conflicts, %llu decisions, %llu blast nodes, "
+      "%llu cache hits\n",
+      u(s.sat_conflicts), u(s.sat_decisions), u(s.blast_nodes),
+      u(s.solver_cache_hits));
+  std::printf(
+      "  incremental: %llu contexts, %llu assumption queries, %llu "
+      "assumption reuses, %llu learnt retained\n",
+      u(s.contexts_opened), u(s.incremental_queries), u(s.assumption_reuses),
+      u(s.learnt_retained));
+  if (s.refinements_attempted != 0) {
+    std::printf(
+        "  refinement: %llu attempted, %llu certified, %llu eliminated\n",
+        u(s.refinements_attempted), u(s.refinements_certified),
+        u(s.refinements_eliminated));
+  }
 }
 
 void print_counterexample(const verify::Counterexample& ce) {
@@ -149,6 +187,8 @@ void print_check_outcome(const spec::AssertionOutcome& o) {
 int cmd_check(const Args& a) {
   spec::CheckOptions opts;
   opts.jobs = a.get_u64("jobs", 1);
+  opts.incremental = !a.flag("one-shot");
+  const bool with_stats = a.flag("stats");
   bool all_passed = true;
   for (size_t i = 1; i < a.positional.size(); ++i) {
     const std::string& path = a.positional[i];
@@ -169,6 +209,7 @@ int cmd_check(const Args& a) {
     const spec::CheckReport rep = spec::check_spec(sf, opts);
     for (const spec::AssertionOutcome& o : rep.outcomes) {
       print_check_outcome(o);
+      if (with_stats) print_verify_stats(o.stats);
     }
     std::printf("%s: %zu/%zu assertions passed\n", path.c_str(), rep.passed,
                 rep.outcomes.size());
@@ -238,6 +279,7 @@ int cmd_verify(const Args& a) {
   cfg.packet_len = a.get_u64("len", 64);
   if (a.flag("unroll")) cfg.loop_mode = symbex::LoopMode::Unroll;
   cfg.jobs = a.get_u64("jobs", 1);  // 0 = one worker per hardware thread
+  cfg.incremental = !a.flag("one-shot");
   verify::DecomposedVerifier verifier(cfg);
 
   const std::string prop = a.get("property", "crash");
@@ -251,6 +293,7 @@ int cmd_verify(const Args& a) {
                 static_cast<unsigned long long>(r.stats.suspects_eliminated),
                 static_cast<unsigned long long>(r.stats.elements_summarized),
                 static_cast<unsigned long long>(r.stats.summary_cache_hits));
+    if (a.flag("stats")) print_verify_stats(r.stats);
     for (const auto& ce : r.counterexamples) print_counterexample(ce);
     return r.verdict == verify::Verdict::Proven ? 0 : 1;
   }
@@ -266,6 +309,7 @@ int cmd_verify(const Args& a) {
                   static_cast<unsigned long long>(r.witness_instructions),
                   r.witness->hex(48).c_str());
     }
+    if (a.flag("stats")) print_verify_stats(r.stats);
     return r.verdict == verify::Verdict::Proven ? 0 : 1;
   }
   std::printf("unknown property: %s\n", prop.c_str());
@@ -279,6 +323,7 @@ int cmd_reach(const Args& a) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
   cfg.jobs = a.get_u64("jobs", 1);
+  cfg.incremental = !a.flag("one-shot");
   verify::DecomposedVerifier verifier(cfg);
   const verify::ReachabilityReport r = verifier.verify_never_dropped(
       pl, [&](const symbex::SymPacket& p) {
@@ -289,6 +334,7 @@ int cmd_reach(const Args& a) {
       "'well-formed packets to %s are never dropped': %s in %.2f s\n",
       net::format_ipv4(dst).c_str(), verify::verdict_name(r.verdict),
       r.seconds);
+  if (a.flag("stats")) print_verify_stats(r.stats);
   for (const auto& ce : r.counterexamples) print_counterexample(ce);
   return r.verdict == verify::Verdict::Proven ? 0 : 1;
 }
@@ -298,6 +344,7 @@ int cmd_state(const Args& a) {
   verify::DecomposedConfig cfg;
   cfg.packet_len = a.get_u64("len", 64);
   cfg.jobs = a.get_u64("jobs", 1);
+  cfg.incremental = !a.flag("one-shot");
   verify::DecomposedVerifier verifier(cfg);
   verify::StateBoundSpec spec;
   spec.bound = a.get_u64("bound", 0);
@@ -322,6 +369,7 @@ int cmd_state(const Args& a) {
               spec.element.empty() ? "pipeline" : spec.element.c_str(),
               static_cast<unsigned long long>(spec.bound), cfg.packet_len,
               verify::verdict_name(r.verdict), r.seconds);
+  if (a.flag("stats")) print_verify_stats(r.stats);
   for (const verify::TableOccupancy& t : r.tables) {
     std::printf("  [%zu] %s.%s: %llu distinct key(s)%s\n", t.element,
                 t.element_name.c_str(), t.table_name.c_str(),
