@@ -270,6 +270,20 @@ const std::map<std::string, Entry>& factories() {
   return *table;
 }
 
+// Test-registered elements (register_test_element): executed-program
+// factory, usage line, and the optional drifted verifier-model factory.
+struct TestEntry {
+  ElementFactory make;
+  ElementFactory make_model;  // null = model == executed program
+  std::string usage;
+};
+
+std::map<std::string, TestEntry>& test_factories() {
+  static std::map<std::string, TestEntry>* table =
+      new std::map<std::string, TestEntry>();
+  return *table;
+}
+
 // Case-insensitive Levenshtein distance, for typo suggestions.
 size_t edit_distance(const std::string& a, const std::string& b) {
   const auto lower = [](char c) {
@@ -316,18 +330,33 @@ LineCol line_col_at(const std::string& s, size_t off) {
 
 ir::Program make_element(const std::string& name, const std::string& args) {
   const auto it = factories().find(name);
-  if (it == factories().end()) {
-    const std::string sugg = suggest_element(name);
-    throw std::invalid_argument(
-        "unknown element '" + name + "'" +
-        (sugg.empty() ? "" : " (did you mean '" + sugg + "'?)"));
-  }
-  return it->second.make(args);
+  if (it != factories().end()) return it->second.make(args);
+  const auto tit = test_factories().find(name);
+  if (tit != test_factories().end()) return tit->second.make(args);
+  const std::string sugg = suggest_element(name);
+  throw std::invalid_argument(
+      "unknown element '" + name + "'" +
+      (sugg.empty() ? "" : " (did you mean '" + sugg + "'?)"));
 }
+
+void register_test_element(const std::string& name, ElementFactory make,
+                           const std::string& usage,
+                           ElementFactory make_model) {
+  if (factories().count(name) != 0) {
+    throw std::invalid_argument("test element may not shadow builtin '" +
+                                name + "'");
+  }
+  test_factories()[name] =
+      TestEntry{std::move(make), std::move(make_model), usage};
+}
+
+void clear_test_elements() { test_factories().clear(); }
 
 std::vector<std::string> registered_elements() {
   std::vector<std::string> names;
   for (const auto& [name, _] : factories()) names.push_back(name);
+  for (const auto& [name, _] : test_factories()) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -336,12 +365,21 @@ std::vector<ElementInfo> element_catalog() {
   for (const auto& [name, entry] : factories()) {
     out.push_back(ElementInfo{name, entry.usage});
   }
+  for (const auto& [name, entry] : test_factories()) {
+    out.push_back(ElementInfo{name, entry.usage});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ElementInfo& a, const ElementInfo& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
 std::string element_usage(const std::string& name) {
   const auto it = factories().find(name);
-  return it == factories().end() ? std::string() : it->second.usage;
+  if (it != factories().end()) return it->second.usage;
+  const auto tit = test_factories().find(name);
+  return tit == test_factories().end() ? std::string() : tit->second.usage;
 }
 
 std::string nearest_name(const std::string& name,
@@ -407,14 +445,19 @@ pipeline::Pipeline parse_pipeline(const std::string& config) {
         config_fail(config, start, "missing element name before '('");
       }
     }
-    if (factories().count(name) == 0) {
+    if (factories().count(name) == 0 && test_factories().count(name) == 0) {
       const std::string sugg = suggest_element(name);
       config_fail(config, start,
                   "unknown element '" + name + "'" +
                       (sugg.empty() ? "" : " (did you mean '" + sugg + "'?)"));
     }
     try {
-      chain_ids.push_back(pl.add(name, make_element(name, args)));
+      const size_t id = pl.add(name, make_element(name, args));
+      const auto tit = test_factories().find(name);
+      if (tit != test_factories().end() && tit->second.make_model) {
+        pl.element(id).set_model_program(tit->second.make_model(args));
+      }
+      chain_ids.push_back(id);
     } catch (const std::invalid_argument& e) {
       config_fail(config, args_off, name + ": " + e.what());
     } catch (const std::out_of_range& e) {

@@ -75,6 +75,23 @@ std::string nearest_name(const std::string& name,
 // (with the offending token's line/column) on malformed configs.
 pipeline::Pipeline parse_pipeline(const std::string& config);
 
+// --- Test-only element registration ------------------------------------------
+//
+// Test fixtures (the differential fuzz harness's BrokenFilter) register
+// extra elements at runtime: `make` builds the program the interpreter
+// executes; `make_model`, when non-null, builds the program the verifier
+// analyzes (parse_pipeline installs it via Element::set_model_program,
+// injecting deliberate model/artifact drift). Test elements are listed by
+// registered_elements()/element_catalog() like builtins, may not shadow a
+// builtin name, and exist only in the registering process — the shipped
+// `vsd` binary never registers any.
+using ElementFactory = std::function<ir::Program(const std::string& args)>;
+void register_test_element(const std::string& name, ElementFactory make,
+                           const std::string& usage,
+                           ElementFactory make_model = nullptr);
+// Removes every test-registered element (fixture teardown).
+void clear_test_elements();
+
 // The default Click IP-router chain the paper verifies (§3): classifier,
 // decap, header check, lookup, TTL, options, encap. `routes` defaults to a
 // small static table covering 10/8 and 192.168/16.

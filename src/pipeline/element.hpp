@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -37,6 +38,20 @@ class Element {
   const ir::Program& program() const { return program_; }
   uint32_t num_output_ports() const { return program_.num_output_ports; }
 
+  // The program the verification stack analyzes. Identical to program()
+  // unless a model override was installed: the verifier always reasons
+  // about the model, the interpreter always runs the executed program.
+  // Keeping the two as one object is the soundness invariant; the override
+  // exists so the differential fuzz harness can be *tested* — fixtures
+  // (tests/fuzz_test.cpp's BrokenFilter) deliberately inject model/artifact
+  // drift and the harness must flag the divergence.
+  const ir::Program& model_program() const {
+    return model_program_ ? *model_program_ : program_;
+  }
+  void set_model_program(ir::Program model) {
+    model_program_ = std::move(model);
+  }
+
   interp::KvState& kv() { return kv_; }
   const interp::KvState& kv() const { return kv_; }
 
@@ -60,6 +75,7 @@ class Element {
  private:
   std::string name_;
   ir::Program program_;
+  std::optional<ir::Program> model_program_;
   interp::KvState kv_;
   ElementCounters counters_;
 };

@@ -1,0 +1,62 @@
+// Deterministic pipeline and packet generators for the differential fuzz
+// harness (vsd fuzz).
+//
+// Everything downstream of one seed: pipelines are random element chains
+// drawn from the registry, packets come from a header-field-aware mutation
+// grammar over net::headers (shaped frames, field corruption, truncation to
+// a runt length group, meta-slot randomization). The same seed always
+// yields byte-identical pipelines and packets — reproducibility is the
+// harness's first invariant and is pinned by tests/fuzz_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/workload.hpp"
+
+namespace vsd::fuzz {
+
+struct GenOptions {
+  // Element names the chain generator draws from; empty = every registered
+  // element (test-registered fixtures included, which is how the
+  // BrokenFilter tests steer the generator).
+  std::vector<std::string> element_pool;
+  // Maximum random elements appended after the optional entry prefix.
+  size_t max_chain = 4;
+};
+
+struct GeneratedPipeline {
+  std::string config;  // registry config syntax, parse_pipeline-ready
+  // Packet length the main oracle group verifies and fuzzes at.
+  size_t packet_len = 64;
+  // Runt length group: short packets stress length guards; crash freedom is
+  // verified separately at this length.
+  size_t runt_len = 12;
+  // Where the IPv4 header starts within generated frames (14 when the chain
+  // starts with an Ethernet-consuming element, else 0). Anchors the
+  // wellformed predicate of the never(drop)/reachable oracles.
+  size_t ip_offset = 0;
+};
+
+// Draws one random element chain. Deterministic in (rng state, opt).
+GeneratedPipeline generate_pipeline(net::Rng& rng, const GenOptions& opt);
+
+// One packet of exactly `len` bytes from the mutation grammar: shaped
+// Ethernet+IPv4(+L4) frames with randomized header fields, field-aware
+// corruptions (checksum, version/ihl, total_len, ttl, fragment bits), raw
+// random bytes, and randomized annotation (meta) slots.
+net::Packet generate_packet(net::Rng& rng, size_t len, size_t ip_offset);
+
+// A packet sequence for stateful elements: packets drawn from a small flow
+// pool so private-state keys repeat and collide across the sequence.
+std::vector<net::Packet> generate_sequence(net::Rng& rng, size_t count,
+                                           size_t len, size_t ip_offset);
+
+// Per-element argument synthesis used by generate_pipeline (exposed for
+// tests): returns a registry argument string for `element`, randomly drawn
+// from that element's plausible configurations.
+std::string random_element_args(const std::string& element, net::Rng& rng);
+
+}  // namespace vsd::fuzz

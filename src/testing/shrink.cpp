@@ -1,0 +1,85 @@
+#include "testing/shrink.hpp"
+
+#include "net/packet.hpp"
+
+namespace vsd::fuzz {
+
+namespace {
+
+class Budget {
+ public:
+  explicit Budget(size_t max_evals) : left_(max_evals) {}
+  bool spend() {
+    if (left_ == 0) return false;
+    --left_;
+    return true;
+  }
+
+ private:
+  size_t left_;
+};
+
+// Zeroes [lo, lo+n) bytes of packet `i`; returns true if that kept failing.
+bool try_zero_range(std::vector<net::Packet>& seq, size_t i, size_t lo,
+                    size_t n, const ReproPredicate& still_fails,
+                    Budget& budget) {
+  bool all_zero = true;
+  for (size_t b = lo; b < lo + n; ++b) all_zero = all_zero && seq[i][b] == 0;
+  if (all_zero || !budget.spend()) return false;
+  net::Packet saved = seq[i];
+  for (size_t b = lo; b < lo + n; ++b) seq[i][b] = 0;
+  if (still_fails(seq)) return true;
+  seq[i] = std::move(saved);
+  return false;
+}
+
+}  // namespace
+
+std::vector<net::Packet> shrink_sequence(std::vector<net::Packet> seq,
+                                         const ReproPredicate& still_fails,
+                                         const ShrinkOptions& opt) {
+  Budget budget(opt.max_evals);
+
+  // Pass 1: drop packets, front to back, repeating until a fixpoint — a
+  // later removal can enable an earlier one (e.g. two inserts of the same
+  // key).
+  bool removed = true;
+  while (removed && seq.size() > 1) {
+    removed = false;
+    for (size_t i = 0; i < seq.size();) {
+      if (!budget.spend()) break;
+      std::vector<net::Packet> cand = seq;
+      cand.erase(cand.begin() + static_cast<ptrdiff_t>(i));
+      if (still_fails(cand)) {
+        seq = std::move(cand);
+        removed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Pass 2: canonicalize bytes — zero chunks in halving sizes down to
+  // single bytes, so the surviving non-zero bytes are exactly the
+  // load-bearing ones.
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const size_t len = seq[i].size();
+    for (size_t chunk = len; chunk >= 1; chunk /= 2) {
+      for (size_t lo = 0; lo + chunk <= len; lo += chunk) {
+        try_zero_range(seq, i, lo, chunk, still_fails, budget);
+      }
+      if (chunk == 1) break;
+    }
+    // Meta slots too: a repro should carry annotations only when they
+    // matter.
+    for (size_t slot = 0; slot < net::kMetaSlots; ++slot) {
+      if (seq[i].meta(slot) == 0 || !budget.spend()) continue;
+      const uint32_t saved = seq[i].meta(slot);
+      seq[i].set_meta(slot, 0);
+      if (!still_fails(seq)) seq[i].set_meta(slot, saved);
+    }
+  }
+  return seq;
+}
+
+}  // namespace vsd::fuzz

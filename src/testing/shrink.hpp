@@ -1,0 +1,34 @@
+// Deterministic repro minimization for fuzz failures.
+//
+// A failure is a packet sequence (length 1 for single-packet failures) plus
+// a repro predicate ("still fails"). Shrinking is two greedy, bounded,
+// fully deterministic passes: drop packets from the sequence while the
+// failure reproduces, then canonicalize the surviving packets byte-wise
+// (zero chunks in halving sizes, then single bytes, then meta slots). The
+// result is the smallest artifact this procedure can certify — every kept
+// byte is load-bearing for the repro.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vsd::fuzz {
+
+// Returns true when the candidate sequence still reproduces the failure.
+// Must be deterministic (replay on scratch state, no wall clock).
+using ReproPredicate = std::function<bool(const std::vector<net::Packet>&)>;
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations; shrinking stops (keeping the best
+  // repro so far) when exhausted.
+  size_t max_evals = 4096;
+};
+
+// Shrinks `seq` under `still_fails`; `seq` itself must already fail.
+std::vector<net::Packet> shrink_sequence(std::vector<net::Packet> seq,
+                                         const ReproPredicate& still_fails,
+                                         const ShrinkOptions& opt = {});
+
+}  // namespace vsd::fuzz

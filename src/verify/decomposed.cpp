@@ -366,7 +366,7 @@ class DecomposedVerifier::Impl {
             const TerminalFn& on_terminal, const VisitFn& should_visit,
             Precision precision) {
     if (!should_visit(elem)) return true;
-    const ElementSummary& sum = summary_for(pl.element(elem).program(),
+    const ElementSummary& sum = summary_for(pl.element(elem).model_program(),
                                             st.bytes.size(), precision,
                                             solver, stats);
     if (sum.truncated) {
@@ -493,7 +493,7 @@ class DecomposedVerifier::Impl {
                                              Precision precision) {
     std::vector<const ElementSummary*> sums(pl.size(), nullptr);
     parallel_for(*queue, pl.size(), [&](size_t e, size_t w) {
-      sums[e] = &summary_for(pl.element(e).program(), cfg.packet_len,
+      sums[e] = &summary_for(pl.element(e).model_program(), cfg.packet_len,
                              precision, pool.at(w), mt_stats_[w]);
     });
     return sums;
@@ -527,7 +527,7 @@ class DecomposedVerifier::Impl {
     if (!should_visit(elem)) return;
     VerifyStats& wstats = mt_stats_[worker];
     const ElementSummary& sum =
-        summary_for(pl.element(elem).program(), st.bytes.size(), precision,
+        summary_for(pl.element(elem).model_program(), st.bytes.size(), precision,
                     pool.at(worker), wstats);
     if (sum.truncated) {
       mt_truncated_.store(true, std::memory_order_relaxed);
@@ -579,7 +579,7 @@ class DecomposedVerifier::Impl {
                                 VerifyStats& vstats) {
     const symbex::KvReadRecord& read = pr.rec;
     const ElementSummary& sum =
-        summary_for(pl.element(pr.elem).program(), pr.len,
+        summary_for(pl.element(pr.elem).model_program(), pr.len,
                     Precision::AcceptBounds, sv, vstats);
     ExprRef any = bv::mk_eq(read.value,
                             bv::mk_const(0, read.value->width()));
@@ -649,14 +649,14 @@ class DecomposedVerifier::Impl {
   // Per-path unroll refinement
   // ---------------------------------------------------------------------
   //
-  // A reach/never suspect ending at a wrong-port Emit whose path crossed a
-  // summarized loop is Sat-but-uncertifiable: the model may be an artifact
-  // of the havocked loop outputs (sat_is_unknown below). Instead of
-  // degrading to Unknown, re-execute JUST that element trace with loops
+  // A suspect (wrong-port Emit, Drop, or Trap) whose composed path crossed
+  // a summarized loop is Sat-but-uncertifiable: the model may be an
+  // artifact of the havocked loop outputs (sat_is_unknown below). Instead
+  // of degrading to Unknown, re-execute JUST that element trace with loops
   // concretely unrolled (exact summaries) and decide the violating exits
   // again. Upgrades the suspect to a certified Violated (a model over
   // exact constraints, concretely replayable) or eliminates it (every
-  // exact wrong-port exit on the trace is infeasible); stays Unknown only
+  // exact violating exit on the trace is infeasible); stays Unknown only
   // when the exact re-walk blows its budget or the solver gives up. Much
   // cheaper than ExactAll everywhere: one trace's loop-bearing elements
   // are unrolled, not every element of every path.
@@ -681,6 +681,9 @@ class DecomposedVerifier::Impl {
     eo.fork_check = symbex::ForkCheck::Solver;
     eo.solver = &sv;
     eo.time_budget_seconds = cfg.refine_time_budget_seconds;
+    if (cfg.refine_max_instructions != 0) {
+      eo.max_instructions = cfg.refine_max_instructions;
+    }
     symbex::Executor exec(eo);
     bool was_miss = false;
     const ElementSummary& s = cache_refine_.get(prog, len, exec, &was_miss);
@@ -715,7 +718,7 @@ class DecomposedVerifier::Impl {
           if (out.res == solver::Result::Sat || gave_up) return;
           const size_t elem = trace[depth];
           const ElementSummary& sum = refine_summary(
-              pl.element(elem).program(), st.bytes.size(), sv, vstats);
+              pl.element(elem).model_program(), st.bytes.size(), sv, vstats);
           if (sum.truncated) {
             gave_up = true;
             return;
@@ -739,11 +742,14 @@ class DecomposedVerifier::Impl {
               go(depth + 1, std::move(*expanded));
               continue;
             }
-            // The trace's terminal element: re-decide wrong-port exits
-            // exactly. (Drop/Trap suspects were already decided on exact
-            // constraints by the ExactDropsTraps walk — re-deciding them
-            // here would double-report.)
-            if (!is_emit || down.has_value()) continue;
+            // The trace's terminal element: re-decide every violating
+            // exit exactly — wrong-port emits leaving the pipeline, drops,
+            // and traps alike. Any of them can be routed here when an
+            // upstream element's summarized loop over-approximated the
+            // stitched constraint (the suspect element's own drop/trap
+            // constraints were already exact, but the path prefix feeding
+            // them was not).
+            if (is_emit && down.has_value()) continue;  // not a terminal
             if (!terminal_violates(tspec, g.action, g.port)) continue;
             auto expanded = expand_segment(sum, g, st, elem, down, vstats);
             if (!expanded) continue;
@@ -765,7 +771,9 @@ class DecomposedVerifier::Impl {
             }
             out.res = solver::Result::Sat;
             out.ce = make_counterexample(pl, entry, *expanded, model,
-                                         ir::TrapKind::Unreachable,
+                                         g.action == SegAction::Trap
+                                             ? g.trap
+                                             : ir::TrapKind::Unreachable,
                                          std::move(note));
             // Annotate without flipping requires_sequence: a refined model
             // satisfies exact constraints and replays as a single packet
@@ -844,7 +852,7 @@ class DecomposedVerifier::Impl {
     const auto it = state_writes_memo_.find(key);
     if (it != state_writes_memo_.end()) return it->second;
     return state_writes_memo_
-        .emplace(key, symbex::summarize_state(pl.element(elem).program(), sum))
+        .emplace(key, symbex::summarize_state(pl.element(elem).model_program(), sum))
         .first->second;
   }
 
@@ -857,7 +865,7 @@ class DecomposedVerifier::Impl {
                            std::vector<PathInsertSite>* out) {
     if (!filter[elem] || truncated_ || budget_exhausted_) return;
     const ElementSummary& sum =
-        summary_for(pl.element(elem).program(), st.bytes.size(),
+        summary_for(pl.element(elem).model_program(), st.bytes.size(),
                     Precision::AcceptBounds, solver, stats);
     if (sum.truncated) {
       truncated_ = true;
@@ -960,7 +968,7 @@ class DecomposedVerifier::Impl {
     std::map<std::pair<size_t, ir::TableId>, TableOccupancy> occupancy;
     for (size_t e = 0; e < pl.size(); ++e) {
       if (!counted[e]) continue;
-      const ir::Program& prog = pl.element(e).program();
+      const ir::Program& prog = pl.element(e).model_program();
       for (size_t t = 0; t < prog.kv_tables.size(); ++t) {
         TableOccupancy occ;
         occ.element = e;
@@ -1299,18 +1307,25 @@ class DecomposedVerifier::Impl {
 
     // Step 2, fanned out: walk forks per feasible edge; each suspect trap
     // is decided on the worker that reached it, with that worker's solver.
+    // Sat traps on summarized-loop paths refine in the DFS-ordered reduce
+    // (see sat_is_unknown), identically to the sequential engine.
     const std::vector<bool> filter = reachability_filter(pl, has_suspect);
     const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
+    TerminalSpec crash_tspec;
+    crash_tspec.drop_is_violation = false;
+    crash_tspec.trap_is_violation = true;
+    const ExprRef crash_root = bv::mk_bool(true);
     const bool violated = decide_suspects_mt(
         pl, root_state(entry), entry, [&](size_t e) { return filter[e]; },
         Precision::AcceptBounds,
         [](const TerminalRecord& t, size_t /*w*/, ir::TrapKind* trap,
-           bool* /*sat_is_unknown*/) {
+           bool* sat_unknown) {
           if (t.seg->action != SegAction::Trap) return false;
           *trap = t.seg->trap;
+          *sat_unknown = t.st.count_is_bound;
           return true;
         },
-        &report.counterexamples);
+        &report.counterexamples, &crash_tspec, &crash_root);
 
     if (violated) {
       report.verdict = Verdict::Violated;
@@ -1452,20 +1467,28 @@ class DecomposedVerifier::Impl {
     return false;
   }
 
-  // Reach/never properties run at ExactDropsTraps: Drop/Trap suspects are
-  // decided on exact (unrolled) constraints, while Emit segments may keep
-  // their summarized-loop over-approximation. That keeps Proven sound for
-  // wrong-port-emit suspects too (over-approximation never hides a feasible
-  // terminal) without unrolling every loop-bearing element the way
-  // ExactAll does (exponential on e.g. IPOptions at MTU-ish lengths). The
-  // asymmetry: a Sat wrong-port emit whose path crossed a summarized loop
-  // is NOT a certified violation — the model may be an artifact of the
-  // havocked loop outputs — so it degrades to Unknown instead
-  // (sat_is_unknown below).
+  // Reach/never properties run at ExactDropsTraps: Drop/Trap segments of
+  // the suspect element itself are decided on exact (unrolled)
+  // constraints, while Emit segments may keep their summarized-loop
+  // over-approximation. That keeps Proven sound (over-approximation never
+  // hides a feasible terminal) without unrolling every loop-bearing
+  // element the way ExactAll does (exponential on e.g. IPOptions at
+  // MTU-ish lengths). But a Sat model for ANY suspect whose composed path
+  // crossed a summarized loop — in the suspect element or any element
+  // UPSTREAM of it — is not a certified violation: the model may be an
+  // artifact of the havocked loop outputs feeding the stitched constraint
+  // (e.g. SetIPChecksum's summarized sum loop havocs the checksum bytes a
+  // downstream CheckIPHeader tests, making "bad checksum -> drop" Sat for
+  // packets the real element would fix). Such suspects re-decide on the
+  // per-path unroll refinement and either certify a replayable
+  // counterexample, eliminate the artifact, or degrade to Unknown. The
+  // differential fuzz harness caught exactly this class as unreplayable
+  // counterexamples before the path-wide gate existed.
   static bool sat_is_unknown(const TerminalSpec& spec, SegAction action,
                              bool count_is_bound) {
-    return spec.required_exit_port.has_value() &&
-           action == SegAction::Emit && count_is_bound;
+    (void)spec;
+    (void)action;
+    return count_is_bound;
   }
 
   ReachabilityReport reach_never_mt(const pipeline::Pipeline& pl,
@@ -1607,7 +1630,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   bool any_truncated = false;
   for (size_t e = 0; e < pl.size(); ++e) {
     const ElementSummary& sum =
-        im.summary_for(pl.element(e).program(), im.cfg.packet_len,
+        im.summary_for(pl.element(e).model_program(), im.cfg.packet_len,
                        Impl::Precision::AcceptBounds, im.solver, im.stats);
     if (sum.truncated) any_truncated = true;
     for (const Segment& g : sum.segments) {
@@ -1639,6 +1662,14 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
   Impl::ComposeState root = Impl::root_state(entry);
 
+  // For Sat trap suspects on paths that crossed a summarized loop (in any
+  // upstream element), the model may be a havoc artifact — certify or
+  // eliminate via the per-path unroll refinement, exactly like reach/never.
+  TerminalSpec crash_tspec;
+  crash_tspec.drop_is_violation = false;
+  crash_tspec.trap_is_violation = true;
+  const bv::ExprRef crash_root = bv::mk_bool(true);
+
   bool violated = false;
   const bool complete = im.walk(
       pl, 0, std::move(root),
@@ -1655,6 +1686,19 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
         if (r == solver::Result::Unknown) {
           im.truncated_ = true;
           return;
+        }
+        if (st.count_is_bound) {
+          bool first = false;
+          const Impl::RefineOutcome& ro =
+              im.refine_cached(pl, crash_tspec, entry, crash_root,
+                               st.elem_trace, im.solver, im.stats, &first);
+          if (ro.res == solver::Result::Sat) {
+            violated = true;
+            if (first) report.counterexamples.push_back(ro.ce);
+          } else if (ro.res == solver::Result::Unknown) {
+            im.truncated_ = true;
+          }
+          return;  // Unsat: certified infeasible once unrolled
         }
         violated = true;
         report.counterexamples.push_back(im.make_counterexample(

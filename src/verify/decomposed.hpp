@@ -55,6 +55,14 @@ struct DecomposedConfig {
   // — past the budget the refinement honestly gives up as Unknown instead
   // of hanging. 0 = unlimited.
   double refine_time_budget_seconds = 5.0;
+  // Deterministic alternative to the wall-clock budget: cap the
+  // interpreted-instruction count of each refinement summarization
+  // (exceeding it truncates the summary -> the refinement gives up as
+  // Unknown). Unlike the seconds budget, the outcome cannot depend on
+  // machine load or scheduling — the differential fuzz harness runs with
+  // this cap and the seconds budget off so its verdicts are byte-identical
+  // across runs, hosts, and --jobs values. 0 = no instruction cap.
+  uint64_t refine_max_instructions = 0;
   // Worker threads for the parallel engine: Step 1 summarizes elements
   // concurrently and Step 2 walks/decides stitched paths concurrently, each
   // worker with its own solver instance. 1 keeps the seed's sequential

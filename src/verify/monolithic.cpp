@@ -15,6 +15,13 @@ class MonolithicVerifier::Impl {
  public:
   explicit Impl(MonolithicConfig config) : cfg(config) {
     solver.set_max_conflicts(cfg.max_solver_conflicts);
+    // The baseline measures the paper's "general-purpose verifier": every
+    // fork check and every terminal decision is a from-scratch one-shot
+    // solve. Without this opt-out the PR-4 incremental decision layer
+    // (context reuse across the S2E-style fork checks) would quietly speed
+    // up the baseline too, and tab3's decomposed-vs-monolithic comparison
+    // would no longer measure the paper's true baseline.
+    solver.set_incremental(false);
   }
 
   MonolithicConfig cfg;
@@ -25,6 +32,7 @@ class MonolithicVerifier::Impl {
 
   void begin() {
     mstats = {};
+    solver.reset_stats();  // per-call counters, like the decomposed engine
     out_of_time = false;
     deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -68,8 +76,8 @@ class MonolithicVerifier::Impl {
                      uint64_t count, const TerminalFn& on_terminal) {
     if (expired()) return false;
     symbex::Executor exec = make_executor();
-    symbex::ExploreResult r = exec.explore(pl.element(elem).program(), pkt,
-                                           conjuncts);
+    symbex::ExploreResult r = exec.explore(pl.element(elem).model_program(),
+                                           pkt, conjuncts);
     mstats.instructions_interpreted += r.stats.instructions_interpreted;
     mstats.forks += r.stats.forks;
     mstats.solver_queries += r.stats.solver_queries;
@@ -98,6 +106,24 @@ class MonolithicVerifier::Impl {
       on_terminal(elem, g, count + g.instr_count);
     }
     return true;
+  }
+
+  // Copies the solver-layer counters into the per-call stats. The
+  // incremental counters must come back zero — the baseline runs with
+  // set_incremental(false) — and the regression test asserts exactly that
+  // through these fields.
+  void snapshot_solver_stats(VerifyStats* out) {
+    const solver::CheckStats& s = solver.stats();
+    mstats.contexts_opened = s.contexts_opened;
+    mstats.incremental_queries = s.incremental_queries;
+    mstats.assumption_reuses = s.assumption_reuses;
+    out->sat_conflicts = s.sat_conflicts;
+    out->sat_decisions = s.sat_decisions;
+    out->blast_nodes = s.blast_nodes;
+    out->solver_cache_hits = s.cache_hits;
+    out->contexts_opened = s.contexts_opened;
+    out->incremental_queries = s.incremental_queries;
+    out->assumption_reuses = s.assumption_reuses;
   }
 };
 
@@ -144,6 +170,7 @@ CrashFreedomReport MonolithicVerifier::verify_crash_freedom(
   report.stats.instructions_interpreted = im.mstats.instructions_interpreted;
   report.stats.forks = im.mstats.forks;
   report.stats.composed_paths_checked = im.mstats.paths_explored;
+  im.snapshot_solver_stats(&report.stats);
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -184,6 +211,7 @@ InstructionBoundReport MonolithicVerifier::verify_instruction_bound(
   report.stats.instructions_interpreted = im.mstats.instructions_interpreted;
   report.stats.forks = im.mstats.forks;
   report.stats.composed_paths_checked = im.mstats.paths_explored;
+  im.snapshot_solver_stats(&report.stats);
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -36,6 +36,13 @@ struct MonolithicStats {
   uint64_t forks = 0;
   uint64_t solver_queries = 0;
   bool budget_exhausted = false;
+  // Incremental decision-layer counters snapshotted from the solver after
+  // each property call. The baseline opts OUT of incremental solving (it
+  // must pay the paper's full one-shot cost), so all three must stay zero —
+  // a regression test pins that.
+  uint64_t contexts_opened = 0;
+  uint64_t incremental_queries = 0;
+  uint64_t assumption_reuses = 0;
 };
 
 class MonolithicVerifier {

@@ -395,6 +395,111 @@ TEST(Config, MonolithicBudgetExhaustionIsUnknownNotProven) {
   EXPECT_EQ(r.verdict, Verdict::Unknown);
 }
 
+TEST(Config, MonolithicBaselineNeverReusesSolverContexts) {
+  // The baseline measures the paper's one-shot "general-purpose verifier":
+  // it must opt OUT of the incremental decision layer, otherwise context
+  // reuse across its S2E-style fork checks quietly speeds it up and tab3
+  // stops measuring the true baseline. The stats must show zero reuse.
+  pipeline::Pipeline pl = elements::parse_pipeline(
+      "Classifier -> EthDecap -> CheckIPHeader(nochecksum) -> DecIPTTL");
+  MonolithicConfig cfg;
+  cfg.packet_len = 48;
+  MonolithicVerifier v(cfg);
+  const CrashFreedomReport r = v.verify_crash_freedom(pl);
+  EXPECT_EQ(r.verdict, Verdict::Proven);
+  EXPECT_GT(r.stats.solver_queries, 0u);  // it did solve — just one-shot
+  EXPECT_EQ(v.last_stats().contexts_opened, 0u);
+  EXPECT_EQ(v.last_stats().incremental_queries, 0u);
+  EXPECT_EQ(v.last_stats().assumption_reuses, 0u);
+  EXPECT_EQ(r.stats.contexts_opened, 0u);
+  EXPECT_EQ(r.stats.incremental_queries, 0u);
+  EXPECT_EQ(r.stats.assumption_reuses, 0u);
+
+  // The decomposed engine on a SAT-heavy workload DOES open contexts — the
+  // baseline's zeros are an opt-out, not an accident of the workload.
+  DecomposedConfig dcfg;
+  dcfg.packet_len = 64;
+  DecomposedVerifier dv(dcfg);
+  const CrashFreedomReport dr =
+      dv.verify_crash_freedom(elements::make_ip_router_pipeline());
+  EXPECT_EQ(dr.verdict, Verdict::Proven);
+  EXPECT_GT(dr.stats.contexts_opened, 0u);
+}
+
+// Both regression shapes below were found by the differential fuzz harness
+// (vsd fuzz): Sat suspects whose composed path crosses a summarized loop in
+// an UPSTREAM element used to be either reported Violated with an
+// unreplayable counterexample or, worse, wrongly eliminated. They now route
+// through the per-path unroll refinement: certified (replayable CE) or
+// eliminated on exact constraints.
+
+TEST(Refinement, UpstreamSummarizedLoopFalseViolationIsEliminated) {
+  // SetIPChecksum's summarized sum loop havocs the checksum bytes the
+  // downstream CheckIPHeader verifies, so "bad checksum -> drop" used to
+  // be Sat with an arbitrary model: never(drop) reported a Violated no
+  // packet can demonstrate (concretely SetIPChecksum always writes a
+  // correct checksum). The exact re-walk eliminates the artifact. The
+  // predicate pins every header byte except the checksum field so the
+  // elimination's unsat proof folds instead of exercising full symbolic
+  // one's-complement arithmetic (which is correct too, just ~30 s).
+  pipeline::Pipeline pl =
+      elements::parse_pipeline("SetIPChecksum -> CheckIPHeader");
+  net::PacketSpec spec;
+  spec.fix_checksum = false;
+  spec.payload_len = 12;  // ip total_len = 40 == packet_len: nothing to drop
+  net::Packet wf = net::make_packet(spec);
+  wf.pull_front(net::kEtherHeaderSize);
+  DecomposedConfig cfg;
+  cfg.packet_len = 40;
+  DecomposedVerifier v(cfg);
+  const ReachabilityReport r = v.verify_never_dropped(
+      pl, [&wf](const symbex::SymPacket& p) {
+        bv::ExprRef e = bv::mk_bool(true);
+        for (size_t i = 0; i < 20; ++i) {
+          if (i == 10 || i == 11) continue;  // checksum field stays free
+          e = bv::mk_land(e, bv::mk_eq(p.byte(i), bv::mk_const(wf[i], 8)));
+        }
+        return e;
+      });
+  EXPECT_EQ(r.verdict, Verdict::Proven);
+  EXPECT_GT(r.stats.refinements_attempted, 0u);
+  EXPECT_GT(r.stats.refinements_eliminated, 0u);
+}
+
+TEST(Refinement, TrapBehindSummarizedLoopIsCertifiedReplayable) {
+  // The trap lives in ToyFig1 (exact), but the path to it crosses
+  // CheckIPHeader's summarized checksum loop: the old Sat model ignored
+  // the checksum clause and did not replay. The refined counterexample
+  // must replay to the exact trap.
+  pipeline::Pipeline pl = elements::parse_pipeline(
+      "CheckIPHeader -> EthDecap -> Null -> ToyFig1");
+  DecomposedConfig cfg;
+  cfg.packet_len = 48;
+  DecomposedVerifier v(cfg);
+  const CrashFreedomReport r = v.verify_crash_freedom(pl);
+  ASSERT_EQ(r.verdict, Verdict::Violated);
+  ASSERT_FALSE(r.counterexamples.empty());
+  const Counterexample& ce = r.counterexamples.front();
+  EXPECT_FALSE(ce.requires_sequence);
+  pipeline::Pipeline replay = elements::parse_pipeline(
+      "CheckIPHeader -> EthDecap -> Null -> ToyFig1");
+  net::Packet p = ce.packet;
+  const pipeline::PipelineResult rr = replay.process(p);
+  EXPECT_EQ(rr.action, pipeline::FinalAction::Trapped);
+  EXPECT_EQ(rr.trap, ir::TrapKind::AssertFail);
+
+  // jobs=8 must produce the identical certified counterexample.
+  DecomposedConfig cfg8 = cfg;
+  cfg8.jobs = 8;
+  DecomposedVerifier v8(cfg8);
+  const CrashFreedomReport r8 = v8.verify_crash_freedom(pl);
+  ASSERT_EQ(r8.verdict, Verdict::Violated);
+  ASSERT_EQ(r8.counterexamples.size(), r.counterexamples.size());
+  EXPECT_TRUE(std::equal(ce.packet.bytes().begin(), ce.packet.bytes().end(),
+                         r8.counterexamples.front().packet.bytes().begin(),
+                         r8.counterexamples.front().packet.bytes().end()));
+}
+
 TEST(Config, EmptyishPipelineSingleElement) {
   pipeline::Pipeline pl;
   pl.add("null", elements::make_element("Null", ""));

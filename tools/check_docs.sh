@@ -53,8 +53,35 @@ for kw in $keywords; do
   fi
 done
 
+# --- 3. property-pack coverage ----------------------------------------------
+# Every builtin registry element must ship a property pack under
+# tests/packs/, and every pack file must name a registered element. Element
+# names are harvested from the factory table in src/elements/registry.cpp
+# (test-only elements are registered at runtime and never appear there).
+elements=$(grep -ohE '\{"[A-Za-z0-9]+",' src/elements/registry.cpp |
+  grep -oE '"[A-Za-z0-9]+"' | tr -d '"' | sort -u)
+if [ -z "$elements" ]; then
+  echo "PACK SYNC: harvested no element names from registry.cpp — check the grep"
+  fail=1
+fi
+for elem in $elements; do
+  if [ ! -f "tests/packs/$elem.vspec" ]; then
+    echo "PACK MISSING: element '$elem' has no tests/packs/$elem.vspec"
+    fail=1
+  fi
+done
+for pack in tests/packs/*.vspec; do
+  [ -e "$pack" ] || continue
+  stem=$(basename "$pack" .vspec)
+  if ! echo "$elements" | grep -qx -- "$stem"; then
+    echo "PACK STRAY: $pack matches no element in registry.cpp"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   count=$(echo "$keywords" | wc -w | tr -d ' ')
-  echo "docs OK: links resolve, vspec reference covers all $count parser keywords"
+  npacks=$(echo "$elements" | wc -w | tr -d ' ')
+  echo "docs OK: links resolve, vspec reference covers all $count parser keywords, $npacks property packs in sync"
 fi
 exit "$fail"

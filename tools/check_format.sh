@@ -5,16 +5,29 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-if ! command -v clang-format >/dev/null 2>&1; then
-  echo "check_format: clang-format not found, skipping" >&2
-  exit 0
+status=0
+if command -v clang-format >/dev/null 2>&1; then
+  for f in $(find src tests bench tools examples \
+               -name '*.cpp' -o -name '*.hpp' | sort); do
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "needs formatting: $f"
+      status=1
+    fi
+  done
+else
+  echo "check_format: clang-format not found, skipping C++ formatting" >&2
 fi
 
-status=0
-for f in $(find src tests bench tools examples \
-             -name '*.cpp' -o -name '*.hpp' | sort); do
-  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
-    echo "needs formatting: $f"
+# vspec hygiene (examples + property packs): no tabs, no trailing
+# whitespace, trailing newline present.
+for f in examples/*.vspec tests/packs/*.vspec; do
+  [ -e "$f" ] || continue
+  if grep -q "$(printf '\t')" "$f" || grep -q ' $' "$f"; then
+    echo "vspec has tabs or trailing whitespace: $f"
+    status=1
+  fi
+  if [ -n "$(tail -c 1 "$f")" ]; then
+    echo "vspec missing trailing newline: $f"
     status=1
   fi
 done

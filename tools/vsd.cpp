@@ -39,6 +39,8 @@
 #include "pipeline/pipeline.hpp"
 #include "spec/check.hpp"
 #include "spec/parser.hpp"
+#include "testing/fuzz.hpp"
+#include "testing/packs.hpp"
 #include "verify/certify.hpp"
 #include "verify/decomposed.hpp"
 #include "verify/monolithic.hpp"
@@ -66,7 +68,8 @@ Args parse_args(int argc, char** argv) {
   // Boolean flags never consume the next token — otherwise
   // `vsd check --stats file.vspec` would swallow the file as the flag's
   // value and silently check nothing.
-  static const char* kBoolFlags[] = {"stats", "one-shot", "unroll", "print"};
+  static const char* kBoolFlags[] = {"stats", "one-shot", "unroll", "print",
+                                     "no-cross-check", "no-artifacts"};
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
@@ -105,6 +108,12 @@ int usage() {
       "the spec(s)\n"
       "      (verify/reach/state/check also take --stats for solver-layer\n"
       "       counters and --one-shot to disable incremental solving)\n"
+      "  vsd fuzz [--seed S] [--pipelines N] [--packets N] [--sequences N]\n"
+      "           [--sequence-len K] [--max-elems K] [--jobs N] [--out DIR]\n"
+      "           [--no-cross-check] [--no-artifacts]   differential fuzz\n"
+      "  vsd fuzz --emit-packs [DIR]              write per-element "
+      "property packs\n"
+      "  vsd fuzz --check-packs [DIR] [--jobs N]  verify the pack corpus\n"
       "  vsd show \"<pipeline>\"                     print element IR\n"
       "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
       "malformed|random|tiny] [--seed S]\n"
@@ -216,6 +225,49 @@ int cmd_check(const Args& a) {
     all_passed = all_passed && rep.ok;
   }
   return all_passed ? 0 : 1;
+}
+
+// --- vsd fuzz: the differential fuzzing harness -------------------------------
+
+int cmd_fuzz(const Args& a) {
+  if (a.options.count("emit-packs") != 0) {
+    std::string dir = a.get("emit-packs", "");
+    if (dir.empty()) dir = "tests/packs";
+    const size_t n = fuzz::write_packs(dir);
+    std::printf("wrote %zu property packs to %s/\n", n, dir.c_str());
+    return 0;
+  }
+  if (a.options.count("check-packs") != 0) {
+    std::string dir = a.get("check-packs", "");
+    if (dir.empty()) dir = "tests/packs";
+    const fuzz::PackCheckResult r =
+        fuzz::check_packs(dir, a.get_u64("jobs", 1));
+    for (const std::string& line : r.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    std::printf("pack corpus %s: %s\n", dir.c_str(), r.ok ? "OK" : "FAIL");
+    return r.ok ? 0 : 1;
+  }
+
+  fuzz::FuzzConfig cfg;
+  cfg.seed = a.get_u64("seed", 1);
+  cfg.pipelines = a.get_u64("pipelines", 10);
+  cfg.packets = a.get_u64("packets", 100);
+  cfg.sequences = a.get_u64("sequences", 4);
+  cfg.sequence_len = a.get_u64("sequence-len", 6);
+  cfg.jobs = a.get_u64("jobs", 1);
+  cfg.gen.max_chain = a.get_u64("max-elems", 4);
+  cfg.cross_check = !a.flag("no-cross-check");
+  cfg.artifact_dir = a.flag("no-artifacts") ? "" : a.get("out", "fuzz-failures");
+  const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
+  std::printf("%s", report.summary().c_str());
+  if (!report.ok() && !cfg.artifact_dir.empty()) {
+    std::printf("FAIL artifacts (repro .vspec + .pkt) written to %s/\n",
+                cfg.artifact_dir.c_str());
+  }
+  std::printf("fuzz: %zu pipelines, %zu failure(s)\n", report.outcomes.size(),
+              report.failures.size());
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_show(const Args& a) {
@@ -498,6 +550,7 @@ int main(int argc, char** argv) {
   const std::string& cmd = a.positional[0];
   try {
     if (cmd == "list") return cmd_list();
+    if (cmd == "fuzz") return cmd_fuzz(a);
     if (a.positional.size() < 2) return usage();
     if (cmd == "check") return cmd_check(a);
     if (cmd == "show") return cmd_show(a);
