@@ -1,0 +1,335 @@
+#include "bv/rewrite.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "bv/analysis.hpp"
+
+namespace vsd::bv {
+
+namespace {
+
+uint64_t width_mask(unsigned w) { return truncate_to_width(~uint64_t{0}, w); }
+
+#ifndef NDEBUG
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Debug-build equisatisfiability self-check: the rules below are all
+// equivalence-preserving, so the original and rewritten node must agree on
+// any assignment. Sample a handful of assignments derived deterministically
+// from the original's structural hash (no global RNG: rewriting stays
+// reproducible across runs and job counts).
+void check_equivalent(const ExprRef& orig, const ExprRef& rewritten) {
+  const uint64_t seed = static_cast<uint64_t>(orig->hash());
+  for (uint64_t round = 0; round < 4; ++round) {
+    Assignment asg;
+    for (const ExprRef& v : free_variables(orig)) {
+      asg[v->var_id()] = truncate_to_width(
+          splitmix64(seed ^ (round * 0x100000001b3ULL) ^ v->var_id()),
+          v->width());
+    }
+    assert(evaluate(orig, asg) == evaluate(rewritten, asg) &&
+           "rewrite rule changed semantics");
+  }
+}
+#endif
+
+bool is_bitwise(Kind k) {
+  return k == Kind::And || k == Kind::Or || k == Kind::Xor;
+}
+
+ExprRef mk_bitwise(Kind k, const ExprRef& a, const ExprRef& b) {
+  switch (k) {
+    case Kind::And: return mk_and(a, b);
+    case Kind::Or: return mk_or(a, b);
+    case Kind::Xor: return mk_xor(a, b);
+    default: assert(false); return a;
+  }
+}
+
+uint64_t apply_bitwise(Kind k, uint64_t a, uint64_t b) {
+  switch (k) {
+    case Kind::And: return a & b;
+    case Kind::Or: return a | b;
+    case Kind::Xor: return a ^ b;
+    default: assert(false); return 0;
+  }
+}
+
+}  // namespace
+
+ExprRef Rewriter::rewrite(const ExprRef& e) {
+  ExprRef out = rewrite_node(e);
+  // Query roots are conjunctions: flatten the And-spine and drop duplicate
+  // conjuncts (stitching repeats well-formedness predicates per element).
+  if (out->width() == 1 && out->kind() == Kind::And) {
+    out = flatten_spine(out);
+  }
+#ifndef NDEBUG
+  if (out.get() != e.get()) check_equivalent(e, out);
+#endif
+  return out;
+}
+
+void Rewriter::clear() { memo_.clear(); }
+
+ExprRef Rewriter::flatten_spine(const ExprRef& e) {
+  std::vector<ExprRef> conjuncts;
+  // Left-to-right spine order: push right child first.
+  std::vector<ExprRef> ordered;
+  {
+    std::vector<ExprRef> work{e};
+    while (!work.empty()) {
+      ExprRef cur = std::move(work.back());
+      work.pop_back();
+      if (cur->kind() == Kind::And && cur->width() == 1) {
+        work.push_back(cur->operand(1));
+        work.push_back(cur->operand(0));
+      } else {
+        ordered.push_back(std::move(cur));
+      }
+    }
+  }
+  std::unordered_map<uint64_t, bool> seen;
+  bool changed = false;
+  for (ExprRef& c : ordered) {
+    if (c->is_false()) return mk_bool(false);
+    if (c->is_true() || !seen.emplace(c->uid(), true).second) {
+      changed = true;  // dropped
+      continue;
+    }
+    conjuncts.push_back(std::move(c));
+  }
+  if (!changed) return e;
+  ++stats_.rules_applied;
+  return mk_land_all(conjuncts);
+}
+
+ExprRef Rewriter::rewrite_node(const ExprRef& e) {
+  if (e->kind() == Kind::Const || e->kind() == Kind::Var) return e;
+  auto it = memo_.find(e->uid());
+  if (it != memo_.end()) return it->second;
+
+  std::vector<ExprRef> ops;
+  ops.reserve(e->num_operands());
+  bool changed = false;
+  for (size_t i = 0; i < e->num_operands(); ++i) {
+    ExprRef r = rewrite_node(e->operand(i));
+    changed = changed || r.get() != e->operand(i).get();
+    ops.push_back(std::move(r));
+  }
+  ExprRef cur = changed ? rebuild(e, ops) : e;
+  // Rules can expose further rules (Ule -> Ult -> through-zext); iterate to
+  // a local fixpoint. Every rule strictly shrinks a measure, so the bound
+  // is a backstop, not a budget.
+  for (int round = 0; round < 8; ++round) {
+    ExprRef next = apply_rules(cur);
+    if (next.get() == cur.get()) break;
+    ++stats_.rules_applied;
+    cur = next;
+  }
+  if (cur.get() != e.get()) {
+    ++stats_.nodes_rewritten;
+#ifndef NDEBUG
+    check_equivalent(e, cur);
+#endif
+  }
+  if (memo_.size() >= kMemoCap) memo_.clear();
+  memo_.emplace(e->uid(), cur);
+  // Outputs are fixpoints: rewriting a rewritten node is the identity.
+  memo_.emplace(cur->uid(), cur);
+  return cur;
+}
+
+ExprRef Rewriter::rebuild(const ExprRef& e, const std::vector<ExprRef>& ops) {
+  switch (e->kind()) {
+    case Kind::Not: return mk_not(ops[0]);
+    case Kind::Neg: return mk_neg(ops[0]);
+    case Kind::Add: return mk_add(ops[0], ops[1]);
+    case Kind::Sub: return mk_sub(ops[0], ops[1]);
+    case Kind::Mul: return mk_mul(ops[0], ops[1]);
+    case Kind::UDiv: return mk_udiv(ops[0], ops[1]);
+    case Kind::URem: return mk_urem(ops[0], ops[1]);
+    case Kind::And: return mk_and(ops[0], ops[1]);
+    case Kind::Or: return mk_or(ops[0], ops[1]);
+    case Kind::Xor: return mk_xor(ops[0], ops[1]);
+    case Kind::Shl: return mk_shl(ops[0], ops[1]);
+    case Kind::LShr: return mk_lshr(ops[0], ops[1]);
+    case Kind::AShr: return mk_ashr(ops[0], ops[1]);
+    case Kind::Eq: return mk_eq(ops[0], ops[1]);
+    case Kind::Ult: return mk_ult(ops[0], ops[1]);
+    case Kind::Ule: return mk_ule(ops[0], ops[1]);
+    case Kind::Slt: return mk_slt(ops[0], ops[1]);
+    case Kind::Sle: return mk_sle(ops[0], ops[1]);
+    case Kind::ZExt: return mk_zext(ops[0], e->width());
+    case Kind::SExt: return mk_sext(ops[0], e->width());
+    case Kind::Extract: return mk_extract(ops[0], e->extract_lo(), e->width());
+    case Kind::Concat: return mk_concat(ops[0], ops[1]);
+    case Kind::Ite: return mk_ite(ops[0], ops[1], ops[2]);
+    case Kind::Const:
+    case Kind::Var:
+      break;
+  }
+  return e;
+}
+
+// One top-level rule application on a node whose operands are already
+// normalized. Returns the input unchanged when no rule matches.
+ExprRef Rewriter::apply_rules(const ExprRef& e) {
+  const Kind k = e->kind();
+
+  // --- comparison canonicalization -----------------------------------------
+  // Not over an inequality flips it: variants of the same predicate intern
+  // to one node, so caches keyed by uid see one query instead of two.
+  if (k == Kind::Not && e->width() == 1) {
+    const ExprRef& a = e->operand(0);
+    switch (a->kind()) {
+      case Kind::Ult: return mk_ule(a->operand(1), a->operand(0));
+      case Kind::Ule: return mk_ult(a->operand(1), a->operand(0));
+      case Kind::Slt: return mk_sle(a->operand(1), a->operand(0));
+      case Kind::Sle: return mk_slt(a->operand(1), a->operand(0));
+      default: break;
+    }
+    return e;
+  }
+
+  // Non-strict against a constant becomes strict (one canonical form).
+  if (k == Kind::Ule) {
+    const ExprRef& a = e->operand(0);
+    const ExprRef& b = e->operand(1);
+    const unsigned w = a->width();
+    if (b->is_const() && b->value() < width_mask(w)) {
+      return mk_ult(a, mk_const(b->value() + 1, w));
+    }
+    if (a->is_const() && a->value() > 0) {
+      return mk_ult(mk_const(a->value() - 1, w), b);
+    }
+    return e;
+  }
+
+  // Inequality through zero-extension against a constant narrows the cone.
+  if (k == Kind::Ult) {
+    const ExprRef& a = e->operand(0);
+    const ExprRef& b = e->operand(1);
+    if (a->kind() == Kind::ZExt && b->is_const()) {
+      const ExprRef& x = a->operand(0);
+      const uint64_t xmax = width_mask(x->width());
+      if (b->value() > xmax) return mk_bool(true);
+      return mk_ult(x, mk_const(b->value(), x->width()));
+    }
+    if (b->kind() == Kind::ZExt && a->is_const()) {
+      const ExprRef& x = b->operand(0);
+      const uint64_t xmax = width_mask(x->width());
+      if (a->value() >= xmax) return mk_bool(false);
+      return mk_ult(mk_const(a->value(), x->width()), x);
+    }
+    return e;
+  }
+
+  // --- constant motion through one side of an equality ---------------------
+  if (k == Kind::Eq && e->operand(1)->is_const()) {
+    const ExprRef& a = e->operand(0);
+    const uint64_t c = e->operand(1)->value();
+    const unsigned w = a->width();
+    switch (a->kind()) {
+      case Kind::Add:
+        // mk_add canonicalizes a constant addend to the right.
+        if (a->operand(1)->is_const()) {
+          return mk_eq(a->operand(0),
+                       mk_const(truncate_to_width(c - a->operand(1)->value(), w), w));
+        }
+        break;
+      case Kind::Xor:
+        if (a->operand(1)->is_const()) {
+          return mk_eq(a->operand(0), mk_const(c ^ a->operand(1)->value(), w));
+        }
+        if (a->operand(0)->is_const()) {
+          return mk_eq(a->operand(1), mk_const(c ^ a->operand(0)->value(), w));
+        }
+        break;
+      case Kind::Not:
+        return mk_eq(a->operand(0), mk_const(truncate_to_width(~c, w), w));
+      case Kind::Neg:
+        return mk_eq(a->operand(0), mk_const(truncate_to_width(-c, w), w));
+      case Kind::ZExt: {
+        const ExprRef& x = a->operand(0);
+        if (c > width_mask(x->width())) return mk_bool(false);
+        return mk_eq(x, mk_const(c, x->width()));
+      }
+      case Kind::SExt: {
+        const ExprRef& x = a->operand(0);
+        const uint64_t lo = truncate_to_width(c, x->width());
+        const uint64_t back = truncate_to_width(
+            static_cast<uint64_t>(sign_extend_64(lo, x->width())), w);
+        if (back != c) return mk_bool(false);
+        return mk_eq(x, mk_const(lo, x->width()));
+      }
+      case Kind::Concat: {
+        // concat(hi, lo) == c splits into two independent equalities: the
+        // interval layer can now decide each half, and independence slicing
+        // can put them in different components.
+        const ExprRef& hi = a->operand(0);
+        const ExprRef& lo = a->operand(1);
+        const unsigned lw = lo->width();
+        ExprRef eq_hi = rewrite_node(
+            mk_eq(hi, mk_const(truncate_to_width(c >> lw, hi->width()),
+                               hi->width())));
+        ExprRef eq_lo =
+            rewrite_node(mk_eq(lo, mk_const(truncate_to_width(c, lw), lw)));
+        return mk_land(eq_hi, eq_lo);
+      }
+      default:
+        break;
+    }
+    return e;
+  }
+
+  // --- redundant extract / bitwise narrowing -------------------------------
+  // The factories already collapse extract-of-extract/zext/concat; pushing
+  // through bitwise operators finishes the job and shrinks the blasted cone.
+  if (k == Kind::Extract) {
+    const ExprRef& a = e->operand(0);
+    if (is_bitwise(a->kind())) {
+      ExprRef l = rewrite_node(
+          mk_extract(a->operand(0), e->extract_lo(), e->width()));
+      ExprRef r = rewrite_node(
+          mk_extract(a->operand(1), e->extract_lo(), e->width()));
+      return mk_bitwise(a->kind(), l, r);
+    }
+    if (a->kind() == Kind::Not) {
+      return mk_not(rewrite_node(
+          mk_extract(a->operand(0), e->extract_lo(), e->width())));
+    }
+    return e;
+  }
+
+  // --- bitwise constant motion ---------------------------------------------
+  // Commutative bitwise ops: constant to the right (interning stability),
+  // and fold nested constants: (x op c1) op c2 -> x op (c1 op c2).
+  if (is_bitwise(k)) {
+    const ExprRef& a = e->operand(0);
+    const ExprRef& b = e->operand(1);
+    if (a->is_const() && !b->is_const()) return mk_bitwise(k, b, a);
+    if (b->is_const() && a->kind() == k && a->operand(1)->is_const()) {
+      return mk_bitwise(
+          k, a->operand(0),
+          mk_const(apply_bitwise(k, a->operand(1)->value(), b->value()),
+                   e->width()));
+    }
+    return e;
+  }
+
+  return e;
+}
+
+ExprRef rewrite(const ExprRef& e) {
+  Rewriter rw;
+  return rw.rewrite(e);
+}
+
+}  // namespace vsd::bv

@@ -1,0 +1,70 @@
+// Normalization / rewrite pass over the expression DAG, run by the solver
+// before bit-blasting (query-avoidance layer (a)).
+//
+// The mk_* factories already fold constants and apply local rewrites at
+// construction time; this pass adds the rules that only pay off on *query*
+// roots — mostly shapes produced by Step-2 substitution, where a composed
+// constraint contains patterns no single factory call ever saw:
+//
+//   - comparison canonicalization: Ule against a constant becomes strict
+//     Ult (and Not over any inequality flips it), so syntactic variants of
+//     the same predicate intern to one node and hit the per-uid result
+//     cache / blast cache;
+//   - constant motion through Add/Xor/Not/Neg/ZExt/SExt/Concat on one side
+//     of an equality, so `concat(a,b) == c` splits into independent
+//     byte-level equalities (feeding the interval layer and independence
+//     slicing);
+//   - redundant extract/concat collapse beyond the factories: Extract
+//     pushed through bitwise And/Or/Xor/Not narrows the blasted cone;
+//   - And-spine flattening with duplicate-conjunct elimination (stitched
+//     constraints repeat well-formedness conjuncts per element).
+//
+// Every rule is equivalence-preserving (hence equisatisfiable). In debug
+// builds each changed node is checked against the original on a set of
+// assignments derived deterministically from the node's structural hash.
+//
+// Rewriting never introduces variables and the rewritten constraint is used
+// for *verdicts* only — Sat models are still derived from the original
+// expression (see solver.cpp), which keeps counterexample bytes identical
+// whether the pass is on or off.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bv/expr.hpp"
+
+namespace vsd::bv {
+
+struct RewriteStats {
+  uint64_t nodes_rewritten = 0;  // nodes whose rewritten form differs
+  uint64_t rules_applied = 0;    // individual rule firings
+};
+
+// Memoizing rewriter: results are cached per node uid, so re-rewriting the
+// shared prefix of a stitched query group costs one traversal total. The
+// memo is capped; exceeding the cap clears it (same spirit as the solver's
+// FIFO result cache).
+class Rewriter {
+ public:
+  // Returns an equivalent, normalized expression (possibly `e` itself).
+  ExprRef rewrite(const ExprRef& e);
+
+  const RewriteStats& stats() const { return stats_; }
+  void clear();
+
+ private:
+  ExprRef rewrite_node(const ExprRef& e);
+  ExprRef rebuild(const ExprRef& e, const std::vector<ExprRef>& ops);
+  ExprRef apply_rules(const ExprRef& e);
+  ExprRef flatten_spine(const ExprRef& e);
+
+  std::unordered_map<uint64_t, ExprRef> memo_;
+  RewriteStats stats_;
+  static constexpr size_t kMemoCap = size_t{1} << 17;
+};
+
+// One-shot convenience (fresh memo).
+ExprRef rewrite(const ExprRef& e);
+
+}  // namespace vsd::bv

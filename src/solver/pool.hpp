@@ -32,6 +32,14 @@ class SolverPool {
 
   void set_incremental(bool on);
 
+  // Query-avoidance kill switches, mirrored onto every worker (each layer
+  // is independently toggleable; see Solver for semantics).
+  void set_rewrite(bool on);
+  void set_independence(bool on);
+  void set_cex_cache(bool on);
+  void set_core_grouping(bool on);
+  void set_clause_gc(bool on);
+
  private:
   std::vector<std::unique_ptr<Solver>> solvers_;
 };

@@ -310,6 +310,53 @@ void SatSolver::reduce_learnt_db() {
   learnt_indices_ = std::move(kept);
 }
 
+size_t SatSolver::reduce_learnts() {
+  assert(trail_lim_.empty() && "GC runs between solves, at decision level 0");
+  if (!ok_ || learnt_indices_.empty()) return 0;
+  const uint64_t before = stats_.removed_clauses;
+  reduce_learnt_db();
+  compact_clause_db();
+  return static_cast<size_t>(stats_.removed_clauses - before);
+}
+
+// Physically erases tombstoned clauses (lits cleared by reduce_learnt_db)
+// and remaps every clause index: learnt_indices_, reason_ entries of the
+// level-0 trail, and the watch lists (rebuilt from scratch — at level 0
+// with propagation complete a fresh watch pair is valid: a watched literal
+// false at level 0 is never re-propagated, and conflicts/units on the
+// remaining literals surface exactly as with any falsified watch).
+// Tombstones are never reasons: they were detached when tombstoned and a
+// detached clause cannot propagate.
+void SatSolver::compact_clause_db() {
+  assert(trail_lim_.empty());
+  std::vector<int> remap(clauses_.size(), -1);
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].lits.empty()) continue;  // tombstone
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(std::move(clauses_[i]));
+  }
+  if (kept.size() == clauses_.size()) {
+    clauses_ = std::move(kept);
+    return;  // nothing moved; indices unchanged
+  }
+  clauses_ = std::move(kept);
+  for (auto& ws : watches_) ws.clear();
+  for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) attach_clause(i);
+  size_t k = 0;
+  for (const int idx : learnt_indices_) {
+    if (remap[idx] != -1) learnt_indices_[k++] = remap[idx];
+  }
+  learnt_indices_.resize(k);
+  for (int& r : reason_) {
+    if (r != -1) {
+      assert(remap[r] != -1);
+      r = remap[r];
+    }
+  }
+}
+
 SatResult SatSolver::solve(uint64_t max_conflicts) {
   return solve(std::vector<Lit>{}, max_conflicts);
 }

@@ -132,6 +132,18 @@ class SatSolver {
   // assumptions.
   bool okay() const { return ok_; }
 
+  // Cross-call learnt-clause garbage collection for long-lived incremental
+  // instances. solve() already reduces the learnt DB *within* one call, but
+  // its limit resets every call (and grows with the accumulated database),
+  // so a context solving thousands of queries grows without bound. Callers
+  // owning a persistent solver invoke this between solves (decision level
+  // 0): it drops the low-activity half of the learnt clauses — reason
+  // clauses and binaries are kept — and physically compacts the clause
+  // vector so tombstones from earlier reductions stop occupying memory.
+  // Always sound: learnt clauses are implied by the problem clauses.
+  // Returns the number of clauses removed.
+  size_t reduce_learnts();
+
   size_t num_clauses() const { return clauses_.size(); }
   size_t num_learnts() const { return learnt_indices_.size(); }
 
@@ -164,6 +176,7 @@ class SatSolver {
   Lit pick_branch_lit();
   void attach_clause(int idx);
   void reduce_learnt_db();
+  void compact_clause_db();
   void bump_var(Var v);
   void bump_clause(int idx);
   void decay_activities();

@@ -1,6 +1,14 @@
 #include "solver/solver.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
+
+#ifdef VSD_DEBUG_CONTEXT_QUERIES
+#include <cstdio>
+
+#include "bv/printer.hpp"
+#endif
 
 namespace vsd::solver {
 
@@ -37,15 +45,16 @@ void SolverContext::note_vars(const bv::ExprRef& e,
 }
 
 bool SolverContext::collect_conjuncts(const bv::ExprRef& e,
-                                      std::vector<sat::Lit>* lits) {
+                                      std::vector<sat::Lit>* lits,
+                                      std::vector<bv::ExprRef>* exprs) {
   if (e->is_true()) return true;
   if (e->is_false()) return false;
   // Stitched constraints are left-leaning And-spines: splitting them means
   // the shared path prefix is blasted exactly once across a query group
   // and each conjunct's root literal doubles as its activation literal.
   if (e->kind() == bv::Kind::And && e->width() == 1) {
-    return collect_conjuncts(e->operand(0), lits) &&
-           collect_conjuncts(e->operand(1), lits);
+    return collect_conjuncts(e->operand(0), lits, exprs) &&
+           collect_conjuncts(e->operand(1), lits, exprs);
   }
   const bool reused = blaster_.is_cached(e);
   const size_t before = blaster_.cache_size();
@@ -56,11 +65,13 @@ bool SolverContext::collect_conjuncts(const bv::ExprRef& e,
     owner_.stats_.blast_nodes += blaster_.cache_size() - before;
   }
   lits->push_back(l);
+  if (exprs != nullptr) exprs->push_back(e);
   return true;
 }
 
 void SolverContext::assert_base(const bv::ExprRef& e) {
   assert(e->width() == 1);
+  has_base_ = true;
   if (base_false_) return;
   std::vector<sat::Lit> lits;
   if (!collect_conjuncts(e, &lits)) {
@@ -77,12 +88,14 @@ CheckResult SolverContext::check_assuming(const bv::ExprRef& e,
                                           bool need_model) {
   assert(e->width() == 1);
   CheckResult out;
+  last_core_.clear();
   if (base_false_ || !sat_.okay()) {
     out.result = Result::Unsat;
     return out;
   }
   std::vector<sat::Lit> assumptions;
-  if (!collect_conjuncts(e, &assumptions)) {
+  std::vector<bv::ExprRef> conjuncts;
+  if (!collect_conjuncts(e, &assumptions, &conjuncts)) {
     out.result = Result::Unsat;
     return out;
   }
@@ -101,9 +114,31 @@ CheckResult SolverContext::check_assuming(const bv::ExprRef& e,
   cs.sat_conflicts += sat_.stats().conflicts - before.conflicts;
   cs.sat_decisions += sat_.stats().decisions - before.decisions;
 
+  // Layer (d): cross-query learnt-DB GC. solve()'s internal reduction limit
+  // resets per call and scales with the accumulated database, so a
+  // long-lived context grows without bound without this hook.
+  if (owner_.clause_gc_on_ && sat_.num_learnts() > owner_.learnt_budget_) {
+    ++cs.learnt_gc_runs;
+    cs.learnt_gc_removed += sat_.reduce_learnts();
+  }
+
   switch (r) {
     case sat::SatResult::Unsat:
       out.result = Result::Unsat;
+      // Map the final conflict (negated assumption literals) back to the
+      // conjunct expressions the refutation used — the unsat core layer (e)
+      // groups later queries under it. Skip when the database itself went
+      // unsat (no assumption core exists then).
+      if (sat_.okay() && !sat_.final_conflict().empty()) {
+        std::unordered_map<int, const bv::ExprRef*> by_code;
+        for (size_t i = 0; i < assumptions.size(); ++i) {
+          by_code.emplace(assumptions[i].code(), &conjuncts[i]);
+        }
+        for (const sat::Lit l : sat_.final_conflict()) {
+          const auto it = by_code.find((~l).code());
+          if (it != by_code.end()) last_core_.push_back(*it->second);
+        }
+      }
       return out;
     case sat::SatResult::Unknown:
       out.result = Result::Unknown;
@@ -116,6 +151,16 @@ CheckResult SolverContext::check_assuming(const bv::ExprRef& e,
     for (const auto& [id, v] : vars_) {
       out.model.emplace(id, blaster_.model_value(v));
     }
+    owner_.remember_model(out.model);
+  } else if (owner_.cex_cache_on_) {
+    // The SAT core just produced a satisfying assignment anyway — harvest
+    // it for the cex cache even though the caller only wanted the verdict.
+    // Cached models are used as Sat *proofs* only (via concrete
+    // evaluation), never handed out, so feeding history-dependent context
+    // models here cannot perturb any reported byte.
+    bv::Assignment m;
+    for (const auto& [id, v] : vars_) m.emplace(id, blaster_.model_value(v));
+    owner_.remember_model(m);
   }
   return out;
 }
@@ -147,8 +192,18 @@ const Solver::CacheEntry* Solver::cache_find(uint64_t uid) {
 void Solver::cache_store(uint64_t uid, CheckResult r, bool has_model) {
   const auto it = cache_.find(uid);
   if (it != cache_.end()) {
-    // Upgrade in place (model-less Sat -> Sat with model); FIFO position
-    // is unchanged so a uid is never queued twice.
+    // Upgrade in place only (model-less Sat -> Sat with model); FIFO
+    // position is unchanged so a uid is never queued twice. Guard the
+    // downgrade directions: a Sat entry holding a model must never be
+    // replaced by a model-less one (a later check() would silently pay a
+    // one-shot re-derivation), and an Unknown must never clobber a
+    // definite verdict.
+    const CacheEntry& cur = it->second;
+    const bool model_downgrade = cur.has_model && cur.r.result == Result::Sat &&
+                                 r.result == Result::Sat && !has_model;
+    const bool verdict_downgrade = r.result == Result::Unknown &&
+                                   cur.r.result != Result::Unknown;
+    if (model_downgrade || verdict_downgrade) return;
     it->second = CacheEntry{std::move(r), has_model};
     return;
   }
@@ -182,6 +237,189 @@ bool Solver::check_cheap(const bv::ExprRef& e, CheckResult* out) {
   return false;
 }
 
+// --- query-avoidance helpers ------------------------------------------------
+
+void Solver::cache_verdict(uint64_t uid, Result res) {
+  CheckResult r;
+  r.result = res;
+  cache_store(uid, std::move(r), /*has_model=*/res != Result::Sat);
+}
+
+bv::ExprRef Solver::normalized(const bv::ExprRef& e) {
+  if (!rewrite_on_) return e;
+  bv::ExprRef q = rewriter_.rewrite(e);
+  if (q.get() != e.get()) ++stats_.rewrites_applied;
+  return q;
+}
+
+bool Solver::try_exhaustive(const bv::ExprRef& e, Result* out) {
+  if (!rewrite_on_) return false;
+  const std::vector<bv::ExprRef> vars = bv::free_variables(e);
+  unsigned bits = 0;
+  for (const bv::ExprRef& v : vars) {
+    bits += v->width();
+    if (bits > kSmallDomainBits) return false;
+  }
+  const uint64_t total = uint64_t{1} << bits;
+  bv::Assignment asg;
+  for (uint64_t enc = 0; enc < total; ++enc) {
+    uint64_t rest = enc;
+    for (const bv::ExprRef& v : vars) {
+      asg[v->var_id()] = bv::truncate_to_width(rest, v->width());
+      rest >>= v->width();
+    }
+    if (bv::evaluate(e, asg) == 1) {
+      ++stats_.rewrite_decided;
+      *out = Result::Sat;
+      return true;
+    }
+  }
+  ++stats_.rewrite_decided;
+  *out = Result::Unsat;
+  return true;
+}
+
+void Solver::remember_model(const bv::Assignment& m) {
+  if (!cex_cache_on_ || m.empty()) return;
+  cex_models_.push_front(m);
+  if (cex_models_.size() > kCexCacheModels) cex_models_.pop_back();
+}
+
+bool Solver::try_cex_cache(const bv::ExprRef& e) {
+  if (!cex_cache_on_) return false;
+  for (size_t i = 0; i < cex_models_.size(); ++i) {
+    ++stats_.cex_cache_tries;
+    // A concrete evaluation to 1 is a satisfiability proof: variables the
+    // model misses read as 0, matching downstream model-completion
+    // semantics, so the extended assignment is total and satisfying.
+    if (bv::evaluate(e, cex_models_[i]) == 1) {
+      ++stats_.cex_cache_hits;
+      if (i != 0) {  // most-recently-useful first
+        bv::Assignment hit = std::move(cex_models_[i]);
+        cex_models_.erase(cex_models_.begin() + static_cast<long>(i));
+        cex_models_.push_front(std::move(hit));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+void split_spine(const bv::ExprRef& e, std::vector<bv::ExprRef>* out) {
+  if (e->kind() == bv::Kind::And && e->width() == 1) {
+    split_spine(e->operand(0), out);
+    split_spine(e->operand(1), out);
+    return;
+  }
+  out->push_back(e);
+}
+}  // namespace
+
+void Solver::record_core(const std::vector<bv::ExprRef>& core) {
+  if (core.empty() || core.size() > kMaxCoreSize) return;
+  std::vector<uint64_t> uids;
+  uids.reserve(core.size());
+  for (const bv::ExprRef& c : core) uids.push_back(c->uid());
+  std::sort(uids.begin(), uids.end());
+  uids.erase(std::unique(uids.begin(), uids.end()), uids.end());
+  for (const auto& have : cores_) {
+    if (have == uids) return;
+  }
+  ++stats_.cores_recorded;
+  cores_.push_back(std::move(uids));
+  if (cores_.size() > kMaxCores) cores_.erase(cores_.begin());
+}
+
+bool Solver::discharge_by_core(const bv::ExprRef& e) {
+  if (!core_grouping_on_ || cores_.empty()) return false;
+  // Cores are harvested from normalized conjuncts; normalize here too so
+  // external callers can pass raw stitched constraints. Memoized, so this
+  // is O(1) when `e` already went through the ladder.
+  const bv::ExprRef q = rewrite_on_ ? rewriter_.rewrite(e) : e;
+  std::vector<bv::ExprRef> conj;
+  split_spine(q, &conj);
+  std::unordered_set<uint64_t> uids;
+  uids.reserve(conj.size());
+  for (const bv::ExprRef& c : conj) uids.insert(c->uid());
+  for (const auto& core : cores_) {
+    bool subsumed = true;
+    for (const uint64_t u : core) {
+      if (uids.count(u) == 0) {
+        subsumed = false;
+        break;
+      }
+    }
+    if (subsumed) {
+      ++stats_.core_discharges;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<uint64_t>& Solver::conjunct_var_ids(const bv::ExprRef& e) {
+  const auto it = conjunct_vars_.find(e->uid());
+  if (it != conjunct_vars_.end()) return it->second;
+  if (conjunct_vars_.size() >= (size_t{1} << 17)) conjunct_vars_.clear();
+  std::vector<uint64_t> ids;
+  for (const bv::ExprRef& v : bv::free_variables(e)) ids.push_back(v->var_id());
+  return conjunct_vars_.emplace(e->uid(), std::move(ids)).first->second;
+}
+
+std::vector<bv::ExprRef> Solver::split_components(const bv::ExprRef& e) {
+  std::vector<bv::ExprRef> conj;
+  split_spine(e, &conj);
+  if (conj.size() < 2) return {};
+  // Union-find over conjunct indices, merged through shared variable ids.
+  std::vector<size_t> parent(conj.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::unordered_map<uint64_t, size_t> var_owner;
+  for (size_t i = 0; i < conj.size(); ++i) {
+    for (const uint64_t id : conjunct_var_ids(conj[i])) {
+      const auto [it, fresh] = var_owner.emplace(id, i);
+      if (!fresh) parent[find(i)] = find(it->second);
+    }
+  }
+  // Group by root, components ordered by first conjunct, conjuncts kept in
+  // original order — fully deterministic in `e` alone.
+  std::unordered_map<size_t, size_t> slot;
+  std::vector<std::vector<bv::ExprRef>> groups;
+  for (size_t i = 0; i < conj.size(); ++i) {
+    const size_t r = find(i);
+    const auto [it, fresh] = slot.emplace(r, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(conj[i]);
+  }
+  if (groups.size() < 2) return {};
+  std::vector<bv::ExprRef> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) out.push_back(bv::mk_land_all(g));
+  return out;
+}
+
+Result Solver::context_check(const bv::ExprRef& e) {
+#ifdef VSD_DEBUG_CONTEXT_QUERIES
+  std::fprintf(stderr, "[ctx] %s\n", bv::to_string(e).substr(0, 220).c_str());
+#endif
+  SolverContext& ctx = context();
+  const Result pre = ctx.check_assuming(e, /*need_model=*/false).result;
+  if (pre == Result::Unsat && core_grouping_on_ && !ctx.has_base()) {
+    last_core_ = ctx.last_core();
+    record_core(last_core_);
+  }
+  return pre;
+}
+
+// --- decision entry points --------------------------------------------------
+
 CheckResult Solver::check(const bv::ExprRef& e) {
   ++stats_.queries;
   CheckResult out;
@@ -192,23 +430,90 @@ CheckResult Solver::check(const bv::ExprRef& e) {
     if (hit->has_model || hit->r.result != Result::Sat) return hit->r;
     // Sat decided without a model (check_feasible): derive one below.
     known_sat = true;
-  } else if (incremental_) {
-    // Front-run with the live context: Unsat (the common stitched-suspect
-    // outcome) is decided with full clause reuse and no one-shot blast.
-    // Sat falls through to the deterministic one-shot model derivation,
-    // and Unknown retries one-shot so a polluted context can never make a
-    // previously-decidable query undecidable.
-    const Result pre = context().check_assuming(e, /*need_model=*/false).result;
-    if (pre == Result::Unsat) {
+  } else {
+    // Front-run the *verdict* through the avoidance ladder. Unsat (the
+    // common stitched-suspect outcome) returns with no one-shot blast; Sat
+    // only skips ahead to the one-shot model derivation below — witness
+    // bytes are always derived from the original `e`, so they cannot
+    // depend on which layers are enabled. Unknown falls through and
+    // retries one-shot so a polluted context can never make a previously-
+    // decidable query undecidable.
+    const bv::ExprRef q = normalized(e);
+    if (q.get() != e.get()) {
+      CheckResult rw;
+      if (check_cheap(q, &rw)) {
+        ++stats_.rewrite_decided;
+        if (rw.result == Result::Unsat) {
+          out.result = Result::Unsat;
+          cache_store(e->uid(), out, true);
+          return out;
+        }
+        known_sat = rw.result == Result::Sat;
+      } else if (const CacheEntry* qh = cache_find(q->uid())) {
+        ++stats_.cache_hits;
+        if (qh->r.result == Result::Unsat) {
+          out.result = Result::Unsat;
+          cache_store(e->uid(), out, true);
+          return out;
+        }
+        known_sat = qh->r.result == Result::Sat;
+      }
+    }
+    if (!known_sat) {
+      Result ex;
+      if (try_exhaustive(q, &ex)) {
+        if (ex == Result::Unsat) {
+          out.result = Result::Unsat;
+          cache_store(e->uid(), out, true);
+          return out;
+        }
+        known_sat = true;
+      }
+    }
+    if (!known_sat && discharge_by_core(q)) {
       out.result = Result::Unsat;
       cache_store(e->uid(), out, true);
       return out;
     }
-    known_sat = pre == Result::Sat;
+    if (!known_sat && try_cex_cache(q)) known_sat = true;
+    if (!known_sat && independence_on_) {
+      const auto components = split_components(q);
+      if (!components.empty()) {
+        Result agg = Result::Sat;
+        for (const bv::ExprRef& c : components) {
+          ++stats_.slice_components;
+          const Result r = feasible_inner(c, /*allow_slice=*/false);
+          if (r == Result::Unsat) {
+            agg = Result::Unsat;
+            break;
+          }
+          if (r == Result::Unknown) agg = Result::Unknown;
+        }
+        if (agg == Result::Unsat) {
+          ++stats_.slice_decided;
+          out.result = Result::Unsat;
+          cache_store(e->uid(), out, true);
+          return out;
+        }
+        if (agg == Result::Sat) {
+          ++stats_.slice_decided;
+          known_sat = true;
+        }
+      }
+    }
+    if (!known_sat && incremental_) {
+      const Result pre = context_check(q);
+      if (pre == Result::Unsat) {
+        out.result = Result::Unsat;
+        cache_store(e->uid(), out, true);
+        return out;
+      }
+      known_sat = pre == Result::Sat;
+    }
   }
   CheckResult r = check_uncached(e);
   if (r.result == Result::Unknown && known_sat) {
-    // The query is Sat (already proven incrementally) but the fresh
+    // The query is Sat (already proven by a front-run layer) but the fresh
     // one-shot model derivation blew its conflict budget: no deterministic
     // witness is derivable, so report Unknown — while keeping the cache's
     // verdict monotone at Sat so feasibility answers never regress.
@@ -223,24 +528,102 @@ CheckResult Solver::check(const bv::ExprRef& e) {
 
 Result Solver::check_feasible(const bv::ExprRef& e) {
   ++stats_.queries;
+  return feasible_inner(e, /*allow_slice=*/true);
+}
+
+Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
   CheckResult out;
   if (check_cheap(e, &out)) return out.result;
   if (const CacheEntry* hit = cache_find(e->uid())) {
     ++stats_.cache_hits;
     return hit->r.result;
   }
+  // Layer (a): normalization. Verdict-equivalent by construction; decided
+  // results are cached under the original uid too so the variant never
+  // pays twice.
+  const bv::ExprRef q = normalized(e);
+  if (q.get() != e.get()) {
+    CheckResult rw;
+    if (check_cheap(q, &rw)) {
+      ++stats_.rewrite_decided;
+      cache_verdict(e->uid(), rw.result);
+      return rw.result;
+    }
+    if (const CacheEntry* qh = cache_find(q->uid())) {
+      ++stats_.cache_hits;
+      cache_verdict(e->uid(), qh->r.result);
+      return qh->r.result;
+    }
+  }
+  // Tiny-domain constraints are decided exactly by trying every
+  // assignment — complete in both directions, zero SAT work.
+  {
+    Result ex;
+    if (try_exhaustive(q, &ex)) {
+      cache_verdict(e->uid(), ex);
+      if (q.get() != e.get()) cache_verdict(q->uid(), ex);
+      return ex;
+    }
+  }
+  // Layer (e): a recorded unsat core subsumed by this conjunct set.
+  if (discharge_by_core(q)) {
+    cache_verdict(e->uid(), Result::Unsat);
+    if (q.get() != e.get()) cache_verdict(q->uid(), Result::Unsat);
+    return Result::Unsat;
+  }
+  // Layer (c): replay recent models — a hit proves Sat with zero solving.
+  if (try_cex_cache(q)) {
+    cache_verdict(e->uid(), Result::Sat);
+    if (q.get() != e.get()) cache_verdict(q->uid(), Result::Sat);
+    return Result::Sat;
+  }
+  // Layer (b): variable-disjoint components are independently satisfiable
+  // iff their conjunction is; each component runs the ladder on its own
+  // (and its verdict is cached, so shared prefixes across a query family
+  // decide once). An Unknown component falls through to deciding `q`
+  // whole, so slicing never makes a decidable query undecidable.
+  if (allow_slice && independence_on_) {
+    const auto components = split_components(q);
+    if (!components.empty()) {
+      Result agg = Result::Sat;
+      for (const bv::ExprRef& c : components) {
+        ++stats_.slice_components;
+        const Result r = feasible_inner(c, /*allow_slice=*/false);
+        if (r == Result::Unsat) {
+          agg = Result::Unsat;
+          break;
+        }
+        if (r == Result::Unknown) agg = Result::Unknown;
+      }
+      if (agg != Result::Unknown) {
+        ++stats_.slice_decided;
+        cache_verdict(e->uid(), agg);
+        if (q.get() != e.get()) cache_verdict(q->uid(), agg);
+        return agg;
+      }
+    }
+  }
   if (incremental_) {
-    const Result pre = context().check_assuming(e, /*need_model=*/false).result;
+    const Result pre = context_check(q);
     if (pre != Result::Unknown) {
       CheckResult r;
       r.result = pre;
       cache_store(e->uid(), std::move(r), /*has_model=*/pre != Result::Sat);
+      if (q.get() != e.get()) cache_verdict(q->uid(), pre);
       return pre;
     }
   }
-  CheckResult r = check_uncached(e);
+  CheckResult r = check_uncached(q);
   const Result res = r.result;
-  cache_store(e->uid(), std::move(r), true);
+  if (q.get() == e.get()) {
+    cache_store(e->uid(), std::move(r), true);
+  } else {
+    // The model belongs to the rewritten form: cache it under q (where it
+    // is byte-correct) and only the verdict under e — a later check(e)
+    // must derive its witness from the original expression.
+    cache_store(q->uid(), std::move(r), true);
+    cache_verdict(e->uid(), res);
+  }
   return res;
 }
 
@@ -270,6 +653,7 @@ CheckResult Solver::check_uncached(const bv::ExprRef& e) {
   for (const bv::ExprRef& v : bv::free_variables(e)) {
     out.model.emplace(v->var_id(), blaster.model_value(v));
   }
+  remember_model(out.model);
   return out;
 }
 

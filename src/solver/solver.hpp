@@ -25,6 +25,7 @@
 
 #include "bv/analysis.hpp"
 #include "bv/expr.hpp"
+#include "bv/rewrite.hpp"
 #include "solver/bitblast.hpp"
 #include "solver/sat.hpp"
 
@@ -49,6 +50,20 @@ struct CheckStats {
   uint64_t incremental_queries = 0;  // check_assuming() solves
   uint64_t assumption_reuses = 0;    // conjuncts served from a live blast cache
   uint64_t learnt_retained = 0;      // learnt clauses alive at query start
+  // Query-avoidance layers (each independently switchable). A query
+  // "reaches the CDCL core" when it costs a SatSolver::solve() call:
+  // decided_by_sat + incremental_queries counts exactly those — the number
+  // tab10 A/Bs.
+  uint64_t rewrites_applied = 0;   // queries whose normalized form differs
+  uint64_t rewrite_decided = 0;    // decided cheaply only after normalization
+  uint64_t slice_components = 0;   // component subqueries issued by slicing
+  uint64_t slice_decided = 0;      // queries decided component-wise
+  uint64_t cex_cache_tries = 0;    // cached models replayed against queries
+  uint64_t cex_cache_hits = 0;     // Sat decided by a replayed model
+  uint64_t core_discharges = 0;    // Unsat decided by stored-core subsumption
+  uint64_t cores_recorded = 0;     // assumption cores harvested
+  uint64_t learnt_gc_runs = 0;     // cross-query clause-DB GC invocations
+  uint64_t learnt_gc_removed = 0;  // learnt clauses dropped by that GC
 };
 
 struct CheckResult {
@@ -93,10 +108,21 @@ class SolverContext {
   size_t num_learnts() const { return sat_.num_learnts(); }
   size_t blast_cache_size() const { return blaster_.cache_size(); }
 
+  // After check_assuming returned Unsat (with the database still okay):
+  // the subset of the query's top-level conjuncts the refutation actually
+  // used (mapped back from SatSolver::final_conflict()). Valid globally —
+  // i.e. the conjunction of these expressions is unsatisfiable on its own —
+  // only while the context holds no base assertions (has_base() false):
+  // with a base, the core is only unsat relative to it.
+  const std::vector<bv::ExprRef>& last_core() const { return last_core_; }
+  bool has_base() const { return has_base_; }
+
  private:
   // Splits the And-spine of a width-1 expression and blasts each conjunct
-  // to its root literal. Returns false when a conjunct folds to false.
-  bool collect_conjuncts(const bv::ExprRef& e, std::vector<sat::Lit>* lits);
+  // to its root literal (optionally recording the conjunct expression per
+  // literal). Returns false when a conjunct folds to false.
+  bool collect_conjuncts(const bv::ExprRef& e, std::vector<sat::Lit>* lits,
+                         std::vector<bv::ExprRef>* exprs = nullptr);
   // Records e's free variables for model extraction and appends their bit
   // variables to `bits` (the permanent base cone or a query's scratch).
   void note_vars(const bv::ExprRef& e, std::vector<sat::Var>* bits);
@@ -113,7 +139,9 @@ class SolverContext {
   // queries' circuits cost no completion decisions.
   std::vector<sat::Var> base_bits_;
   std::vector<sat::Var> relevant_scratch_;
+  std::vector<bv::ExprRef> last_core_;
   bool base_false_ = false;
+  bool has_base_ = false;
 };
 
 class Solver {
@@ -154,6 +182,40 @@ class Solver {
   void set_incremental(bool on) { incremental_ = on; }
   bool incremental() const { return incremental_; }
 
+  // --- query-avoidance layers (all default on) -----------------------------
+  // Each layer has its own kill switch so regressions bisect cleanly; the
+  // tab10 bench A/Bs all-on vs. all-off. Verdicts are identical either way
+  // (within conflict budgets) and counterexample bytes are always derived
+  // by a one-shot solve of the original expression, never a transformed one.
+  void set_rewrite(bool on) { rewrite_on_ = on; }       // (a) normalization
+  void set_independence(bool on) { independence_on_ = on; }  // (b) slicing
+  void set_cex_cache(bool on) { cex_cache_on_ = on; }   // (c) model replay
+  void set_core_grouping(bool on) { core_grouping_on_ = on; }  // (e) cores
+  void set_clause_gc(bool on) { clause_gc_on_ = on; }   // (d) learnt-DB GC
+  bool rewrite_enabled() const { return rewrite_on_; }
+  bool independence_enabled() const { return independence_on_; }
+  bool cex_cache_enabled() const { return cex_cache_on_; }
+  bool core_grouping_enabled() const { return core_grouping_on_; }
+  bool clause_gc_enabled() const { return clause_gc_on_; }
+  // Live-context learnt-clause cap: exceeding it after a query triggers
+  // SatSolver::reduce_learnts() (layer (d)). Generous by default — the GC
+  // exists to bound long-lived contexts, not to churn small ones.
+  void set_learnt_budget(size_t n) { learnt_budget_ = n; }
+  size_t learnt_budget() const { return learnt_budget_; }
+
+  // Unsat-core grouping surface for drivers (verify/decomposed.cpp): true
+  // iff `e`'s top-level conjunct set is a superset of a recorded core, i.e.
+  // `e` is unsatisfiable without any solver query (counted as a core
+  // discharge). Cores are harvested automatically from incremental Unsat
+  // answers; last_unsat_core() exposes the most recent one.
+  bool discharge_by_core(const bv::ExprRef& e);
+  const std::vector<bv::ExprRef>& last_unsat_core() const { return last_core_; }
+
+  // Feeds an externally-derived model into the counterexample cache (the
+  // bounded-state enumeration hands out context models; replaying them can
+  // decide later feasibility queries without SAT).
+  void remember_model(const bv::Assignment& m);
+
   // The live internal context (created lazily on first use).
   SolverContext& context();
   // Drops the live context. Verification drivers call this per top-level
@@ -181,11 +243,56 @@ class Solver {
   bool check_cheap(const bv::ExprRef& e, CheckResult* out);
   const CacheEntry* cache_find(uint64_t uid);
   void cache_store(uint64_t uid, CheckResult r, bool has_model);
+  // Caches a verdict decided without model derivation.
+  void cache_verdict(uint64_t uid, Result res);
+  // The full feasibility ladder (verdict only): cheap -> uid cache ->
+  // rewrite -> core subsumption -> cex cache -> independence slicing ->
+  // incremental context -> one-shot. Components recurse with allow_slice
+  // off (a variable-connected component cannot split further).
+  Result feasible_inner(const bv::ExprRef& e, bool allow_slice);
+  // Rewritten form of e when the pass is on (identity otherwise).
+  bv::ExprRef normalized(const bv::ExprRef& e);
+  // Exhaustive evaluation over every assignment of a tiny-domain
+  // constraint (total free-variable bits <= kSmallDomainBits): complete,
+  // so it decides Sat AND Unsat exactly with zero SAT work. Part of the
+  // normalization layer (counted under rewrite_decided, gated by the same
+  // switch) — normalization is what shrinks cones into its range.
+  bool try_exhaustive(const bv::ExprRef& e, Result* out);
+  bool try_cex_cache(const bv::ExprRef& e);
+  void record_core(const std::vector<bv::ExprRef>& core);
+  // Variable-connected components of e's And-spine; empty when e does not
+  // split (fewer than two components).
+  std::vector<bv::ExprRef> split_components(const bv::ExprRef& e);
+  const std::vector<uint64_t>& conjunct_var_ids(const bv::ExprRef& e);
+  // check_assuming on the live context + unsat-core harvesting.
+  Result context_check(const bv::ExprRef& e);
 
   uint64_t max_conflicts_ = UINT64_MAX;
   bool incremental_ = true;
+  bool rewrite_on_ = true;
+  bool independence_on_ = true;
+  bool cex_cache_on_ = true;
+  bool core_grouping_on_ = true;
+  bool clause_gc_on_ = true;
+  size_t learnt_budget_ = size_t{1} << 14;
   CheckStats stats_;
   std::unique_ptr<SolverContext> ctx_;
+  bv::Rewriter rewriter_;
+  // Counterexample cache: recently-derived models, most recent first. A new
+  // query is first evaluated under each — any satisfying assignment proves
+  // Sat without touching the CDCL core (klee CexCachingSolver shape).
+  std::deque<bv::Assignment> cex_models_;
+  static constexpr size_t kCexCacheModels = 8;
+  // <= 1024 evaluations of a (typically tiny) DAG — cheaper than one blast.
+  static constexpr unsigned kSmallDomainBits = 10;
+  // Recorded unsat cores as sorted conjunct-uid sets: any query whose
+  // conjunct set subsumes one is Unsat for free.
+  std::vector<std::vector<uint64_t>> cores_;
+  static constexpr size_t kMaxCores = 64;
+  static constexpr size_t kMaxCoreSize = 8;
+  std::vector<bv::ExprRef> last_core_;
+  // Per-conjunct free-variable-id memo for independence slicing.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> conjunct_vars_;
   // Result cache keyed by node identity; models are cached too because the
   // Step-2 composition frequently re-queries identical stitched constraints.
   // Capped (FIFO) so a long `vsd check` batch cannot grow it unboundedly.

@@ -232,6 +232,18 @@ CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts) {
   cfg.packet_len = spec.packet_len;
   cfg.jobs = opts.jobs;
   cfg.incremental = opts.incremental;
+  cfg.rewrite = opts.rewrite;
+  cfg.independence = opts.independence;
+  cfg.cex_cache = opts.cex_cache;
+  cfg.core_grouping = opts.core_grouping;
+  cfg.clause_gc = opts.clause_gc;
+  // Deterministic refinement budget, like the fuzz harness: the wall-clock
+  // budget can flip a Violated-with-certificate into an honest Unknown on
+  // a loaded machine (observed under a parallel ctest run), and `vsd
+  // check` verdicts must not depend on machine load.
+  cfg.refine_time_budget_seconds = 0.0;
+  cfg.refine_max_instructions = 5'000'000;
+  cfg.refine_max_solver_checks = 4096;
   verify::DecomposedVerifier verifier(cfg);
 
   CheckReport report;

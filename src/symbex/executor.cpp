@@ -106,6 +106,12 @@ class Engine {
     st.conjuncts.push_back(c);
     st.folded = std::move(folded);
     if (opts_.fork_check == ForkCheck::Solver && opts_.solver != nullptr) {
+      if (opts_.max_solver_checks != 0 &&
+          out_.stats.solver_queries >= opts_.max_solver_checks) {
+        out_.truncated = true;
+        stop_ = true;
+        return false;
+      }
       ++out_.stats.solver_queries;
       if (opts_.solver->is_unsat(st.folded)) {
         ++out_.stats.pruned_infeasible;

@@ -47,6 +47,13 @@ struct ExecOptions {
   // Exploration budgets; exceeding any sets `truncated` on the result.
   uint64_t max_segments = 1u << 20;
   uint64_t max_instructions = 1ull << 32;
+  // Budget on ForkCheck::Solver feasibility queries; 0 = unlimited. The
+  // deterministic counterpart of time_budget_seconds for solver-checked
+  // exploration: with per-fork solver queries the wall cost of a path is
+  // dominated by solving, not interpretation, so an instruction cap alone
+  // can admit hours of work (each interpreted instruction costing a
+  // query). Exceeding it sets `truncated`, like every other budget.
+  uint64_t max_solver_checks = 0;
   // Wall-clock budget (seconds) for one explore() call; 0 = unlimited.
   // Needed because path explosion shows up as expression-building time,
   // not only as interpreted-instruction count.

@@ -147,7 +147,13 @@ struct Runner {
     // byte-identical on any host.
     vc.refine_time_budget_seconds = 0.0;
     vc.refine_max_instructions = 5'000'000;
+    vc.refine_max_solver_checks = 2048;
     vc.max_state_keys = 512;
+    vc.rewrite = cfg.rewrite;
+    vc.independence = cfg.independence;
+    vc.cex_cache = cfg.cex_cache;
+    vc.core_grouping = cfg.core_grouping;
+    vc.clause_gc = cfg.clause_gc;
     return vc;
   }
 
@@ -318,8 +324,8 @@ struct Runner {
       };
       verify::DecomposedVerifier one_shot(
           verifier_config(gp.packet_len, cfg.jobs, false));
-      mismatch(one_shot.verify_crash_freedom(pl), "incremental vs one-shot");
-      verify::DecomposedVerifier other_jobs(
+        mismatch(one_shot.verify_crash_freedom(pl), "incremental vs one-shot");
+        verify::DecomposedVerifier other_jobs(
           verifier_config(gp.packet_len, cfg.jobs == 1 ? 8 : 1, true));
       mismatch(other_jobs.verify_crash_freedom(pl), "jobs 1 vs 8");
     }

@@ -56,6 +56,14 @@ struct FuzzConfig {
   // Cross-check incremental-vs-one-shot and jobs{1,8} verdict equality on
   // the crash-freedom property of every generated pipeline.
   bool cross_check = true;
+  // Query-avoidance kill switches, mirrored into every verifier the
+  // harness builds (verdict-only layers, but independently disengageable
+  // for fault isolation — `vsd fuzz --no-rewrite` etc.).
+  bool rewrite = true;
+  bool independence = true;
+  bool cex_cache = true;
+  bool core_grouping = true;
+  bool clause_gc = true;
   GenOptions gen;
   // Where FAIL artifacts are written; empty disables artifact files (the
   // repro still lives in the report).

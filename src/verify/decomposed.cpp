@@ -5,6 +5,7 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -108,7 +109,21 @@ class DecomposedVerifier::Impl {
         pool(jobs, config.max_solver_conflicts, config.incremental) {
     solver.set_max_conflicts(cfg.max_solver_conflicts);
     solver.set_incremental(cfg.incremental);
+    apply_avoidance(solver);
+    pool.set_rewrite(cfg.rewrite);
+    pool.set_independence(cfg.independence);
+    pool.set_cex_cache(cfg.cex_cache);
+    pool.set_core_grouping(cfg.core_grouping);
+    pool.set_clause_gc(cfg.clause_gc);
     if (jobs > 1) queue = std::make_unique<WorkQueue>(jobs);
+  }
+
+  void apply_avoidance(solver::Solver& sv) const {
+    sv.set_rewrite(cfg.rewrite);
+    sv.set_independence(cfg.independence);
+    sv.set_cex_cache(cfg.cex_cache);
+    sv.set_core_grouping(cfg.core_grouping);
+    sv.set_clause_gc(cfg.clause_gc);
   }
 
   static size_t resolve_jobs(size_t requested) {
@@ -460,6 +475,14 @@ class DecomposedVerifier::Impl {
       out.incremental_queries += cs.incremental_queries;
       out.assumption_reuses += cs.assumption_reuses;
       out.learnt_retained += cs.learnt_retained;
+      out.sat_solves += cs.decided_by_sat + cs.incremental_queries;
+      out.rewrites_applied += cs.rewrites_applied;
+      out.rewrite_decided += cs.rewrite_decided;
+      out.slice_decided += cs.slice_decided;
+      out.cex_cache_hits += cs.cex_cache_hits;
+      out.core_discharges += cs.core_discharges;
+      out.learnt_gc_runs += cs.learnt_gc_runs;
+      out.learnt_gc_removed += cs.learnt_gc_removed;
     };
     add(solver.stats());
     if (jobs > 1) {
@@ -482,6 +505,7 @@ class DecomposedVerifier::Impl {
       stats.refinements_attempted += s.refinements_attempted;
       stats.refinements_certified += s.refinements_certified;
       stats.refinements_eliminated += s.refinements_eliminated;
+      stats.suspects_core_discharged += s.suspects_core_discharged;
     }
     mt_stats_.assign(jobs, VerifyStats{});
   }
@@ -617,6 +641,14 @@ class DecomposedVerifier::Impl {
                                 bv::Assignment* model_out,
                                 std::string* state_note, solver::Solver& sv,
                                 VerifyStats& vstats) {
+    // Core-grouping front-run: a previously harvested unsat core whose
+    // conjuncts all appear in this stitched constraint discharges the whole
+    // suspect with zero solving — one core typically kills the entire
+    // family of suspects stitched over the same infeasible prefix.
+    if (cfg.core_grouping && sv.discharge_by_core(st.constraint)) {
+      ++vstats.suspects_core_discharged;
+      return solver::Result::Unsat;
+    }
     ++vstats.solver_queries;
     solver::CheckResult r = sv.check(st.constraint);
     if (r.result != solver::Result::Sat || st.kv_reads.empty()) {
@@ -684,6 +716,7 @@ class DecomposedVerifier::Impl {
     if (cfg.refine_max_instructions != 0) {
       eo.max_instructions = cfg.refine_max_instructions;
     }
+    eo.max_solver_checks = cfg.refine_max_solver_checks;
     symbex::Executor exec(eo);
     bool was_miss = false;
     const ElementSummary& s = cache_refine_.get(prog, len, exec, &was_miss);
@@ -1126,6 +1159,47 @@ class DecomposedVerifier::Impl {
   // Helpers shared by the public property drivers
   // ---------------------------------------------------------------------
 
+  // Entry lengths each element can be reached at, starting from
+  // cfg.packet_len at element 0. pkt_pull / pkt_push change the packet
+  // length mid-pipeline and Step-1 summaries are per-length, so a suspect
+  // scan over entry-length summaries alone is unsound: an element whose
+  // summary at the pipeline entry length is trap-free can still trap at
+  // the shorter length an upstream strip hands it (found by fuzzing:
+  // "Strip14 -> EthDecap -> UnsafeStrip(20) -> ToyE1" at 48 bytes strips
+  // the packet to 0 bytes before ToyE1's reads). Emit-segment exit lengths
+  // are concrete, so the length sets close over the pipeline with plain
+  // set arithmetic — no constraint stitching, no solver. Segments whose
+  // isolated constraint already folded to false are skipped; composed
+  // infeasibility is NOT consulted, so the sets over-approximate — safe,
+  // since Step 2 still decides every suspect with the stitched constraint.
+  std::vector<std::set<size_t>> reachable_entry_lengths(
+      const pipeline::Pipeline& pl, solver::Solver& sv, VerifyStats& vstats,
+      bool* any_truncated) {
+    std::vector<std::set<size_t>> lens(pl.size());
+    std::vector<std::pair<size_t, size_t>> work;
+    const auto push = [&](size_t e, size_t len) {
+      if (lens[e].insert(len).second) work.emplace_back(e, len);
+    };
+    push(0, cfg.packet_len);
+    while (!work.empty()) {
+      const auto [e, len] = work.back();
+      work.pop_back();
+      const ElementSummary& sum =
+          summary_for(pl.element(e).model_program(), len,
+                      Precision::AcceptBounds, sv, vstats);
+      if (sum.truncated) {
+        *any_truncated = true;
+        continue;
+      }
+      for (const Segment& g : sum.segments) {
+        if (g.action != SegAction::Emit || g.constraint->is_false()) continue;
+        const std::optional<size_t> down = pl.downstream(e, g.port);
+        if (down) push(*down, g.exit_packet.bytes().size());
+      }
+    }
+    return lens;
+  }
+
   // Elements from which any suspect-bearing element is reachable.
   std::vector<bool> reachability_filter(
       const pipeline::Pipeline& pl, const std::vector<bool>& is_target) {
@@ -1275,18 +1349,25 @@ class DecomposedVerifier::Impl {
     begin_call_mt();
     CrashFreedomReport report;
 
-    // Step 1, fanned out: one summarization task per element.
-    const std::vector<const ElementSummary*> sums =
-        prewarm(pl, Precision::AcceptBounds);
+    // Step 1, fanned out: one summarization task per element at the entry
+    // length. The length fixpoint below mostly hits that warm cache; it
+    // only summarizes extra (element, length) pairs downstream of strips.
+    prewarm(pl, Precision::AcceptBounds);
     std::vector<bool> has_suspect(pl.size(), false);
     bool any_truncated = false;
+    const std::vector<std::set<size_t>> lens =
+        reachable_entry_lengths(pl, pool.at(0), mt_stats_[0], &any_truncated);
     for (size_t e = 0; e < pl.size(); ++e) {
-      const ElementSummary& sum = *sums[e];
-      if (sum.truncated) any_truncated = true;
-      for (const Segment& g : sum.segments) {
-        if (g.action != SegAction::Trap) continue;
-        ++mt_stats_[0].suspects_found;
-        if (!g.constraint->is_false()) has_suspect[e] = true;
+      for (const size_t len : lens[e]) {
+        const ElementSummary& sum =
+            summary_for(pl.element(e).model_program(), len,
+                        Precision::AcceptBounds, pool.at(0), mt_stats_[0]);
+        if (sum.truncated) any_truncated = true;
+        for (const Segment& g : sum.segments) {
+          if (g.action != SegAction::Trap) continue;
+          ++mt_stats_[0].suspects_found;
+          if (!g.constraint->is_false()) has_suspect[e] = true;
+        }
       }
     }
     if (any_truncated) {
@@ -1624,19 +1705,25 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   im.begin_call();
   CrashFreedomReport report;
 
-  // Step 1: summarize every element; find suspects (feasible trap segments
-  // under unconstrained element input).
+  // Step 1: summarize every element at every entry length it can be
+  // reached at (strips/encaps change the length mid-pipeline — see
+  // reachable_entry_lengths); find suspects (feasible trap segments under
+  // unconstrained element input).
   std::vector<bool> has_suspect(pl.size(), false);
   bool any_truncated = false;
+  const std::vector<std::set<size_t>> lens = im.reachable_entry_lengths(
+      pl, im.solver, im.stats, &any_truncated);
   for (size_t e = 0; e < pl.size(); ++e) {
-    const ElementSummary& sum =
-        im.summary_for(pl.element(e).model_program(), im.cfg.packet_len,
-                       Impl::Precision::AcceptBounds, im.solver, im.stats);
-    if (sum.truncated) any_truncated = true;
-    for (const Segment& g : sum.segments) {
-      if (g.action != SegAction::Trap) continue;
-      ++im.stats.suspects_found;
-      if (!g.constraint->is_false()) has_suspect[e] = true;
+    for (const size_t len : lens[e]) {
+      const ElementSummary& sum =
+          im.summary_for(pl.element(e).model_program(), len,
+                         Impl::Precision::AcceptBounds, im.solver, im.stats);
+      if (sum.truncated) any_truncated = true;
+      for (const Segment& g : sum.segments) {
+        if (g.action != SegAction::Trap) continue;
+        ++im.stats.suspects_found;
+        if (!g.constraint->is_false()) has_suspect[e] = true;
+      }
     }
   }
   if (any_truncated) {

@@ -63,6 +63,13 @@ struct DecomposedConfig {
   // this cap and the seconds budget off so its verdicts are byte-identical
   // across runs, hosts, and --jobs values. 0 = no instruction cap.
   uint64_t refine_max_instructions = 0;
+  // Companion cap on the solver fork-checks those summarizations issue
+  // (0 = unlimited). Refinement unrolls with ForkCheck::Solver, so its
+  // wall cost is dominated by per-fork feasibility queries — an
+  // instruction cap alone can still admit hours of deterministic work on
+  // an option-walking loop. Deterministic like the instruction cap;
+  // exceeding it truncates the summary (refinement gives up as Unknown).
+  uint64_t refine_max_solver_checks = 0;
   // Worker threads for the parallel engine: Step 1 summarizes elements
   // concurrently and Step 2 walks/decides stitched paths concurrently, each
   // worker with its own solver instance. 1 keeps the seed's sequential
@@ -83,6 +90,16 @@ struct DecomposedConfig {
   // reproducible. Within the budget (tier-1 workloads sit orders of
   // magnitude below the default) results are fully deterministic.
   bool incremental = true;
+  // Query-avoidance layers (default all on), each independently
+  // toggleable for A/B measurement and fault isolation — the tab10 bench
+  // and `vsd --no-*` flags drive these. All five are verdict-only
+  // front-runs (counterexample bytes are always derived from the original
+  // constraint), so results stay byte-identical in any combination.
+  bool rewrite = true;        // normalization pass before bit-blasting
+  bool independence = true;   // variable-disjoint conjunct slicing
+  bool cex_cache = true;      // replay recent models before solving
+  bool core_grouping = true;  // unsat-core subsumption across suspects
+  bool clause_gc = true;      // learnt-clause DB GC across context lifetime
 };
 
 // A predicate over the pipeline's symbolic input packet, used by

@@ -68,6 +68,20 @@ struct VerifyStats {
   uint64_t incremental_queries = 0;
   uint64_t assumption_reuses = 0;
   uint64_t learnt_retained = 0;
+  // Query-avoidance layers (see docs/architecture.md "Query avoidance").
+  // sat_solves is the headline count: queries that actually reached the
+  // CDCL core (one-shot blasts + incremental assumption solves) — what the
+  // tab10 bench A/Bs. The remaining counters attribute the avoided work to
+  // its layer.
+  uint64_t sat_solves = 0;
+  uint64_t rewrites_applied = 0;        // queries changed by normalization
+  uint64_t rewrite_decided = 0;         // decided cheaply on rewritten form
+  uint64_t slice_decided = 0;           // decided via independent components
+  uint64_t cex_cache_hits = 0;          // Sat proven by replaying a model
+  uint64_t core_discharges = 0;         // Unsat via recorded-core subsumption
+  uint64_t suspects_core_discharged = 0;  // stitched suspects killed by a core
+  uint64_t learnt_gc_runs = 0;
+  uint64_t learnt_gc_removed = 0;
 };
 
 struct CrashFreedomReport {

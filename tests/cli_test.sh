@@ -1,0 +1,53 @@
+#!/bin/sh
+# CLI regression: malformed numeric flags must exit 2 with the usage text
+# (not crash, not silently run with a garbage value), and a valid
+# invocation must still succeed. Run as: cli_test.sh <path-to-vsd>.
+set -u
+
+VSD="$1"
+fails=0
+
+expect_usage_error() {
+  desc="$1"; shift
+  out=$("$@" 2>&1)
+  code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: $desc: expected exit 2, got $code"
+    fails=$((fails + 1))
+    return
+  fi
+  case "$out" in
+    *"error: --"*) ;;
+    *) echo "FAIL: $desc: no flag error message in output"
+       fails=$((fails + 1)); return ;;
+  esac
+  case "$out" in
+    *"vsd — verifiable software dataplane tool"*) ;;
+    *) echo "FAIL: $desc: usage text not printed"
+       fails=$((fails + 1)); return ;;
+  esac
+  echo "ok: $desc"
+}
+
+expect_usage_error "--jobs abc rejected" \
+  "$VSD" verify "Classifier" --property crash --jobs abc
+expect_usage_error "--jobs -1 rejected" \
+  "$VSD" verify "Classifier" --property crash --jobs -1
+expect_usage_error "--seed 8x rejected" \
+  "$VSD" run "Classifier" --count 1 --seed 8x
+expect_usage_error "--len trailing garbage rejected" \
+  "$VSD" verify "Classifier" --property crash --len 64garbage
+expect_usage_error "--jobs out-of-range rejected" \
+  "$VSD" verify "Classifier" --property crash --jobs 99999999999999999999999
+
+# A valid invocation (including avoidance kill switches) still works.
+if "$VSD" verify "Classifier -> EthDecap" --property crash --jobs 2 \
+    --no-cex-cache --no-clause-gc > /dev/null 2>&1; then
+  echo "ok: valid invocation exits 0"
+else
+  echo "FAIL: valid invocation failed (exit $?)"
+  fails=$((fails + 1))
+fi
+
+[ "$fails" -eq 0 ] || exit 1
+echo "cli_test: all checks passed"

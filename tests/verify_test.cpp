@@ -121,10 +121,39 @@ TEST(CrashFreedom, ClassifierShieldsUnsafeStrip) {
   DecomposedVerifier v(cfg);
   const CrashFreedomReport r = v.verify_crash_freedom(pl);
   EXPECT_EQ(r.verdict, Verdict::Proven);
-  // The strip's pull-underflow was tagged in Step 1; composition rules it
-  // out (here the interval layer already prunes the 8-byte path into the
-  // strip, so no solver elimination is even needed).
-  EXPECT_GE(r.stats.suspects_found, 1u);
+  // The reachable-length prescan already proves the strip unreachable: the
+  // classifier's port-0 edge is infeasible at 8 bytes, so the strip is
+  // never entered at any length and its pull-underflow is not even tagged
+  // as a suspect — no composition or solver elimination needed.
+  EXPECT_EQ(r.stats.suspects_found, 0u);
+  EXPECT_EQ(r.stats.solver_queries, 0u);
+}
+
+TEST(CrashFreedom, TrapFeasibleOnlyAtStrippedLengthIsFound) {
+  // Every element here is individually trap-free at the 48-byte entry
+  // length; the violation only exists because three strips hand ToyE1 a
+  // 0-byte packet. A suspect scan that summarizes at the entry length
+  // alone proves this pipeline crash-free — which the fuzz harness caught
+  // as a concrete oob-packet-read on an all-zeros packet. The scan must
+  // consider every reachable (element, length) pair.
+  pipeline::Pipeline pl = elements::parse_pipeline(
+      "Strip14 -> EthDecap -> UnsafeStrip(20) -> ToyE1");
+  for (const size_t jobs : {size_t{1}, size_t{8}}) {
+    DecomposedConfig cfg;
+    cfg.packet_len = 48;
+    cfg.jobs = jobs;
+    DecomposedVerifier v(cfg);
+    const CrashFreedomReport r = v.verify_crash_freedom(pl);
+    ASSERT_EQ(r.verdict, Verdict::Violated) << "jobs=" << jobs;
+    ASSERT_FALSE(r.counterexamples.empty());
+    EXPECT_EQ(r.counterexamples[0].trap, ir::TrapKind::OobPacketRead);
+    // The counterexample must reproduce the trap concretely end-to-end.
+    net::Packet p = r.counterexamples[0].packet;
+    pipeline::Pipeline replay = elements::parse_pipeline(
+        "Strip14 -> EthDecap -> UnsafeStrip(20) -> ToyE1");
+    const pipeline::PipelineResult pr = replay.process(p);
+    EXPECT_EQ(pr.action, pipeline::FinalAction::Trapped) << "jobs=" << jobs;
+  }
 }
 
 TEST(CrashFreedom, AnyPermutationOfIpElementsIsCrashFree) {

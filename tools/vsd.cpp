@@ -23,9 +23,12 @@
 // Pipelines use the registry config syntax, e.g.
 //   "Classifier -> EthDecap -> CheckIPHeader -> IPLookup(10.0.0.0/8 0)"
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,6 +53,12 @@ using namespace vsd;
 
 namespace {
 
+// A malformed command line: main() prints the message plus the usage text
+// and exits 2, distinct from exit 1 (property failed) and runtime errors.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
@@ -58,9 +67,24 @@ struct Args {
     const auto it = options.find(name);
     return it == options.end() ? def : it->second;
   }
+  // Strict numeric flag parse: digits only, no sign, no trailing garbage.
+  // std::stoull would silently accept "8x" (-> 8) and "-1" (-> wraparound
+  // to 2^64-1) — both turned typos into absurd-but-running configurations.
   uint64_t get_u64(const std::string& name, uint64_t def) const {
     const auto it = options.find(name);
-    return it == options.end() ? def : std::stoull(it->second);
+    if (it == options.end()) return def;
+    const std::string& v = it->second;
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+      throw UsageError("--" + name + " expects a non-negative integer, got '" +
+                       v + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+    if (errno == ERANGE || end != v.c_str() + v.size()) {
+      throw UsageError("--" + name + " value out of range: '" + v + "'");
+    }
+    return parsed;
   }
 };
 
@@ -68,8 +92,11 @@ Args parse_args(int argc, char** argv) {
   // Boolean flags never consume the next token — otherwise
   // `vsd check --stats file.vspec` would swallow the file as the flag's
   // value and silently check nothing.
-  static const char* kBoolFlags[] = {"stats", "one-shot", "unroll", "print",
-                                     "no-cross-check", "no-artifacts"};
+  static const char* kBoolFlags[] = {
+      "stats",         "one-shot",     "unroll",
+      "print",         "no-cross-check", "no-artifacts",
+      "no-rewrite",    "no-independence", "no-cex-cache",
+      "no-core-grouping", "no-clause-gc"};
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
@@ -107,7 +134,10 @@ int usage() {
       "  vsd check <file.vspec> [...] [--jobs N]   run every assertion of "
       "the spec(s)\n"
       "      (verify/reach/state/check also take --stats for solver-layer\n"
-      "       counters and --one-shot to disable incremental solving)\n"
+      "       counters, --one-shot to disable incremental solving, and\n"
+      "       --no-rewrite/--no-independence/--no-cex-cache/\n"
+      "       --no-core-grouping/--no-clause-gc to disable one\n"
+      "       query-avoidance layer)\n"
       "  vsd fuzz [--seed S] [--pipelines N] [--packets N] [--sequences N]\n"
       "           [--sequence-len K] [--max-elems K] [--jobs N] [--out DIR]\n"
       "           [--no-cross-check] [--no-artifacts]   differential fuzz\n"
@@ -152,12 +182,31 @@ void print_verify_stats(const verify::VerifyStats& s) {
       "assumption reuses, %llu learnt retained\n",
       u(s.contexts_opened), u(s.incremental_queries), u(s.assumption_reuses),
       u(s.learnt_retained));
+  std::printf(
+      "  avoidance: %llu sat solves, %llu rewritten (%llu decided), "
+      "%llu sliced, %llu cex-cache hits, %llu core discharges "
+      "(%llu suspects)\n",
+      u(s.sat_solves), u(s.rewrites_applied), u(s.rewrite_decided),
+      u(s.slice_decided), u(s.cex_cache_hits), u(s.core_discharges),
+      u(s.suspects_core_discharged));
+  if (s.learnt_gc_runs != 0) {
+    std::printf("  clause gc: %llu run(s), %llu learnt clauses dropped\n",
+                u(s.learnt_gc_runs), u(s.learnt_gc_removed));
+  }
   if (s.refinements_attempted != 0) {
     std::printf(
         "  refinement: %llu attempted, %llu certified, %llu eliminated\n",
         u(s.refinements_attempted), u(s.refinements_certified),
         u(s.refinements_eliminated));
   }
+}
+
+void apply_avoidance_flags(const Args& a, verify::DecomposedConfig* cfg) {
+  cfg->rewrite = !a.flag("no-rewrite");
+  cfg->independence = !a.flag("no-independence");
+  cfg->cex_cache = !a.flag("no-cex-cache");
+  cfg->core_grouping = !a.flag("no-core-grouping");
+  cfg->clause_gc = !a.flag("no-clause-gc");
 }
 
 void print_counterexample(const verify::Counterexample& ce) {
@@ -197,6 +246,11 @@ int cmd_check(const Args& a) {
   spec::CheckOptions opts;
   opts.jobs = a.get_u64("jobs", 1);
   opts.incremental = !a.flag("one-shot");
+  opts.rewrite = !a.flag("no-rewrite");
+  opts.independence = !a.flag("no-independence");
+  opts.cex_cache = !a.flag("no-cex-cache");
+  opts.core_grouping = !a.flag("no-core-grouping");
+  opts.clause_gc = !a.flag("no-clause-gc");
   const bool with_stats = a.flag("stats");
   bool all_passed = true;
   for (size_t i = 1; i < a.positional.size(); ++i) {
@@ -258,6 +312,11 @@ int cmd_fuzz(const Args& a) {
   cfg.jobs = a.get_u64("jobs", 1);
   cfg.gen.max_chain = a.get_u64("max-elems", 4);
   cfg.cross_check = !a.flag("no-cross-check");
+  cfg.rewrite = !a.flag("no-rewrite");
+  cfg.independence = !a.flag("no-independence");
+  cfg.cex_cache = !a.flag("no-cex-cache");
+  cfg.core_grouping = !a.flag("no-core-grouping");
+  cfg.clause_gc = !a.flag("no-clause-gc");
   cfg.artifact_dir = a.flag("no-artifacts") ? "" : a.get("out", "fuzz-failures");
   const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
   std::printf("%s", report.summary().c_str());
@@ -332,6 +391,7 @@ int cmd_verify(const Args& a) {
   if (a.flag("unroll")) cfg.loop_mode = symbex::LoopMode::Unroll;
   cfg.jobs = a.get_u64("jobs", 1);  // 0 = one worker per hardware thread
   cfg.incremental = !a.flag("one-shot");
+  apply_avoidance_flags(a, &cfg);
   verify::DecomposedVerifier verifier(cfg);
 
   const std::string prop = a.get("property", "crash");
@@ -376,6 +436,7 @@ int cmd_reach(const Args& a) {
   cfg.packet_len = a.get_u64("len", 64);
   cfg.jobs = a.get_u64("jobs", 1);
   cfg.incremental = !a.flag("one-shot");
+  apply_avoidance_flags(a, &cfg);
   verify::DecomposedVerifier verifier(cfg);
   const verify::ReachabilityReport r = verifier.verify_never_dropped(
       pl, [&](const symbex::SymPacket& p) {
@@ -397,6 +458,7 @@ int cmd_state(const Args& a) {
   cfg.packet_len = a.get_u64("len", 64);
   cfg.jobs = a.get_u64("jobs", 1);
   cfg.incremental = !a.flag("one-shot");
+  apply_avoidance_flags(a, &cfg);
   verify::DecomposedVerifier verifier(cfg);
   verify::StateBoundSpec spec;
   spec.bound = a.get_u64("bound", 0);
@@ -563,6 +625,9 @@ int main(int argc, char** argv) {
     if (cmd == "paths") return cmd_paths(a);
     if (cmd == "asm") return cmd_asm(a);
     if (cmd == "verify-ir") return cmd_verify_ir(a);
+  } catch (const UsageError& e) {
+    std::printf("error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 2;
