@@ -19,13 +19,16 @@ namespace vsd::benchutil {
 // Every bench binary accepts `--json <file>`: each printed table is also
 // recorded (named after the enclosing section) and the file is rewritten on
 // every print, so even an interrupted bench leaves valid JSON behind. The
-// schema is {"tables": [{"name", "headers": [...], "rows": [[...]]}]} —
-// one metric row per table row, for BENCH_*.json perf trajectories.
+// schema is {"tables": [{"name", "headers": [...], "rows": [[...]],
+// "row_wall_s": [...]}]} — one metric row per table row plus the wall-clock
+// seconds each row took to produce (measured add_row to add_row), so
+// BENCH_*.json perf trajectories capture timing, not just counters.
 
 struct JsonTable {
   std::string name;
   std::vector<std::string> headers;
   std::vector<std::vector<std::string>> rows;
+  std::vector<double> row_wall_s;
 };
 
 struct JsonSink {
@@ -82,6 +85,12 @@ inline void flush_json() {
       }
       f << ']';
     }
+    f << "], \"row_wall_s\": [";
+    for (size_t r = 0; r < jt.row_wall_s.size(); ++r) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", jt.row_wall_s[r]);
+      f << (r ? ", " : "") << buf;
+    }
     f << "]}";
   }
   f << "\n  ]\n}\n";
@@ -122,9 +131,17 @@ class Stopwatch {
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
-      : headers_(std::move(headers)) {}
+      : headers_(std::move(headers)),
+        last_row_time_(std::chrono::steady_clock::now()) {}
 
   void add_row(std::vector<std::string> cells) {
+    // Wall time since the previous add_row (or construction): the bench
+    // loops all follow the measure-then-record shape, so this is the cost
+    // of producing the row's numbers.
+    const auto now = std::chrono::steady_clock::now();
+    row_wall_s_.push_back(
+        std::chrono::duration<double>(now - last_row_time_).count());
+    last_row_time_ = now;
     rows_.push_back(std::move(cells));
   }
 
@@ -135,7 +152,7 @@ class Table {
           sink.current_section.empty()
               ? "table_" + std::to_string(sink.tables.size())
               : sink.current_section,
-          headers_, rows_});
+          headers_, rows_, row_wall_s_});
       flush_json();
     }
     std::vector<size_t> w(headers_.size(), 0);
@@ -166,6 +183,8 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<double> row_wall_s_;
+  std::chrono::steady_clock::time_point last_row_time_;
 };
 
 inline std::string fmt_seconds(double s) {

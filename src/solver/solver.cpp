@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <string_view>
 #include <unordered_set>
+
+#include "obs/trace.hpp"
 
 #ifdef VSD_DEBUG_CONTEXT_QUERIES
 #include <cstdio>
@@ -420,13 +424,56 @@ Result Solver::context_check(const bv::ExprRef& e) {
 
 // --- decision entry points --------------------------------------------------
 
+namespace {
+
+// Per-rung counter names must be string literals (obs::count stores the
+// pointer); last_rung_ already is one, so the mapping is identity-shaped
+// but spelled out to prefix the namespace. Only runs when tracing is on.
+const char* rung_counter_name(const char* rung) {
+  const std::string_view r = rung;
+  if (r == "cheap") return "solver.rung.cheap";
+  if (r == "cache") return "solver.rung.cache";
+  if (r == "rewrite") return "solver.rung.rewrite";
+  if (r == "exhaustion") return "solver.rung.exhaustion";
+  if (r == "core-grouping") return "solver.rung.core_grouping";
+  if (r == "cex-cache") return "solver.rung.cex_cache";
+  if (r == "slicing") return "solver.rung.slicing";
+  if (r == "incremental") return "solver.rung.incremental";
+  return "solver.rung.cdcl";
+}
+
+std::string uid_fingerprint(const bv::ExprRef& e) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(e->uid()));
+  return buf;
+}
+
+}  // namespace
+
 CheckResult Solver::check(const bv::ExprRef& e) {
   ++stats_.queries;
+  if (!obs::enabled()) return check_inner(e);
+  obs::ScopedSpan sp(obs::Cat::Solve, "check");
+  CheckResult r = check_inner(e);
+  sp.arg("rung", last_rung_);
+  sp.arg("result", result_name(r.result));
+  sp.arg("query", uid_fingerprint(e));
+  obs::count("solver.queries");
+  obs::count(rung_counter_name(last_rung_));
+  return r;
+}
+
+CheckResult Solver::check_inner(const bv::ExprRef& e) {
   CheckResult out;
-  if (check_cheap(e, &out)) return out;
+  if (check_cheap(e, &out)) {
+    last_rung_ = "cheap";
+    return out;
+  }
   bool known_sat = false;
   if (const CacheEntry* hit = cache_find(e->uid())) {
     ++stats_.cache_hits;
+    last_rung_ = "cache";
     if (hit->has_model || hit->r.result != Result::Sat) return hit->r;
     // Sat decided without a model (check_feasible): derive one below.
     known_sat = true;
@@ -443,6 +490,7 @@ CheckResult Solver::check(const bv::ExprRef& e) {
       CheckResult rw;
       if (check_cheap(q, &rw)) {
         ++stats_.rewrite_decided;
+        last_rung_ = "rewrite";
         if (rw.result == Result::Unsat) {
           out.result = Result::Unsat;
           cache_store(e->uid(), out, true);
@@ -451,6 +499,7 @@ CheckResult Solver::check(const bv::ExprRef& e) {
         known_sat = rw.result == Result::Sat;
       } else if (const CacheEntry* qh = cache_find(q->uid())) {
         ++stats_.cache_hits;
+        last_rung_ = "cache";
         if (qh->r.result == Result::Unsat) {
           out.result = Result::Unsat;
           cache_store(e->uid(), out, true);
@@ -462,6 +511,7 @@ CheckResult Solver::check(const bv::ExprRef& e) {
     if (!known_sat) {
       Result ex;
       if (try_exhaustive(q, &ex)) {
+        last_rung_ = "exhaustion";
         if (ex == Result::Unsat) {
           out.result = Result::Unsat;
           cache_store(e->uid(), out, true);
@@ -471,11 +521,15 @@ CheckResult Solver::check(const bv::ExprRef& e) {
       }
     }
     if (!known_sat && discharge_by_core(q)) {
+      last_rung_ = "core-grouping";
       out.result = Result::Unsat;
       cache_store(e->uid(), out, true);
       return out;
     }
-    if (!known_sat && try_cex_cache(q)) known_sat = true;
+    if (!known_sat && try_cex_cache(q)) {
+      last_rung_ = "cex-cache";
+      known_sat = true;
+    }
     if (!known_sat && independence_on_) {
       const auto components = split_components(q);
       if (!components.empty()) {
@@ -491,12 +545,14 @@ CheckResult Solver::check(const bv::ExprRef& e) {
         }
         if (agg == Result::Unsat) {
           ++stats_.slice_decided;
+          last_rung_ = "slicing";
           out.result = Result::Unsat;
           cache_store(e->uid(), out, true);
           return out;
         }
         if (agg == Result::Sat) {
           ++stats_.slice_decided;
+          last_rung_ = "slicing";
           known_sat = true;
         }
       }
@@ -504,13 +560,18 @@ CheckResult Solver::check(const bv::ExprRef& e) {
     if (!known_sat && incremental_) {
       const Result pre = context_check(q);
       if (pre == Result::Unsat) {
+        last_rung_ = "incremental";
         out.result = Result::Unsat;
         cache_store(e->uid(), out, true);
         return out;
       }
-      known_sat = pre == Result::Sat;
+      if (pre == Result::Sat) {
+        last_rung_ = "incremental";
+        known_sat = true;
+      }
     }
   }
+  if (!known_sat) last_rung_ = "cdcl";
   CheckResult r = check_uncached(e);
   if (r.result == Result::Unknown && known_sat) {
     // The query is Sat (already proven by a front-run layer) but the fresh
@@ -528,14 +589,26 @@ CheckResult Solver::check(const bv::ExprRef& e) {
 
 Result Solver::check_feasible(const bv::ExprRef& e) {
   ++stats_.queries;
-  return feasible_inner(e, /*allow_slice=*/true);
+  if (!obs::enabled()) return feasible_inner(e, /*allow_slice=*/true);
+  obs::ScopedSpan sp(obs::Cat::Solve, "check_feasible");
+  const Result r = feasible_inner(e, /*allow_slice=*/true);
+  sp.arg("rung", last_rung_);
+  sp.arg("result", result_name(r));
+  sp.arg("query", uid_fingerprint(e));
+  obs::count("solver.queries");
+  obs::count(rung_counter_name(last_rung_));
+  return r;
 }
 
 Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
   CheckResult out;
-  if (check_cheap(e, &out)) return out.result;
+  if (check_cheap(e, &out)) {
+    last_rung_ = "cheap";
+    return out.result;
+  }
   if (const CacheEntry* hit = cache_find(e->uid())) {
     ++stats_.cache_hits;
+    last_rung_ = "cache";
     return hit->r.result;
   }
   // Layer (a): normalization. Verdict-equivalent by construction; decided
@@ -546,11 +619,13 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
     CheckResult rw;
     if (check_cheap(q, &rw)) {
       ++stats_.rewrite_decided;
+      last_rung_ = "rewrite";
       cache_verdict(e->uid(), rw.result);
       return rw.result;
     }
     if (const CacheEntry* qh = cache_find(q->uid())) {
       ++stats_.cache_hits;
+      last_rung_ = "cache";
       cache_verdict(e->uid(), qh->r.result);
       return qh->r.result;
     }
@@ -560,6 +635,7 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
   {
     Result ex;
     if (try_exhaustive(q, &ex)) {
+      last_rung_ = "exhaustion";
       cache_verdict(e->uid(), ex);
       if (q.get() != e.get()) cache_verdict(q->uid(), ex);
       return ex;
@@ -567,12 +643,14 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
   }
   // Layer (e): a recorded unsat core subsumed by this conjunct set.
   if (discharge_by_core(q)) {
+    last_rung_ = "core-grouping";
     cache_verdict(e->uid(), Result::Unsat);
     if (q.get() != e.get()) cache_verdict(q->uid(), Result::Unsat);
     return Result::Unsat;
   }
   // Layer (c): replay recent models — a hit proves Sat with zero solving.
   if (try_cex_cache(q)) {
+    last_rung_ = "cex-cache";
     cache_verdict(e->uid(), Result::Sat);
     if (q.get() != e.get()) cache_verdict(q->uid(), Result::Sat);
     return Result::Sat;
@@ -597,6 +675,7 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
       }
       if (agg != Result::Unknown) {
         ++stats_.slice_decided;
+        last_rung_ = "slicing";
         cache_verdict(e->uid(), agg);
         if (q.get() != e.get()) cache_verdict(q->uid(), agg);
         return agg;
@@ -606,6 +685,7 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
   if (incremental_) {
     const Result pre = context_check(q);
     if (pre != Result::Unknown) {
+      last_rung_ = "incremental";
       CheckResult r;
       r.result = pre;
       cache_store(e->uid(), std::move(r), /*has_model=*/pre != Result::Sat);
@@ -613,6 +693,7 @@ Result Solver::feasible_inner(const bv::ExprRef& e, bool allow_slice) {
       return pre;
     }
   }
+  last_rung_ = "cdcl";
   CheckResult r = check_uncached(q);
   const Result res = r.result;
   if (q.get() == e.get()) {

@@ -239,6 +239,9 @@ class Solver {
   };
 
   CheckResult check_uncached(const bv::ExprRef& e);
+  // check()'s body; the public wrapper adds the tracing span. Sets
+  // last_rung_ like feasible_inner does.
+  CheckResult check_inner(const bv::ExprRef& e);
   // Layers 1+2 (folding, intervals). Returns true when decided.
   bool check_cheap(const bv::ExprRef& e, CheckResult* out);
   const CacheEntry* cache_find(uint64_t uid);
@@ -268,6 +271,10 @@ class Solver {
   Result context_check(const bv::ExprRef& e);
 
   uint64_t max_conflicts_ = UINT64_MAX;
+  // Which avoidance-ladder rung decided the most recent query (a string
+  // literal; plain pointer stores at the return sites, so maintaining it
+  // costs nothing when tracing is off). Read only by the tracing wrappers.
+  const char* last_rung_ = "cheap";
   bool incremental_ = true;
   bool rewrite_on_ = true;
   bool independence_on_ = true;

@@ -1,6 +1,7 @@
 #include "spec/check.hpp"
 
 #include "elements/registry.hpp"
+#include "obs/trace.hpp"
 #include "spec/compile.hpp"
 #include "verify/decomposed.hpp"
 
@@ -248,7 +249,13 @@ CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts) {
 
   CheckReport report;
   for (const Assertion& a : spec.assertions) {
+    obs::ScopedSpan sp(obs::Cat::Phase, "assertion");
+    if (sp) sp.arg("assert", a.text);
     report.outcomes.push_back(run_assertion(spec, a, pl, verifier));
+    if (sp) {
+      sp.arg("verdict", verify::verdict_name(report.outcomes.back().verdict));
+      obs::count("check.assertions");
+    }
     if (report.outcomes.back().passed) ++report.passed;
   }
   report.ok = report.passed == report.outcomes.size();

@@ -6,6 +6,7 @@
 
 #include "bv/analysis.hpp"
 #include "elements/registry.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
 #include "symbex/sym_packet.hpp"
 #include "testing/shrink.hpp"
@@ -233,6 +234,12 @@ struct Runner {
 
   void fuzz_pipeline(size_t index) {
     const GeneratedPipeline gp = generate_pipeline(rng, cfg.gen);
+    obs::ScopedSpan sp(obs::Cat::Oracle, "fuzz_pipeline");
+    if (sp) {
+      sp.arg("index", std::to_string(index));
+      sp.arg("pipeline", gp.config);
+      obs::count("fuzz.pipelines");
+    }
     PipelineOutcome out;
     out.config = gp.config;
     out.packet_len = gp.packet_len;

@@ -13,6 +13,7 @@
 #include "bv/analysis.hpp"
 #include "bv/printer.hpp"
 #include "interp/interp.hpp"
+#include "obs/trace.hpp"
 #include "solver/pool.hpp"
 #include "symbex/state_summary.hpp"
 #include "verify/parallel.hpp"
@@ -204,7 +205,20 @@ class DecomposedVerifier::Impl {
     eo.solver = &sv;
     symbex::Executor exec(eo);
     bool was_miss = false;
+    obs::ScopedSpan sp(obs::Cat::Summarize, "summarize");
     const ElementSummary& s = cache.get(prog, len, exec, &was_miss);
+    if (sp) {
+      if (!was_miss) {
+        sp.cancel();  // a cache hit is not summarization work
+        obs::count("verify.summary_cache_hits");
+      } else {
+        sp.arg("element", prog.name);
+        sp.arg("entry_len", std::to_string(len));
+        sp.arg("mode", mode == symbex::LoopMode::Unroll ? "unroll"
+                                                        : "summarize");
+        obs::count("verify.elements_summarized");
+      }
+    }
     if (was_miss) {
       ++vstats.elements_summarized;
       vstats.segments_total += s.segments.size();
@@ -641,6 +655,16 @@ class DecomposedVerifier::Impl {
                                 bv::Assignment* model_out,
                                 std::string* state_note, solver::Solver& sv,
                                 VerifyStats& vstats) {
+    obs::ScopedSpan sp(obs::Cat::Stitch, "decide_suspect");
+    if (sp) {
+      std::string path;
+      for (const size_t i : st.elem_trace) {
+        if (!path.empty()) path += " > ";
+        path += pl.element(i).name();
+      }
+      sp.arg("path", std::move(path));
+      obs::count("verify.suspects_decided");
+    }
     // Core-grouping front-run: a previously harvested unsat core whose
     // conjuncts all appear in this stitched constraint discharges the whole
     // suspect with zero solving — one core typically kills the entire
@@ -741,6 +765,16 @@ class DecomposedVerifier::Impl {
     RefineOutcome out;
     if (!cfg.unroll_fallback || trace.empty()) return out;
     ++vstats.refinements_attempted;
+    obs::ScopedSpan sp(obs::Cat::Refine, "refine_path");
+    if (sp) {
+      std::string path;
+      for (const size_t i : trace) {
+        if (!path.empty()) path += " > ";
+        path += pl.element(i).name();
+      }
+      sp.arg("path", std::move(path));
+      obs::count("verify.refinements_attempted");
+    }
     uint64_t paths = 0;
     bool gave_up = false;  // budget/truncation: result stays Unknown
     bool solver_unknown = false;
@@ -1053,6 +1087,11 @@ class DecomposedVerifier::Impl {
     }
     for (const auto& [id, group] : groups) {
       TableOccupancy& occ = occupancy.at(id);
+      obs::ScopedSpan esp(obs::Cat::Enumerate, "enumerate_keys");
+      if (esp) {
+        esp.arg("element", occupancy.at(id).element_name);
+        esp.arg("table", occupancy.at(id).table_name);
+      }
       std::vector<uint64_t> found;
       // Incremental enumeration: one live SAT context per table. Each
       // site's refined constraint (guard ∧ KV write history, fixed per
@@ -1114,6 +1153,7 @@ class DecomposedVerifier::Impl {
           // different key expression (a permanent assertion would leak
           // this site's blocks into the other sites' queries).
           found.push_back(bv::evaluate(site->key, model));
+          obs::count("verify.state_keys_found");
           report.packet_sequence.push_back(entry.to_concrete(model));
           ++total;
           if (total > spec.bound) {
@@ -1700,6 +1740,7 @@ const DecomposedConfig& DecomposedVerifier::config() const {
 CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
+  obs::ScopedSpan phase(obs::Cat::Phase, "crash_freedom");
   if (im.jobs > 1) return im.crash_freedom_mt(pl);
   Timer timer;
   im.begin_call();
@@ -1809,6 +1850,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
 InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
+  obs::ScopedSpan phase(obs::Cat::Phase, "instruction_bound");
   if (im.jobs > 1) return im.instruction_bound_mt(pl);
   Timer timer;
   im.begin_call();
@@ -1912,6 +1954,7 @@ ReachabilityReport DecomposedVerifier::verify_never_dropped(
 StateBoundReport DecomposedVerifier::verify_bounded_state(
     const pipeline::Pipeline& pl, const InputPredicate& predicate,
     const StateBoundSpec& spec) {
+  obs::ScopedSpan phase(obs::Cat::Phase, "bounded_state");
   return impl_->bounded_state(pl, predicate, spec);
 }
 
@@ -1919,6 +1962,7 @@ ReachabilityReport DecomposedVerifier::verify_reach_never(
     const pipeline::Pipeline& pl, const InputPredicate& predicate,
     const TerminalSpec& tspec) {
   Impl& im = *impl_;
+  obs::ScopedSpan phase(obs::Cat::Phase, "reach_never");
   if (im.jobs > 1) return im.reach_never_mt(pl, predicate, tspec);
   Timer timer;
   im.begin_call();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace vsd::verify {
 
 WorkQueue::WorkQueue(size_t jobs) {
@@ -41,6 +43,8 @@ void WorkQueue::wait_idle() {
 }
 
 void WorkQueue::worker_loop(size_t index) {
+  // Worker w traces on lane w+1; lane 0 stays the caller's main thread.
+  obs::set_lane(static_cast<uint32_t>(index) + 1);
   for (;;) {
     Task task;
     {
@@ -51,6 +55,7 @@ void WorkQueue::worker_loop(size_t index) {
       queue_.pop_front();
     }
     try {
+      obs::ScopedSpan sp(obs::Cat::Task, "task");
       task(index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);

@@ -39,6 +39,7 @@
 #include "ir/ir.hpp"
 #include "net/headers.hpp"
 #include "net/workload.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
 #include "spec/check.hpp"
 #include "spec/parser.hpp"
@@ -131,13 +132,16 @@ int usage() {
   std::puts(
       "vsd — verifiable software dataplane tool\n"
       "  vsd list                                  registered elements\n"
-      "  vsd check <file.vspec> [...] [--jobs N]   run every assertion of "
-      "the spec(s)\n"
+      "  vsd check <file.vspec> [...] [--jobs N] [--json FILE]\n"
+      "      run every assertion of the spec(s); --json writes a\n"
+      "      machine-readable per-assertion report\n"
       "      (verify/reach/state/check also take --stats for solver-layer\n"
       "       counters, --one-shot to disable incremental solving, and\n"
       "       --no-rewrite/--no-independence/--no-cex-cache/\n"
       "       --no-core-grouping/--no-clause-gc to disable one\n"
-      "       query-avoidance layer)\n"
+      "       query-avoidance layer; verify/check/state/fuzz also take\n"
+      "       --trace FILE for a Chrome trace-event JSON and\n"
+      "       --metrics FILE for a JSONL metrics log)\n"
       "  vsd fuzz [--seed S] [--pipelines N] [--packets N] [--sequences N]\n"
       "           [--sequence-len K] [--max-elems K] [--jobs N] [--out DIR]\n"
       "           [--no-cross-check] [--no-artifacts]   differential fuzz\n"
@@ -158,6 +162,10 @@ int usage() {
       "  vsd baseline \"<pipeline>\" [--len N] [--budget SECONDS]\n"
       "  vsd paths \"<pipeline>\" [--len N] [--jobs N]  composed path "
       "listing\n"
+      "  vsd profile \"<pipeline>\" [--len N] [--jobs N]  per-element, "
+      "per-phase\n"
+      "      time/query attribution (runs crash + bound verification "
+      "traced)\n"
       "  vsd asm <file.vsd>                        assemble + validate\n"
       "  vsd verify-ir <file.vsd> --property crash|bound [--len N]");
   return 2;
@@ -229,6 +237,115 @@ int cmd_list() {
 
 // --- vsd check: the vspec batch checker -------------------------------------
 
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// The stats snapshot embedded in --json reports: every VerifyStats counter,
+// spelled with the struct's field names so the schema tracks the header.
+std::string stats_json(const verify::VerifyStats& s) {
+  std::string out = "{";
+  bool first = true;
+  const auto field = [&](const char* name, uint64_t v) {
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") + name + "\":" + std::to_string(v);
+  };
+  field("elements_summarized", s.elements_summarized);
+  field("summary_cache_hits", s.summary_cache_hits);
+  field("segments_total", s.segments_total);
+  field("suspects_found", s.suspects_found);
+  field("suspects_eliminated", s.suspects_eliminated);
+  field("composed_paths_checked", s.composed_paths_checked);
+  field("solver_queries", s.solver_queries);
+  field("instructions_interpreted", s.instructions_interpreted);
+  field("forks", s.forks);
+  field("refinements_attempted", s.refinements_attempted);
+  field("refinements_certified", s.refinements_certified);
+  field("refinements_eliminated", s.refinements_eliminated);
+  field("sat_conflicts", s.sat_conflicts);
+  field("sat_decisions", s.sat_decisions);
+  field("blast_nodes", s.blast_nodes);
+  field("solver_cache_hits", s.solver_cache_hits);
+  field("contexts_opened", s.contexts_opened);
+  field("incremental_queries", s.incremental_queries);
+  field("assumption_reuses", s.assumption_reuses);
+  field("learnt_retained", s.learnt_retained);
+  field("sat_solves", s.sat_solves);
+  field("rewrites_applied", s.rewrites_applied);
+  field("rewrite_decided", s.rewrite_decided);
+  field("slice_decided", s.slice_decided);
+  field("cex_cache_hits", s.cex_cache_hits);
+  field("core_discharges", s.core_discharges);
+  field("suspects_core_discharged", s.suspects_core_discharged);
+  field("learnt_gc_runs", s.learnt_gc_runs);
+  field("learnt_gc_removed", s.learnt_gc_removed);
+  out += "}";
+  return out;
+}
+
+std::string outcome_json(const spec::AssertionOutcome& o) {
+  std::string out = "{";
+  out += "\"assert\":" + json_quote(o.text);
+  out += ",\"passed\":" + std::string(o.passed ? "true" : "false");
+  out += ",\"verdict\":" + json_quote(verify::verdict_name(o.verdict));
+  if (!o.detail.empty()) out += ",\"detail\":" + json_quote(o.detail);
+  out += ",\"seconds\":" + std::to_string(o.seconds);
+  if (o.max_instructions != 0) {
+    out += ",\"max_instructions\":" + std::to_string(o.max_instructions);
+  }
+  out += ",\"counterexamples\":[";
+  for (size_t i = 0; i < o.counterexamples.size(); ++i) {
+    const verify::Counterexample& ce = o.counterexamples[i];
+    if (i != 0) out += ",";
+    out += "{\"packet\":" + json_quote(ce.packet.hex(ce.packet.size()));
+    out += ",\"trap\":" + json_quote(ir::trap_name(ce.trap));
+    out += ",\"requires_sequence\":" +
+           std::string(ce.requires_sequence ? "true" : "false");
+    if (!ce.element_path.empty()) {
+      out += ",\"element_path\":[";
+      for (size_t j = 0; j < ce.element_path.size(); ++j) {
+        if (j != 0) out += ",";
+        out += json_quote(ce.element_path[j]);
+      }
+      out += "]";
+    }
+    if (!ce.state_note.empty()) {
+      out += ",\"state_note\":" + json_quote(ce.state_note);
+    }
+    out += "}";
+  }
+  out += "],\"replays\":[";
+  for (size_t i = 0; i < o.replays.size(); ++i) {
+    if (i != 0) out += ",";
+    out += json_quote(o.replays[i]);
+  }
+  out += "],\"replays_confirm\":" +
+         std::string(o.replays_confirm ? "true" : "false");
+  out += ",\"stats\":" + stats_json(o.stats);
+  out += "}";
+  return out;
+}
+
 void print_check_outcome(const spec::AssertionOutcome& o) {
   std::printf("  %s  %s  [%s in %.2f s%s%s]\n", o.passed ? "PASS" : "FAIL",
               o.text.c_str(), verify::verdict_name(o.verdict), o.seconds,
@@ -252,6 +369,11 @@ int cmd_check(const Args& a) {
   opts.core_grouping = !a.flag("no-core-grouping");
   opts.clause_gc = !a.flag("no-clause-gc");
   const bool with_stats = a.flag("stats");
+  const std::string json_path = a.get("json", "");
+  if (a.options.count("json") != 0 && json_path.empty()) {
+    throw UsageError("--json expects an output file path");
+  }
+  std::string json = "{\"specs\":[";
   bool all_passed = true;
   for (size_t i = 1; i < a.positional.size(); ++i) {
     const std::string& path = a.positional[i];
@@ -277,6 +399,30 @@ int cmd_check(const Args& a) {
     std::printf("%s: %zu/%zu assertions passed\n", path.c_str(), rep.passed,
                 rep.outcomes.size());
     all_passed = all_passed && rep.ok;
+    if (!json_path.empty()) {
+      if (i != 1) json += ",";
+      json += "{\"path\":" + json_quote(path);
+      json += ",\"pipeline\":" + json_quote(sf.pipeline_config);
+      json += ",\"packet_len\":" + std::to_string(sf.packet_len);
+      json += ",\"ok\":" + std::string(rep.ok ? "true" : "false");
+      json += ",\"passed\":" + std::to_string(rep.passed);
+      json += ",\"total\":" + std::to_string(rep.outcomes.size());
+      json += ",\"assertions\":[";
+      for (size_t j = 0; j < rep.outcomes.size(); ++j) {
+        if (j != 0) json += ",";
+        json += outcome_json(rep.outcomes[j]);
+      }
+      json += "]}";
+    }
+  }
+  if (!json_path.empty()) {
+    json += "],\"ok\":" + std::string(all_passed ? "true" : "false") + "}\n";
+    std::ofstream out(json_path);
+    if (!out) {
+      std::printf("error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << json;
   }
   return all_passed ? 0 : 1;
 }
@@ -543,6 +689,108 @@ int cmd_paths(const Args& a) {
   return 0;
 }
 
+// --- vsd profile: per-element, per-phase attribution ------------------------
+
+int cmd_profile(const Args& a) {
+  pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
+  verify::DecomposedConfig cfg;
+  cfg.packet_len = a.get_u64("len", 64);
+  cfg.jobs = a.get_u64("jobs", 1);
+  cfg.incremental = !a.flag("one-shot");
+  apply_avoidance_flags(a, &cfg);
+  verify::DecomposedVerifier verifier(cfg);
+
+  // Profile always traces (that's its whole point); with a global --trace
+  // the sinks still get everything since enable() keeps prior events.
+  obs::enable(true);
+  const verify::CrashFreedomReport crash = verifier.verify_crash_freedom(pl);
+  const verify::InstructionBoundReport bound =
+      verifier.verify_instruction_bound(pl);
+
+  std::printf("profile \"%s\" (len %zu, jobs %zu)\n",
+              a.positional[1].c_str(), cfg.packet_len, cfg.jobs);
+  std::printf("  crash-freedom: %s in %.2f s; instruction bound: %s "
+              "(max %llu) in %.2f s\n",
+              verify::verdict_name(crash.verdict), crash.seconds,
+              verify::verdict_name(bound.verdict),
+              static_cast<unsigned long long>(bound.max_instructions),
+              bound.seconds);
+
+  const std::vector<obs::SpanEvent> events = obs::events_snapshot();
+
+  // Per-phase: wall time and span count per category.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_cat;  // count, us
+  for (const obs::SpanEvent& e : events) {
+    auto& [n, us] = by_cat[obs::cat_name(e.cat)];
+    ++n;
+    us += e.dur_us;
+  }
+  std::printf("\n  %-12s %8s %12s\n", "phase", "spans", "total ms");
+  for (const auto& [cat, v] : by_cat) {
+    std::printf("  %-12s %8llu %12.2f\n", cat.c_str(),
+                static_cast<unsigned long long>(v.first),
+                static_cast<double>(v.second) / 1000.0);
+  }
+
+  // Per-element: summarization time plus stitched-decision time attributed
+  // to the path's final element (the suspect's own element).
+  struct ElemRow {
+    uint64_t summarize_us = 0, summaries = 0;
+    uint64_t stitch_us = 0, suspects = 0;
+  };
+  std::map<std::string, ElemRow> by_elem;
+  const auto arg_of = [](const obs::SpanEvent& e,
+                         const char* key) -> const std::string* {
+    for (const auto& [k, v] : e.args) {
+      if (std::strcmp(k, key) == 0) return &v;
+    }
+    return nullptr;
+  };
+  for (const obs::SpanEvent& e : events) {
+    if (e.cat == obs::Cat::Summarize) {
+      if (const std::string* elem = arg_of(e, "element")) {
+        ElemRow& row = by_elem[*elem];
+        row.summarize_us += e.dur_us;
+        ++row.summaries;
+      }
+    } else if (e.cat == obs::Cat::Stitch) {
+      if (const std::string* path = arg_of(e, "path")) {
+        const size_t sep = path->rfind(" > ");
+        ElemRow& row =
+            by_elem[sep == std::string::npos ? *path
+                                             : path->substr(sep + 3)];
+        row.stitch_us += e.dur_us;
+        ++row.suspects;
+      }
+    }
+  }
+  if (!by_elem.empty()) {
+    std::printf("\n  %-20s %10s %12s %9s %12s\n", "element", "summaries",
+                "summ ms", "suspects", "stitch ms");
+    for (const auto& [elem, row] : by_elem) {
+      std::printf("  %-20s %10llu %12.2f %9llu %12.2f\n", elem.c_str(),
+                  static_cast<unsigned long long>(row.summaries),
+                  static_cast<double>(row.summarize_us) / 1000.0,
+                  static_cast<unsigned long long>(row.suspects),
+                  static_cast<double>(row.stitch_us) / 1000.0);
+    }
+  }
+
+  // Solver attribution: which avoidance-ladder rung decided the queries.
+  const std::map<std::string, uint64_t> counters = obs::counters_snapshot();
+  bool header = false;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("solver.rung.", 0) != 0) continue;
+    if (!header) {
+      std::printf("\n  %-24s %10s\n", "query decided by", "queries");
+      header = true;
+    }
+    std::printf("  %-24s %10llu\n", name.substr(12).c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
+
 int cmd_asm(const Args& a) {
   const ir::Program p = ir::assemble(read_file(a.positional[1]));
   std::printf("assembled @%s: %zu function(s), %zu static table(s), %zu kv "
@@ -606,25 +854,52 @@ int cmd_baseline(const Args& a) {
 
 }  // namespace
 
+int dispatch(const Args& a) {
+  const std::string& cmd = a.positional[0];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "fuzz") return cmd_fuzz(a);
+  if (a.positional.size() < 2) return usage();
+  if (cmd == "check") return cmd_check(a);
+  if (cmd == "show") return cmd_show(a);
+  if (cmd == "run") return cmd_run(a);
+  if (cmd == "verify") return cmd_verify(a);
+  if (cmd == "reach") return cmd_reach(a);
+  if (cmd == "state") return cmd_state(a);
+  if (cmd == "certify") return cmd_certify(a);
+  if (cmd == "baseline") return cmd_baseline(a);
+  if (cmd == "paths") return cmd_paths(a);
+  if (cmd == "profile") return cmd_profile(a);
+  if (cmd == "asm") return cmd_asm(a);
+  if (cmd == "verify-ir") return cmd_verify_ir(a);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (a.positional.empty()) return usage();
-  const std::string& cmd = a.positional[0];
+  int rc = 2;
   try {
-    if (cmd == "list") return cmd_list();
-    if (cmd == "fuzz") return cmd_fuzz(a);
-    if (a.positional.size() < 2) return usage();
-    if (cmd == "check") return cmd_check(a);
-    if (cmd == "show") return cmd_show(a);
-    if (cmd == "run") return cmd_run(a);
-    if (cmd == "verify") return cmd_verify(a);
-    if (cmd == "reach") return cmd_reach(a);
-    if (cmd == "state") return cmd_state(a);
-    if (cmd == "certify") return cmd_certify(a);
-    if (cmd == "baseline") return cmd_baseline(a);
-    if (cmd == "paths") return cmd_paths(a);
-    if (cmd == "asm") return cmd_asm(a);
-    if (cmd == "verify-ir") return cmd_verify_ir(a);
+    // Tracing sinks are global so every command gets them for free.
+    // Observational only: verdicts, exit codes, and counterexample bytes
+    // are byte-identical with or without these flags (tests/obs_test.cpp).
+    const std::string trace_path = a.get("trace", "");
+    const std::string metrics_path = a.get("metrics", "");
+    if (a.options.count("trace") != 0 && trace_path.empty()) {
+      throw UsageError("--trace expects an output file path");
+    }
+    if (a.options.count("metrics") != 0 && metrics_path.empty()) {
+      throw UsageError("--metrics expects an output file path");
+    }
+    if (!trace_path.empty() || !metrics_path.empty()) obs::enable(true);
+    rc = dispatch(a);
+    if (!trace_path.empty() && !obs::write_chrome_trace(trace_path)) {
+      std::printf("error: cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    if (!metrics_path.empty() && !obs::write_metrics(metrics_path)) {
+      std::printf("error: cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
   } catch (const UsageError& e) {
     std::printf("error: %s\n", e.what());
     return usage();
@@ -632,5 +907,5 @@ int main(int argc, char** argv) {
     std::printf("error: %s\n", e.what());
     return 2;
   }
-  return usage();
+  return rc;
 }
