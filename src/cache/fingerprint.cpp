@@ -1,0 +1,111 @@
+#include "cache/fingerprint.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace vsd::cache {
+
+void Fingerprint::byte(uint8_t b) {
+  // FNV-1a on both streams; the second runs with swapped operations'
+  // constants so the halves stay independent.
+  hi_ = (hi_ ^ b) * 0x100000001b3ull;
+  lo_ = (lo_ ^ b) * 0x00000100000001b3ull ^ (lo_ >> 47);
+}
+
+void Fingerprint::mix(uint64_t v) {
+  for (int i = 0; i < 8; ++i) byte(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Fingerprint::mix(const std::string& s) {
+  mix(static_cast<uint64_t>(s.size()));
+  for (const char c : s) byte(static_cast<uint8_t>(c));
+}
+
+void Fingerprint::mix_expr(const bv::ExprRef& e) {
+  if (!e) {
+    mix(0xfffffffful);  // explicit null marker, distinct from any node
+    return;
+  }
+  // Iterative pre-order; the prefix code (kind, width, payload, operand
+  // count) makes the byte stream unambiguous, and back-references by serial
+  // number keep shared subtrees O(1) instead of exponential.
+  std::unordered_map<const bv::Expr*, uint32_t> serial;
+  std::vector<const bv::Expr*> stack{e.get()};
+  while (!stack.empty()) {
+    const bv::Expr* n = stack.back();
+    stack.pop_back();
+    const auto it = serial.find(n);
+    if (it != serial.end()) {
+      mix(0xb0ccadeull);  // back-reference tag
+      mix(it->second);
+      continue;
+    }
+    const uint32_t id = static_cast<uint32_t>(serial.size());
+    serial.emplace(n, id);
+    mix(static_cast<uint64_t>(n->kind()));
+    mix(n->width());
+    switch (n->kind()) {
+      case bv::Kind::Const: mix(n->value()); break;
+      case bv::Kind::Var: mix(n->name()); break;
+      case bv::Kind::Extract: mix(n->extract_lo()); break;
+      default: break;
+    }
+    mix(static_cast<uint64_t>(n->num_operands()));
+    // Push in reverse so operands are visited left-to-right.
+    for (size_t i = n->num_operands(); i-- > 0;) {
+      stack.push_back(n->operand(i).get());
+    }
+  }
+}
+
+void mix_pipeline(Fingerprint* fp, const pipeline::Pipeline& pl) {
+  fp->mix(pl.size());
+  for (size_t e = 0; e < pl.size(); ++e) {
+    const ir::Program& prog = pl.element(e).model_program();
+    fp->mix(ir::program_hash(prog));
+    for (uint32_t p = 0; p < prog.num_output_ports; ++p) {
+      const auto down = pl.downstream(e, p);
+      fp->mix(down ? static_cast<uint64_t>(*down) : ~0ull);
+    }
+  }
+}
+
+void mix_pred(Fingerprint* fp, const spec::SpecFile& spec,
+              const spec::Pred& p) {
+  fp->mix(static_cast<uint64_t>(p.kind));
+  switch (p.kind) {
+    case spec::PredKind::And:
+    case spec::PredKind::Or:
+    case spec::PredKind::Not:
+      fp->mix(p.kids.size());
+      for (const auto& k : p.kids) mix_pred(fp, spec, *k);
+      return;
+    case spec::PredKind::Cmp:
+      fp->mix(p.proto);
+      fp->mix(p.field);
+      fp->mix(static_cast<uint64_t>(p.op));
+      fp->mix(p.value);
+      fp->mix(p.meta_slot);
+      return;
+    case spec::PredKind::Builtin:
+      fp->mix(static_cast<uint64_t>(p.builtin));
+      return;
+    case spec::PredKind::Ref:
+      // Inline the referenced predicate: the fingerprint hashes what the
+      // predicate MEANS, not how it was factored into lets. The parser
+      // already rejects unresolved/cyclic references.
+      for (const auto& [name, pred] : spec.lets) {
+        if (name == p.ref) {
+          mix_pred(fp, spec, *pred);
+          return;
+        }
+      }
+      throw std::runtime_error("unresolved let reference: " + p.ref);
+  }
+}
+
+}  // namespace vsd::cache

@@ -1,0 +1,52 @@
+// 128-bit run-stable fingerprints for the persistent verdict cache.
+//
+// Cache keys must survive process restarts, so they can depend only on
+// run-stable material: element programs (ir::program_hash), expression
+// STRUCTURE (kinds, widths, constants, variable names and sharing — never
+// the process-local var_id or node uid), and the property/config scalars.
+// Two independent 64-bit FNV-1a streams with distinct bases give a 128-bit
+// key; a collision would be a wrong cache hit, so the width is chosen to
+// make that astronomically unlikely rather than merely rare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bv/expr.hpp"
+#include "pipeline/pipeline.hpp"
+#include "spec/ast.hpp"
+
+namespace vsd::cache {
+
+class Fingerprint {
+ public:
+  void mix(uint64_t v);
+  void mix(const std::string& s);
+  // Canonical DAG serialization: pre-order with per-node serial numbers, so
+  // variable identity/sharing is captured by first-encounter ordinals and
+  // names (stable across runs) rather than var_ids (fresh every run).
+  // Distinct variables that share a diagnostic name hash differently.
+  void mix_expr(const bv::ExprRef& e);
+
+  uint64_t hi() const { return hi_; }
+  uint64_t lo() const { return lo_; }
+
+ private:
+  void byte(uint8_t b);
+  uint64_t hi_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  uint64_t lo_ = 0x6c62272e07bb0142ull;  // FNV-1a 128 basis (low half)
+};
+
+// Structural hash of the whole pipeline: per-element ir::program_hash (the
+// element-config hash — instructions, tables, and configuration) plus the
+// port-level wiring. Element display names are excluded on purpose: a
+// rename is not a semantic change.
+void mix_pipeline(Fingerprint* fp, const pipeline::Pipeline& pl);
+
+// Canonical serialization of a vspec predicate with `let` references
+// resolved through the spec, so moving a predicate into or out of a let
+// does not change the fingerprint.
+void mix_pred(Fingerprint* fp, const spec::SpecFile& spec,
+              const spec::Pred& p);
+
+}  // namespace vsd::cache

@@ -1,0 +1,188 @@
+#include "cache/store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace vsd::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x76736443u;  // "vsdC"
+constexpr uint32_t kFormat = 1;
+
+// FNV-1a over the whole entry up to the checksum field. Any single-bit
+// change in the covered bytes changes the digest (each step is injective in
+// the running hash), so the corruption battery's flips always miss.
+uint64_t digest(const std::vector<uint8_t>& bytes, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) h = (h ^ bytes[i]) * 0x100000001b3ull;
+  return h;
+}
+
+void put_u32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool get_u32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(in[(*pos)++]) << (8 * i);
+  return true;
+}
+
+bool get_u64(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(in[(*pos)++]) << (8 * i);
+  return true;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Store::Store(std::string dir, std::string engine_version)
+    : dir_(std::move(dir)), version_(std::move(engine_version)) {}
+
+std::string Store::entry_path(uint64_t kind, uint64_t hi, uint64_t lo) const {
+  const std::string name =
+      hex16(kind) + hex16(hi) + hex16(lo) + ".vc";
+  return (fs::path(dir_) / name.substr(0, 2) / name).string();
+}
+
+bool Store::load(uint64_t kind, uint64_t hi, uint64_t lo,
+                 std::vector<uint8_t>* payload) const {
+  if (!enabled()) return false;
+  std::ifstream in(entry_path(kind, hi, lo), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return false;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  const auto corrupt = [this] {
+    ++misses_;
+    ++corrupt_;
+    return false;
+  };
+  if (bytes.size() < 8) return corrupt();
+  // The trailing checksum covers every preceding byte, so framing-field
+  // damage and payload damage are caught by the same comparison.
+  const size_t body = bytes.size() - 8;
+  size_t pos = body;
+  uint64_t want = 0;
+  get_u64(bytes, &pos, &want);
+  if (digest(bytes, body) != want) return corrupt();
+  pos = 0;
+  uint32_t magic = 0, format = 0, vlen = 0;
+  if (!get_u32(bytes, &pos, &magic) || magic != kMagic) return corrupt();
+  if (!get_u32(bytes, &pos, &format) || format != kFormat) return corrupt();
+  if (!get_u32(bytes, &pos, &vlen) || pos + vlen > body) return corrupt();
+  if (std::string(bytes.begin() + pos, bytes.begin() + pos + vlen) !=
+      version_) {
+    // A foreign engine version is an ordinary (intended) miss, not damage.
+    ++misses_;
+    return false;
+  }
+  pos += vlen;
+  uint64_t k = 0, h = 0, l = 0, plen = 0;
+  if (!get_u64(bytes, &pos, &k) || k != kind) return corrupt();
+  if (!get_u64(bytes, &pos, &h) || h != hi) return corrupt();
+  if (!get_u64(bytes, &pos, &l) || l != lo) return corrupt();
+  if (!get_u64(bytes, &pos, &plen) || pos + plen != body) return corrupt();
+  payload->assign(bytes.begin() + pos, bytes.begin() + pos + plen);
+  ++hits_;
+  return true;
+}
+
+void Store::save(uint64_t kind, uint64_t hi, uint64_t lo,
+                 const std::vector<uint8_t>& payload) const {
+  if (!enabled()) return;
+  std::vector<uint8_t> bytes;
+  bytes.reserve(payload.size() + 64);
+  put_u32(&bytes, kMagic);
+  put_u32(&bytes, kFormat);
+  put_u32(&bytes, static_cast<uint32_t>(version_.size()));
+  for (const char c : version_) bytes.push_back(static_cast<uint8_t>(c));
+  put_u64(&bytes, kind);
+  put_u64(&bytes, hi);
+  put_u64(&bytes, lo);
+  put_u64(&bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  put_u64(&bytes, digest(bytes, bytes.size()));
+
+  const fs::path final_path = entry_path(kind, hi, lo);
+  std::error_code ec;
+  fs::create_directories(final_path.parent_path(), ec);
+  if (ec) return;  // unwritable store degrades to write-nothing
+  // Distinct tmp name per writer: same-key racers each stage privately and
+  // the atomic rename picks a winner — readers see a whole entry or none.
+  static std::atomic<uint64_t> counter{0};
+  const fs::path tmp =
+      final_path.parent_path() /
+      ("tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  ++stores_;
+}
+
+Store::Stats Store::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool Store::validate_dir(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  const fs::path probe = fs::path(dir) / ".vsd-cache-probe";
+  {
+    std::ofstream out(probe, std::ios::trunc);
+    if (!out) {
+      *error = dir + " is not writable";
+      return false;
+    }
+  }
+  fs::remove(probe, ec);
+  return true;
+}
+
+}  // namespace vsd::cache

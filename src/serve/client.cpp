@@ -1,0 +1,98 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "spec/report_json.hpp"
+
+namespace vsd::serve {
+
+std::string make_request(const std::string& id, const std::string& spec_text,
+                         size_t jobs) {
+  std::string out = "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  if (!id.empty()) {
+    sep();
+    out += "\"id\":" + spec::json_quote(id);
+  }
+  sep();
+  out += "\"spec\":" + spec::json_quote(spec_text);
+  if (jobs != SIZE_MAX) {
+    sep();
+    out += "\"jobs\":" + std::to_string(jobs);
+  }
+  out += "}\n";
+  return out;
+}
+
+bool submit_line(const std::string& socket_path,
+                 const std::string& request_line, std::string* response,
+                 std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "bad socket path: '" + socket_path + "'";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket(): ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (error != nullptr) {
+      *error = "cannot connect to '" + socket_path +
+               "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  size_t off = 0;
+  while (off < request_line.size()) {
+    const ssize_t n = ::send(fd, request_line.data() + off,
+                             request_line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = std::string("send(): ") + std::strerror(errno);
+      }
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string buf;
+  char chunk[4096];
+  while (buf.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (error != nullptr) {
+        *error = std::string("recv(): ") + std::strerror(errno);
+      }
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "daemon closed connection mid-response";
+      ::close(fd);
+      return false;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response != nullptr) *response = buf.substr(0, buf.find('\n'));
+  return true;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,22 @@
+// Client side of the serve protocol: build one request line, send it over
+// the daemon's AF_UNIX socket, read one newline-terminated response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vsd::serve {
+
+// {"id":"<id>","spec":"<text>","jobs":N}\n — id omitted when empty, jobs
+// omitted when `jobs` is SIZE_MAX (daemon default applies).
+std::string make_request(const std::string& id, const std::string& spec_text,
+                         size_t jobs);
+
+// Connects, writes `request_line` (must end in '\n'), reads until the
+// response's terminating newline (stored in *response WITHOUT the
+// newline). False with a reason in *error on connect/IO failure.
+bool submit_line(const std::string& socket_path,
+                 const std::string& request_line, std::string* response,
+                 std::string* error);
+
+}  // namespace vsd::serve

@@ -1,0 +1,426 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "spec/check.hpp"
+#include "spec/parser.hpp"
+#include "spec/report_json.hpp"
+
+namespace vsd::serve {
+namespace {
+
+// --- request parsing --------------------------------------------------------
+// The wire request is a flat JSON object with at most three keys:
+//   {"id": <string|unsigned>, "spec": "<vspec text>", "jobs": <unsigned>}
+// Parsed strictly by hand (no nesting, no extra keys) so a malformed line
+// is an error response, never an exception and never a misread job.
+
+struct Request {
+  std::string id_json;  // the id re-serialized verbatim ("" = absent)
+  std::string spec;
+  bool has_spec = false;
+  uint64_t jobs = 0;
+  bool has_jobs = false;
+};
+
+void skip_ws(const std::string& s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+void append_utf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+bool parse_string(const std::string& s, size_t* i, std::string* out,
+                  std::string* err) {
+  if (*i >= s.size() || s[*i] != '"') {
+    *err = "expected string";
+    return false;
+  }
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) break;
+      const char e = s[*i + 1];
+      *i += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (*i + 4 > s.size()) {
+            *err = "truncated \\u escape";
+            return false;
+          }
+          uint32_t cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[*i + k];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<uint32_t>(h - 'A' + 10);
+            else {
+              *err = "bad \\u escape";
+              return false;
+            }
+          }
+          if (cp >= 0xd800 && cp <= 0xdfff) {
+            *err = "surrogate \\u escape unsupported";
+            return false;
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default:
+          *err = std::string("bad escape \\") + e;
+          return false;
+      }
+      continue;
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  *err = "unterminated string";
+  return false;
+}
+
+bool parse_u64(const std::string& s, size_t* i, uint64_t* out,
+               std::string* err) {
+  const size_t start = *i;
+  uint64_t v = 0;
+  while (*i < s.size() && s[*i] >= '0' && s[*i] <= '9') {
+    const uint64_t d = static_cast<uint64_t>(s[*i] - '0');
+    if (v > (UINT64_MAX - d) / 10) {
+      *err = "number out of range";
+      return false;
+    }
+    v = v * 10 + d;
+    ++*i;
+  }
+  if (*i == start) {
+    *err = "expected non-negative integer";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_request(const std::string& line, Request* req, std::string* err) {
+  size_t i = 0;
+  skip_ws(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    *err = "request must be a JSON object";
+    return false;
+  }
+  ++i;
+  skip_ws(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+    skip_ws(line, &i);
+    if (i != line.size()) {
+      *err = "trailing bytes after request object";
+      return false;
+    }
+    return true;
+  }
+  while (true) {
+    skip_ws(line, &i);
+    std::string key;
+    if (!parse_string(line, &i, &key, err)) return false;
+    skip_ws(line, &i);
+    if (i >= line.size() || line[i] != ':') {
+      *err = "expected ':' after key";
+      return false;
+    }
+    ++i;
+    skip_ws(line, &i);
+    if (key == "spec") {
+      if (!parse_string(line, &i, &req->spec, err)) return false;
+      req->has_spec = true;
+    } else if (key == "jobs") {
+      if (!parse_u64(line, &i, &req->jobs, err)) return false;
+      req->has_jobs = true;
+    } else if (key == "id") {
+      if (i < line.size() && line[i] == '"') {
+        std::string id;
+        if (!parse_string(line, &i, &id, err)) return false;
+        req->id_json = spec::json_quote(id);
+      } else {
+        uint64_t id = 0;
+        if (!parse_u64(line, &i, &id, err)) return false;
+        req->id_json = std::to_string(id);
+      }
+    } else {
+      *err = "unknown key '" + key + "'";
+      return false;
+    }
+    skip_ws(line, &i);
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      break;
+    }
+    *err = "expected ',' or '}'";
+    return false;
+  }
+  skip_ws(line, &i);
+  if (i != line.size()) {
+    *err = "trailing bytes after request object";
+    return false;
+  }
+  return true;
+}
+
+std::string error_response(const std::string& id_json,
+                           const std::string& message) {
+  std::string out = "{\"ok\":false";
+  if (!id_json.empty()) out += ",\"id\":" + id_json;
+  out += ",\"error\":" + spec::json_quote(message) + "}";
+  return out;
+}
+
+std::string cache_json(const cache::VerdictCache::Counters& c) {
+  std::string out = "{";
+  out += "\"assertion_hits\":" + std::to_string(c.assertion_hits);
+  out += ",\"assertion_misses\":" + std::to_string(c.assertion_misses);
+  out += ",\"decision_hits\":" + std::to_string(c.decision_hits);
+  out += ",\"decision_misses\":" + std::to_string(c.decision_misses);
+  out += ",\"refine_hits\":" + std::to_string(c.refine_hits);
+  out += ",\"refine_misses\":" + std::to_string(c.refine_misses);
+  out += ",\"disk_hits\":" + std::to_string(c.disk.hits);
+  out += ",\"disk_misses\":" + std::to_string(c.disk.misses);
+  out += ",\"disk_corrupt\":" + std::to_string(c.disk.corrupt);
+  out += ",\"disk_stores\":" + std::to_string(c.disk.stores);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string process_request(const std::string& line, size_t default_jobs,
+                            cache::VerdictCache* cache,
+                            verify::SummaryCaches* shared) {
+  Request req;
+  std::string err;
+  // On a parse failure the request's id is echoed back when it was parsed
+  // before the error — a pipelining client can still correlate the failure.
+  if (!parse_request(line, &req, &err)) return error_response(req.id_json, err);
+  if (!req.has_spec) return error_response(req.id_json, "missing 'spec' key");
+  spec::SpecFile sf;
+  try {
+    sf = spec::parse_spec(req.spec);
+  } catch (const std::exception& e) {
+    return error_response(req.id_json, e.what());
+  }
+  spec::CheckOptions opts;
+  opts.jobs = req.has_jobs ? req.jobs : default_jobs;
+  opts.cache = cache;
+  opts.shared_caches = shared;
+  spec::CheckReport rep;
+  try {
+    rep = spec::check_spec(sf, opts);
+  } catch (const std::exception& e) {
+    return error_response(req.id_json, e.what());
+  }
+  std::string out = "{\"ok\":true";
+  if (!req.id_json.empty()) out += ",\"id\":" + req.id_json;
+  out += ",\"report\":" + spec::spec_report_json("<request>", sf, rep);
+  out += ",\"cache_hits\":" + std::to_string(rep.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(rep.cache_misses);
+  if (cache != nullptr) out += ",\"cache\":" + cache_json(cache->counters());
+  out += "}";
+  return out;
+}
+
+Server::Server(const ServeOptions& opts)
+    : opts_(opts), cache_(opts.cache_dir) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  if (running_.load()) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.empty() ||
+      opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path empty or longer than " +
+               std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" +
+               opts_.socket_path + "'";
+    }
+    return false;
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket(): ") + std::strerror(errno);
+    }
+    return false;
+  }
+  // The daemon owns its socket path: replace a stale file from a previous
+  // (possibly crashed) run rather than failing with EADDRINUSE.
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = "cannot listen on '" + opts_.socket_path +
+               "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: every connection thread finishes the request it is on (the
+  // stop flag is only checked between requests), then exits.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(opts_.socket_path.c_str());
+  running_.store(false);
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  const auto send_all = [fd](const std::string& s) {
+    size_t off = 0;
+    while (off < s.size()) {
+      // MSG_NOSIGNAL: a client that hung up mid-response costs us a
+      // failed send, not a SIGPIPE that kills the daemon.
+      const ssize_t n =
+          ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  const auto count = [this](bool error) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (error) ++stats_.errors;
+    else ++stats_.requests;
+  };
+
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Serve every complete line already buffered before reading more.
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      // The size cap applies to complete lines too — a request that fits
+      // one recv() must not slip past the guard below.
+      const std::string resp =
+          line.size() > opts_.max_request_bytes
+              ? error_response("", "request exceeds " +
+                                       std::to_string(opts_.max_request_bytes) +
+                                       " bytes")
+              : process_request(line, opts_.jobs, &cache_, &shared_caches_);
+      count(resp.rfind("{\"ok\":false", 0) == 0);
+      if (!send_all(resp + "\n")) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    if (buf.size() > opts_.max_request_bytes) {
+      count(true);
+      send_all(error_response("", "request exceeds " +
+                                      std::to_string(opts_.max_request_bytes) +
+                                      " bytes") +
+               "\n");
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0) break;
+    if (pr == 0) {
+      // Idle. An idle connection must not block stop()'s drain forever;
+      // a half-written request from a dead client is simply dropped.
+      if (stopping_.load()) break;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      // EOF (or error). A leftover partial line means the client
+      // disconnected mid-write: nothing to answer, nothing verified.
+      if (!buf.empty()) count(true);
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+}
+
+}  // namespace vsd::serve

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "cache/fingerprint.hpp"
 #include "obs/trace.hpp"
 
 #ifdef VSD_DEBUG_CONTEXT_QUERIES
@@ -442,6 +443,12 @@ const char* rung_counter_name(const char* rung) {
   return "solver.rung.cdcl";
 }
 
+// Domain tag for persistent feasibility-memo keys. Distinct from every
+// verifier-level tag (cache/fingerprint users) so a solver-layer entry can
+// never alias a stitched-suspect or refine entry even though they share the
+// store's decision kind.
+constexpr uint64_t kFpSolverFeasible = 0x50feab1e50b7c15ull;
+
 std::string uid_fingerprint(const bv::ExprRef& e) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%016llx",
@@ -589,14 +596,53 @@ CheckResult Solver::check_inner(const bv::ExprRef& e) {
 
 Result Solver::check_feasible(const bv::ExprRef& e) {
   ++stats_.queries;
-  if (!obs::enabled()) return feasible_inner(e, /*allow_slice=*/true);
+  if (!obs::enabled()) {
+    return memo_ == nullptr ? feasible_inner(e, /*allow_slice=*/true)
+                            : feasible_memoized(e);
+  }
   obs::ScopedSpan sp(obs::Cat::Solve, "check_feasible");
-  const Result r = feasible_inner(e, /*allow_slice=*/true);
+  const Result r = memo_ == nullptr ? feasible_inner(e, /*allow_slice=*/true)
+                                    : feasible_memoized(e);
   sp.arg("rung", last_rung_);
   sp.arg("result", result_name(r));
   sp.arg("query", uid_fingerprint(e));
   obs::count("solver.queries");
   obs::count(rung_counter_name(last_rung_));
+  return r;
+}
+
+Result Solver::feasible_memoized(const bv::ExprRef& e) {
+  // Cheap layers and the per-uid cache stay in front: those hits are free
+  // and must not pay fingerprint hashing (they re-run inside feasible_inner
+  // on a miss, which costs nothing by comparison with solving).
+  CheckResult out;
+  if (check_cheap(e, &out)) {
+    last_rung_ = "cheap";
+    return out.result;
+  }
+  if (const CacheEntry* hit = cache_find(e->uid())) {
+    ++stats_.cache_hits;
+    last_rung_ = "cache";
+    return hit->r.result;
+  }
+  cache::Fingerprint fp;
+  fp.mix(kFpSolverFeasible);
+  fp.mix_expr(e);
+  bool sat = false;
+  if (memo_->lookup_decision(fp.hi(), fp.lo(), &sat)) {
+    ++stats_.memo_hits;
+    last_rung_ = "memo";
+    // Seed the uid cache so same-run repeats stay in-process. Sat entries
+    // carry no model (has_model=false): a later check() on this expression
+    // still derives its witness one-shot.
+    cache_verdict(e->uid(), sat ? Result::Sat : Result::Unsat);
+    return sat ? Result::Sat : Result::Unsat;
+  }
+  const Result r = feasible_inner(e, /*allow_slice=*/true);
+  if (r != Result::Unknown) {
+    ++stats_.memo_stores;
+    memo_->store_decision(fp.hi(), fp.lo(), r == Result::Sat);
+  }
   return r;
 }
 

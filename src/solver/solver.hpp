@@ -64,12 +64,33 @@ struct CheckStats {
   uint64_t cores_recorded = 0;     // assumption cores harvested
   uint64_t learnt_gc_runs = 0;     // cross-query clause-DB GC invocations
   uint64_t learnt_gc_removed = 0;  // learnt clauses dropped by that GC
+  // Persistent-memo layer (set_feasibility_memo): feasibility verdicts
+  // served from a cross-run store instead of the avoidance ladder.
+  uint64_t memo_hits = 0;
+  uint64_t memo_stores = 0;
 };
 
 struct CheckResult {
   Result result = Result::Unknown;
   // Populated on Sat: concrete value per free-variable id of the query.
   bv::Assignment model;
+};
+
+// Seam for a persistent (cross-run) feasibility memo. check_feasible() keys
+// each query by a 128-bit content fingerprint of the expression alone —
+// expression satisfiability is context-free, so a verdict recorded by any
+// run is valid in every run — and consults the memo before paying the
+// avoidance ladder. Only decided verdicts (Sat/Unsat) are ever stored;
+// models are never memoized (check() always re-derives witnesses one-shot,
+// so counterexample bytes cannot depend on memo state). Implementations
+// must be thread-safe. verify::PathDecisionCache extends this interface,
+// which is how `--cache-dir` reaches the summarization-time fork checks
+// that dominate a cold run's solver work.
+class FeasibilityMemo {
+ public:
+  virtual ~FeasibilityMemo() = default;
+  virtual bool lookup_decision(uint64_t hi, uint64_t lo, bool* sat) = 0;
+  virtual void store_decision(uint64_t hi, uint64_t lo, bool sat) = 0;
 };
 
 class Solver;
@@ -222,6 +243,11 @@ class Solver {
   // property call: reuse within a call, bounded memory across a batch.
   void reset_context() { ctx_.reset(); }
 
+  // Persistent cross-run feasibility memo (default none). Verdict-only:
+  // see the FeasibilityMemo contract. Pass nullptr to detach.
+  void set_feasibility_memo(FeasibilityMemo* m) { memo_ = m; }
+  FeasibilityMemo* feasibility_memo() const { return memo_; }
+
   // Per-uid result cache cap (entries; 0 = unbounded). FIFO eviction.
   void set_cache_capacity(size_t cap);
 
@@ -253,6 +279,10 @@ class Solver {
   // incremental context -> one-shot. Components recurse with allow_slice
   // off (a variable-connected component cannot split further).
   Result feasible_inner(const bv::ExprRef& e, bool allow_slice);
+  // check_feasible()'s body when a memo is attached: cheap/uid-cache first
+  // (free, and repeat queries must not pay fingerprint hashing), then the
+  // memo, then the full ladder — storing any decided verdict back.
+  Result feasible_memoized(const bv::ExprRef& e);
   // Rewritten form of e when the pass is on (identity otherwise).
   bv::ExprRef normalized(const bv::ExprRef& e);
   // Exhaustive evaluation over every assignment of a tiny-domain
@@ -282,6 +312,7 @@ class Solver {
   bool core_grouping_on_ = true;
   bool clause_gc_on_ = true;
   size_t learnt_budget_ = size_t{1} << 14;
+  FeasibilityMemo* memo_ = nullptr;
   CheckStats stats_;
   std::unique_ptr<SolverContext> ctx_;
   bv::Rewriter rewriter_;

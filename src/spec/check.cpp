@@ -1,5 +1,7 @@
 #include "spec/check.hpp"
 
+#include "cache/fingerprint.hpp"
+#include "cache/verdict_cache.hpp"
 #include "elements/registry.hpp"
 #include "obs/trace.hpp"
 #include "spec/compile.hpp"
@@ -131,6 +133,30 @@ AssertionOutcome run_bounded_state(const Assertion& a,
   return out;
 }
 
+// Key for a whole-assertion cache entry: the pipeline's structural hash,
+// the packet geometry, and the assertion's semantic content with `let`
+// references inlined — NOT its source text, so reformatting a spec (or
+// renaming a let) still hits. Budgets and job/incremental/avoidance
+// settings are excluded: check_spec pins deterministic budgets, and the
+// remaining knobs are verdict-invariant by design. Engine semantic changes
+// invalidate through the store's engine-version framing.
+cache::Fingerprint assertion_fingerprint(const SpecFile& spec,
+                                         const Assertion& a,
+                                         const pipeline::Pipeline& pl) {
+  cache::Fingerprint fp;
+  fp.mix(0xa55e27104full);  // domain tag: whole-assertion entries
+  cache::mix_pipeline(&fp, pl);
+  fp.mix(spec.packet_len);
+  fp.mix(spec.ip_offset);
+  fp.mix(static_cast<uint64_t>(a.prop));
+  fp.mix(a.bound);
+  fp.mix(a.port);
+  fp.mix(a.elem);
+  fp.mix(a.when ? 1 : 0);
+  if (a.when) cache::mix_pred(&fp, spec, *a.when);
+  return fp;
+}
+
 AssertionOutcome run_assertion(const SpecFile& spec, const Assertion& a,
                                const pipeline::Pipeline& pl,
                                verify::DecomposedVerifier& verifier) {
@@ -245,13 +271,34 @@ CheckReport check_spec(const SpecFile& spec, const CheckOptions& opts) {
   cfg.refine_time_budget_seconds = 0.0;
   cfg.refine_max_instructions = 5'000'000;
   cfg.refine_max_solver_checks = 4096;
+  cfg.decision_cache = opts.cache;
+  cfg.shared_caches = opts.shared_caches;
   verify::DecomposedVerifier verifier(cfg);
 
   CheckReport report;
   for (const Assertion& a : spec.assertions) {
     obs::ScopedSpan sp(obs::Cat::Phase, "assertion");
     if (sp) sp.arg("assert", a.text);
-    report.outcomes.push_back(run_assertion(spec, a, pl, verifier));
+    AssertionOutcome out;
+    if (opts.cache != nullptr) {
+      const cache::Fingerprint fp = assertion_fingerprint(spec, a, pl);
+      if (opts.cache->lookup_assertion(fp.hi(), fp.lo(), &out)) {
+        // The key hashes semantics, not source text: report this spec's
+        // own wording, everything else verbatim from the cache.
+        out.text = a.text;
+        ++report.cache_hits;
+      } else {
+        out = run_assertion(spec, a, pl, verifier);
+        // Unknown is budget-shaped, not a verdict — never persisted.
+        if (out.verdict != Verdict::Unknown) {
+          opts.cache->store_assertion(fp.hi(), fp.lo(), out);
+        }
+        ++report.cache_misses;
+      }
+    } else {
+      out = run_assertion(spec, a, pl, verifier);
+    }
+    report.outcomes.push_back(std::move(out));
     if (sp) {
       sp.arg("verdict", verify::verdict_name(report.outcomes.back().verdict));
       obs::count("check.assertions");

@@ -11,6 +11,13 @@
 #include "spec/ast.hpp"
 #include "verify/report.hpp"
 
+namespace vsd::cache {
+class VerdictCache;  // cache/verdict_cache.hpp
+}
+namespace vsd::verify {
+struct SummaryCaches;  // verify/decomposed.hpp
+}
+
 namespace vsd::spec {
 
 struct CheckOptions {
@@ -26,6 +33,16 @@ struct CheckOptions {
   bool cex_cache = true;
   bool core_grouping = true;
   bool clause_gc = true;
+  // Persistent cross-run verdict cache (vsd serve / --cache-dir). Consulted
+  // at two granularities: whole AssertionOutcomes (a warm resubmission of
+  // an unchanged assertion skips verification entirely) and, through the
+  // verifier, individual stitched decisions and refinements (so changing
+  // one element still reuses every decision the change does not reach).
+  // Unknown outcomes are never cached. nullptr = off. Not owned.
+  cache::VerdictCache* cache = nullptr;
+  // Shared in-memory Step-1 summary caches (the serve daemon keeps these
+  // warm across requests). nullptr = per-call private caches. Not owned.
+  verify::SummaryCaches* shared_caches = nullptr;
 };
 
 struct AssertionOutcome {
@@ -51,6 +68,11 @@ struct CheckReport {
   std::vector<AssertionOutcome> outcomes;
   size_t passed = 0;
   bool ok = false;  // every assertion passed
+  // Whole-assertion verdict-cache traffic for this call (both zero when
+  // CheckOptions::cache is unset). Decision-level hits appear in each
+  // outcome's stats instead.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 // Runs all assertions of a parsed+checked spec. Throws SpecError only for

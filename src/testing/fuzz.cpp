@@ -4,7 +4,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <memory>
+
 #include "bv/analysis.hpp"
+#include "cache/verdict_cache.hpp"
 #include "elements/registry.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
@@ -128,8 +131,16 @@ struct Runner {
   const FuzzConfig& cfg;
   FuzzReport& report;
   net::Rng rng;
+  // The soak cache shared by every pipeline of the run (cold hits it with
+  // fresh keys, warm re-reads them) — one cache so the oracle also covers
+  // cross-pipeline key collisions.
+  std::unique_ptr<cache::VerdictCache> cache_;
 
-  Runner(const FuzzConfig& c, FuzzReport& r) : cfg(c), report(r), rng(c.seed) {}
+  Runner(const FuzzConfig& c, FuzzReport& r) : cfg(c), report(r), rng(c.seed) {
+    if (!cfg.cache_dir.empty()) {
+      cache_ = std::make_unique<cache::VerdictCache>(cfg.cache_dir);
+    }
+  }
 
   verify::DecomposedConfig verifier_config(size_t len, size_t jobs,
                                            bool incremental) const {
@@ -205,6 +216,48 @@ struct Runner {
       f.artifact_path = spec_path.string();
     }
     report.failures.push_back(std::move(f));
+  }
+
+  // Flags any divergence between two reports of the same property —
+  // verdict, counterexample count, or counterexample packet bytes/meta.
+  // Shared by the configuration cross-checks and the persistent-cache
+  // oracle (they differ only in the failure kind they raise).
+  void check_report_match(const GeneratedPipeline& gp, size_t index,
+                          const char* kind, const char* what,
+                          const verify::CrashFreedomReport& base,
+                          const verify::CrashFreedomReport& other) {
+    if (other.verdict != base.verdict) {
+      add_failure(gp, index, kind,
+                  std::string(what) + ": crash verdict " +
+                      verify::verdict_name(other.verdict) + " vs " +
+                      verify::verdict_name(base.verdict),
+                  {});
+      return;
+    }
+    if (other.counterexamples.size() != base.counterexamples.size()) {
+      add_failure(gp, index, kind,
+                  std::string(what) + ": counterexample count differs", {});
+      return;
+    }
+    for (size_t i = 0; i < base.counterexamples.size(); ++i) {
+      const net::Packet& mine = base.counterexamples[i].packet;
+      const net::Packet& theirs = other.counterexamples[i].packet;
+      // Meta slots count: annotations are verifier-symbolic, so a
+      // meta-only divergence is exactly as much of a determinism
+      // regression as a byte divergence.
+      const bool equal =
+          mine.bytes().size() == theirs.bytes().size() &&
+          std::equal(mine.bytes().begin(), mine.bytes().end(),
+                     theirs.bytes().begin()) &&
+          mine.all_meta() == theirs.all_meta();
+      if (!equal) {
+        add_failure(gp, index, kind,
+                    std::string(what) +
+                        ": counterexample packet bytes/meta differ",
+                    {mine, theirs});
+        return;
+      }
+    }
   }
 
   // Replays every single-packet counterexample of a Violated verdict and
@@ -293,48 +346,34 @@ struct Runner {
 
     // --- cross-checks ------------------------------------------------------
     if (cfg.cross_check) {
-      const auto mismatch = [&](const verify::CrashFreedomReport& other,
-                                const char* what) {
-        if (other.verdict != crash.verdict) {
-          add_failure(gp, index, "cross-check-mismatch",
-                      std::string(what) + ": crash verdict " +
-                          verify::verdict_name(other.verdict) + " vs " +
-                          verify::verdict_name(crash.verdict),
-                      {});
-          return;
-        }
-        if (other.counterexamples.size() != crash.counterexamples.size()) {
-          add_failure(gp, index, "cross-check-mismatch",
-                      std::string(what) + ": counterexample count differs",
-                      {});
-          return;
-        }
-        for (size_t i = 0; i < crash.counterexamples.size(); ++i) {
-          const net::Packet& mine = crash.counterexamples[i].packet;
-          const net::Packet& theirs = other.counterexamples[i].packet;
-          // Meta slots count: annotations are verifier-symbolic, so a
-          // meta-only divergence is exactly as much of a determinism
-          // regression as a byte divergence.
-          const bool equal =
-              mine.bytes().size() == theirs.bytes().size() &&
-              std::equal(mine.bytes().begin(), mine.bytes().end(),
-                         theirs.bytes().begin()) &&
-              mine.all_meta() == theirs.all_meta();
-          if (!equal) {
-            add_failure(gp, index, "cross-check-mismatch",
-                        std::string(what) +
-                            ": counterexample packet bytes/meta differ",
-                        {mine, theirs});
-            return;
-          }
-        }
-      };
       verify::DecomposedVerifier one_shot(
           verifier_config(gp.packet_len, cfg.jobs, false));
-        mismatch(one_shot.verify_crash_freedom(pl), "incremental vs one-shot");
-        verify::DecomposedVerifier other_jobs(
+      check_report_match(gp, index, "cross-check-mismatch",
+                         "incremental vs one-shot", crash,
+                         one_shot.verify_crash_freedom(pl));
+      verify::DecomposedVerifier other_jobs(
           verifier_config(gp.packet_len, cfg.jobs == 1 ? 8 : 1, true));
-      mismatch(other_jobs.verify_crash_freedom(pl), "jobs 1 vs 8");
+      check_report_match(gp, index, "cross-check-mismatch", "jobs 1 vs 8",
+                         crash, other_jobs.verify_crash_freedom(pl));
+    }
+
+    // --- persistent-cache oracle -------------------------------------------
+    // The cache-less `crash` report is ground truth; a run that fills the
+    // shared cache (cold) and a run that reuses it (warm) must both match
+    // it exactly — verdict and counterexample bytes. Any drift means a
+    // cached verdict changed an answer.
+    if (cache_ != nullptr) {
+      verify::DecomposedConfig cached_cfg =
+          verifier_config(gp.packet_len, cfg.jobs, true);
+      cached_cfg.decision_cache = cache_.get();
+      verify::DecomposedVerifier cold(cached_cfg);
+      check_report_match(gp, index, "cache-verdict-mismatch",
+                         "cache cold vs no-cache", crash,
+                         cold.verify_crash_freedom(pl));
+      verify::DecomposedVerifier warm(cached_cfg);
+      check_report_match(gp, index, "cache-verdict-mismatch",
+                         "cache warm vs no-cache", crash,
+                         warm.verify_crash_freedom(pl));
     }
 
     // --- replay Violated counterexamples -----------------------------------

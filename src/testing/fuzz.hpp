@@ -22,6 +22,9 @@
 //                               concrete replay
 //   cross-check-mismatch        incremental vs --one-shot, or jobs 1 vs 8,
 //                               disagree on verdict or counterexample bytes
+//   cache-verdict-mismatch      a --cache-dir run (cold, filling the cache,
+//                               or warm, reusing it) disagrees with the
+//                               cache-less verdict or counterexample bytes
 //
 // Failed repros are auto-shrunk (sequence- then byte-minimized, see
 // shrink.hpp) and dumped as a .vspec + packet hexdump artifact pair.
@@ -65,6 +68,11 @@ struct FuzzConfig {
   bool core_grouping = true;
   bool clause_gc = true;
   GenOptions gen;
+  // Persistent verdict-cache oracle: when set, every pipeline's
+  // crash-freedom property is re-verified twice against one shared
+  // --cache-dir cache (cold = filling it, warm = reusing it) and compared
+  // byte-for-byte with the cache-less report. Empty disables the oracle.
+  std::string cache_dir;
   // Where FAIL artifacts are written; empty disables artifact files (the
   // repro still lives in the report).
   std::string artifact_dir;

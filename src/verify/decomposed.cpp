@@ -12,10 +12,12 @@
 
 #include "bv/analysis.hpp"
 #include "bv/printer.hpp"
+#include "cache/fingerprint.hpp"
 #include "interp/interp.hpp"
 #include "obs/trace.hpp"
 #include "solver/pool.hpp"
 #include "symbex/state_summary.hpp"
+#include "verify/decision_cache.hpp"
 #include "verify/parallel.hpp"
 
 namespace vsd::verify {
@@ -138,8 +140,16 @@ class DecomposedVerifier::Impl {
   solver::Solver solver;     // the sequential engine's instance
   solver::SolverPool pool;   // one instance per worker (parallel engine)
   std::unique_ptr<WorkQueue> queue;  // only when jobs > 1
-  symbex::SharedSummaryCache cache_summarize;
-  symbex::SharedSummaryCache cache_unroll;
+  // Step-1 summary caches: private per instance, unless the config hands
+  // in a shared bundle (the serve daemon's warm state).
+  SummaryCaches own_caches_;
+  symbex::SharedSummaryCache& cache_summarize() {
+    return cfg.shared_caches ? cfg.shared_caches->summarize
+                             : own_caches_.summarize;
+  }
+  symbex::SharedSummaryCache& cache_unroll() {
+    return cfg.shared_caches ? cfg.shared_caches->unroll : own_caches_.unroll;
+  }
   VerifyStats stats;  // accumulated per verification call (reset each call)
 
   // ---------------------------------------------------------------------
@@ -161,11 +171,11 @@ class DecomposedVerifier::Impl {
                                     Precision precision, solver::Solver& sv,
                                     VerifyStats& vstats) {
     if (cfg.loop_mode == symbex::LoopMode::Unroll) {
-      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len,
+      return get_summary(cache_unroll(), symbex::LoopMode::Unroll, prog, len,
                          sv, vstats);
     }
     const ElementSummary& s = get_summary(
-        cache_summarize, symbex::LoopMode::Summarize, prog, len, sv, vstats);
+        cache_summarize(), symbex::LoopMode::Summarize, prog, len, sv, vstats);
     // Any remaining trap suspect in a summarized element gets the exact
     // (unrolled) treatment before we conclude anything — regardless of
     // property, because trap constraints may be loop-over-approximated.
@@ -184,7 +194,7 @@ class DecomposedVerifier::Impl {
         (precision == Precision::ExactDropsTraps && has_lossy_drop) ||
         (precision == Precision::ExactAll && has_any_bound);
     if (cfg.unroll_fallback && need_unroll) {
-      return get_summary(cache_unroll, symbex::LoopMode::Unroll, prog, len,
+      return get_summary(cache_unroll(), symbex::LoopMode::Unroll, prog, len,
                          sv, vstats);
     }
     return s;
@@ -454,8 +464,9 @@ class DecomposedVerifier::Impl {
   using MtTerminalFn = std::function<void(size_t worker, TerminalRecord&&)>;
   using MtVisitFn = std::function<bool(size_t elem)>;
 
-  void begin_call() {
+  void begin_call(const pipeline::Pipeline& pl) {
     stats = {};
+    begin_cache_context(pl);
     truncated_ = false;
     budget_exhausted_ = false;
     refine_cache_.clear();
@@ -464,16 +475,161 @@ class DecomposedVerifier::Impl {
     // One live incremental context per solver per top-level call: reuse
     // within the call's query runs, bounded memory across a batch.
     solver.reset_context();
+    // Route every solver's feasibility verdicts through the persistent
+    // cache. This is where the big warm win lives: most of a cold run's
+    // sat_solves are summarization-time fork checks (Executor is_unsat),
+    // and those are pure expression satisfiability — context-free, so the
+    // memo is sound across runs and across pipelines.
+    solver.set_feasibility_memo(cfg.decision_cache);
+    for (size_t w = 0; w < pool.size(); ++w) {
+      pool.at(w).set_feasibility_memo(cfg.decision_cache);
+    }
   }
 
-  void begin_call_mt() {
-    begin_call();
+  void begin_call_mt(const pipeline::Pipeline& pl) {
+    begin_call(pl);
     mt_stats_.assign(jobs, VerifyStats{});
     mt_paths_checked_.store(0, std::memory_order_relaxed);
     mt_truncated_.store(false, std::memory_order_relaxed);
     mt_budget_exhausted_.store(false, std::memory_order_relaxed);
     pool.reset_stats();
     pool.reset_contexts();
+  }
+
+  // -------------------------------------------------------------------
+  // Persistent cross-run decision cache (cfg.decision_cache)
+  // -------------------------------------------------------------------
+  //
+  // Every key binds only what the answer actually depends on: the call
+  // knobs (packet length, loop handling), the constraint/trace material
+  // itself, and the CONTENT of the elements that material touches — never
+  // the whole pipeline. That locality is the service's payoff: resubmit a
+  // spec with one element edited and only decisions whose path crosses the
+  // edit re-derive; every other path warm-hits. Domain tags keep the three
+  // entry families (suspect decisions, feasibility speculations,
+  // refinements) disjoint even for coincidentally identical material. The
+  // avoidance flags, job count, and incremental mode are deliberately NOT
+  // keyed: they are verdict-invariant by design, so any of those runs may
+  // share entries.
+  static constexpr uint64_t kFpSuspect = 0x5059ec7f1a7c15ull;
+  static constexpr uint64_t kFpFeasible = 0xfea51b1e0a7c15ull;
+  static constexpr uint64_t kFpRefine = 0x5ef19e0f2b7c15ull;
+
+  uint64_t call_hi_ = 0, call_lo_ = 0;
+  // Per-element content hash: the element's model program plus its port
+  // wiring (downstream indices — the refine walk matches trace indices
+  // through exactly this wiring). Recomputed per call; read-only while
+  // workers run.
+  std::vector<uint64_t> elem_fp_;
+
+  void begin_cache_context(const pipeline::Pipeline& pl) {
+    if (cfg.decision_cache == nullptr) return;
+    cache::Fingerprint fp;
+    fp.mix(cfg.packet_len);
+    // Insurance only: constraints are hashed structurally, so loop-mode
+    // differences already produce different keys; keying the mode keeps
+    // even a diagnostic-name collision between modes from aliasing.
+    fp.mix(static_cast<uint64_t>(cfg.loop_mode));
+    fp.mix(cfg.unroll_fallback ? 1 : 0);
+    call_hi_ = fp.hi();
+    call_lo_ = fp.lo();
+    elem_fp_.assign(pl.size(), 0);
+    for (size_t e = 0; e < pl.size(); ++e) {
+      cache::Fingerprint ef;
+      const ir::Program& prog = pl.element(e).model_program();
+      ef.mix(ir::program_hash(prog));
+      for (uint32_t p = 0; p < prog.num_output_ports; ++p) {
+        const auto down = pl.downstream(e, p);
+        ef.mix(down ? static_cast<uint64_t>(*down) : ~0ull);
+      }
+      elem_fp_[e] = ef.hi() ^ (ef.lo() * 0x9e3779b97f4a7c15ull);
+    }
+  }
+
+  cache::Fingerprint suspect_fingerprint(const ComposeState& st) const {
+    cache::Fingerprint fp;
+    fp.mix(kFpSuspect);
+    fp.mix(call_hi_);
+    fp.mix(call_lo_);
+    // The decision sees exactly the traversed elements (their summaries
+    // shaped the constraint), so bind their content — an edit anywhere
+    // else in the pipeline leaves this key (and its answer) valid.
+    fp.mix(st.elem_trace.size());
+    for (const size_t e : st.elem_trace) fp.mix(elem_fp_[e]);
+    fp.mix_expr(st.constraint);
+    // The KV history refinement enumerates the owning element's write
+    // sites (tables are element-private), so each read binds that
+    // element's content plus the stitched key/value expressions.
+    fp.mix(st.kv_reads.size());
+    for (const PathKvRead& pr : st.kv_reads) {
+      fp.mix(elem_fp_[pr.elem]);
+      fp.mix(pr.len);
+      fp.mix(static_cast<uint64_t>(pr.rec.table));
+      fp.mix_expr(pr.rec.key);
+      fp.mix_expr(pr.rec.value);
+    }
+    return fp;
+  }
+
+  cache::Fingerprint feasible_fingerprint(const ExprRef& c) const {
+    cache::Fingerprint fp;
+    fp.mix(kFpFeasible);
+    // Satisfiability of a constraint is a property of the expression
+    // alone — no pipeline or call context needed, so these entries are
+    // shared across every pipeline that composes the same formula.
+    fp.mix_expr(c);
+    return fp;
+  }
+
+  cache::Fingerprint refine_fingerprint(const TerminalSpec& tspec,
+                                        const ExprRef& root_constraint,
+                                        const std::vector<size_t>& trace)
+      const {
+    cache::Fingerprint fp;
+    fp.mix(kFpRefine);
+    fp.mix(call_hi_);
+    fp.mix(call_lo_);
+    fp.mix(tspec.drop_is_violation ? 1 : 0);
+    fp.mix(tspec.trap_is_violation ? 1 : 0);
+    fp.mix(tspec.required_exit_port
+               ? static_cast<uint64_t>(*tspec.required_exit_port)
+               : ~0ull);
+    fp.mix_expr(root_constraint);
+    // The exact re-walk touches only the trace's elements: their indices
+    // (interior steps follow emits into trace[depth+1]) and their content.
+    fp.mix(trace.size());
+    for (const size_t e : trace) {
+      fp.mix(e);
+      fp.mix(elem_fp_[e]);
+    }
+    // The refine budgets are excluded on purpose: they only decide whether
+    // an outcome exists (Unknown is never stored), never which one.
+    return fp;
+  }
+
+  // Feasibility speculation (instruction-bound drivers) through the
+  // persistent cache: both polarities are reusable here — acting on Sat
+  // needs no model, because the witness comes from a separate one-shot
+  // solve on the winning path only.
+  solver::Result cached_feasible(const ExprRef& c, solver::Solver& sv,
+                                 VerifyStats& vstats) {
+    if (cfg.decision_cache != nullptr) {
+      const cache::Fingerprint fp = feasible_fingerprint(c);
+      bool sat = false;
+      if (cfg.decision_cache->lookup_decision(fp.hi(), fp.lo(), &sat)) {
+        ++vstats.decision_cache_hits;
+        return sat ? solver::Result::Sat : solver::Result::Unsat;
+      }
+      ++vstats.solver_queries;
+      const solver::Result r = sv.check_feasible(c);
+      if (r != solver::Result::Unknown) {
+        cfg.decision_cache->store_decision(fp.hi(), fp.lo(),
+                                           r == solver::Result::Sat);
+      }
+      return r;
+    }
+    ++vstats.solver_queries;
+    return sv.check_feasible(c);
   }
 
   // Final per-call stats: the driver-level counters plus the solver-layer
@@ -497,6 +653,9 @@ class DecomposedVerifier::Impl {
       out.core_discharges += cs.core_discharges;
       out.learnt_gc_runs += cs.learnt_gc_runs;
       out.learnt_gc_removed += cs.learnt_gc_removed;
+      // Solver-layer persistent-memo hits are decision-cache hits for
+      // reporting: one counter tells the whole query-avoidance story.
+      out.decision_cache_hits += cs.memo_hits;
     };
     add(solver.stats());
     if (jobs > 1) {
@@ -520,6 +679,8 @@ class DecomposedVerifier::Impl {
       stats.refinements_certified += s.refinements_certified;
       stats.refinements_eliminated += s.refinements_eliminated;
       stats.suspects_core_discharged += s.suspects_core_discharged;
+      stats.decision_cache_hits += s.decision_cache_hits;
+      stats.refine_cache_hits += s.refine_cache_hits;
     }
     mt_stats_.assign(jobs, VerifyStats{});
   }
@@ -665,12 +826,30 @@ class DecomposedVerifier::Impl {
       sp.arg("path", std::move(path));
       obs::count("verify.suspects_decided");
     }
+    // Persistent-cache front-run: a prior run (or serve request) proved
+    // this exact stitched material infeasible — skip all solving. Only
+    // Unsat is consumed here: a Sat suspect must re-solve for a fresh
+    // model, which keeps warm counterexample bytes identical to cold ones.
+    bool have_fp = false;
+    cache::Fingerprint fp;
+    if (cfg.decision_cache != nullptr) {
+      fp = suspect_fingerprint(st);
+      have_fp = true;
+      bool cached_sat = false;
+      if (cfg.decision_cache->lookup_decision(fp.hi(), fp.lo(),
+                                              &cached_sat) &&
+          !cached_sat) {
+        ++vstats.decision_cache_hits;
+        return solver::Result::Unsat;
+      }
+    }
     // Core-grouping front-run: a previously harvested unsat core whose
     // conjuncts all appear in this stitched constraint discharges the whole
     // suspect with zero solving — one core typically kills the entire
     // family of suspects stitched over the same infeasible prefix.
     if (cfg.core_grouping && sv.discharge_by_core(st.constraint)) {
       ++vstats.suspects_core_discharged;
+      if (have_fp) cfg.decision_cache->store_decision(fp.hi(), fp.lo(), false);
       return solver::Result::Unsat;
     }
     ++vstats.solver_queries;
@@ -678,6 +857,9 @@ class DecomposedVerifier::Impl {
     if (r.result != solver::Result::Sat || st.kv_reads.empty()) {
       if (r.result == solver::Result::Sat && model_out != nullptr) {
         *model_out = std::move(r.model);
+      }
+      if (have_fp && r.result == solver::Result::Unsat) {
+        cfg.decision_cache->store_decision(fp.hi(), fp.lo(), false);
       }
       return r.result;
     }
@@ -697,6 +879,9 @@ class DecomposedVerifier::Impl {
             "(KV bad-value analysis: a feasible write history produces the "
             "required value)";
       }
+    }
+    if (have_fp && r2.result == solver::Result::Unsat) {
+      cfg.decision_cache->store_decision(fp.hi(), fp.lo(), false);
     }
     return r2.result;
   }
@@ -726,8 +911,10 @@ class DecomposedVerifier::Impl {
   // cache whose executor carries the refinement's wall-clock budget: a
   // loop-heavy element that cannot be unrolled within the budget yields a
   // truncated summary (-> the refinement gives up as Unknown) instead of
-  // hanging, and never pollutes the unbudgeted cache_unroll.
-  symbex::SharedSummaryCache cache_refine_;
+  // hanging, and never pollutes the unbudgeted unroll cache.
+  symbex::SharedSummaryCache& cache_refine_mem() {
+    return cfg.shared_caches ? cfg.shared_caches->refine : own_caches_.refine;
+  }
 
   const ElementSummary& refine_summary(const ir::Program& prog, size_t len,
                                        solver::Solver& sv,
@@ -743,7 +930,7 @@ class DecomposedVerifier::Impl {
     eo.max_solver_checks = cfg.refine_max_solver_checks;
     symbex::Executor exec(eo);
     bool was_miss = false;
-    const ElementSummary& s = cache_refine_.get(prog, len, exec, &was_miss);
+    const ElementSummary& s = cache_refine_mem().get(prog, len, exec, &was_miss);
     if (was_miss) {
       ++vstats.elements_summarized;
       vstats.segments_total += s.segments.size();
@@ -883,6 +1070,29 @@ class DecomposedVerifier::Impl {
       return it->second;
     }
     *first = true;
+    if (cfg.decision_cache != nullptr) {
+      // Whole refinement outcomes persist across runs, counterexample
+      // included: the CE was certified against exact (unrolled)
+      // constraints, so replaying its stored bytes is as sound as
+      // recomputing them — and byte-identical, which the determinism
+      // battery asserts. Unknown (budget/solver give-up) is never stored.
+      const cache::Fingerprint fp =
+          refine_fingerprint(tspec, root_constraint, trace);
+      bool sat = false;
+      RefineOutcome ro;
+      if (cfg.decision_cache->lookup_refine(fp.hi(), fp.lo(), &sat, &ro.ce)) {
+        ++vstats.refine_cache_hits;
+        ro.res = sat ? solver::Result::Sat : solver::Result::Unsat;
+        return refine_cache_.emplace(trace, std::move(ro)).first->second;
+      }
+      ro = refine_summarized_path(pl, tspec, entry, root_constraint, trace,
+                                  sv, vstats);
+      if (ro.res != solver::Result::Unknown) {
+        cfg.decision_cache->store_refine(
+            fp.hi(), fp.lo(), ro.res == solver::Result::Sat, ro.ce);
+      }
+      return refine_cache_.emplace(trace, std::move(ro)).first->second;
+    }
     return refine_cache_
         .emplace(trace, refine_summarized_path(pl, tspec, entry,
                                                root_constraint, trace, sv,
@@ -1021,11 +1231,11 @@ class DecomposedVerifier::Impl {
     // below is inherently sequential — every query depends on the keys
     // found so far — so it runs identically at any job count).
     if (jobs > 1) {
-      begin_call_mt();
+      begin_call_mt(pl);
       prewarm(pl, Precision::AcceptBounds);
       merge_mt_stats();
     } else {
-      begin_call();
+      begin_call(pl);
     }
 
     // Report scaffolding: every table of every counted element appears in
@@ -1386,7 +1596,7 @@ class DecomposedVerifier::Impl {
 
   CrashFreedomReport crash_freedom_mt(const pipeline::Pipeline& pl) {
     Timer timer;
-    begin_call_mt();
+    begin_call_mt(pl);
     CrashFreedomReport report;
 
     // Step 1, fanned out: one summarization task per element at the entry
@@ -1462,7 +1672,7 @@ class DecomposedVerifier::Impl {
 
   InstructionBoundReport instruction_bound_mt(const pipeline::Pipeline& pl) {
     Timer timer;
-    begin_call_mt();
+    begin_call_mt(pl);
     InstructionBoundReport report;
     prewarm(pl, Precision::AcceptBounds);
 
@@ -1526,8 +1736,8 @@ class DecomposedVerifier::Impl {
       if (batch.empty()) break;
       std::vector<solver::Result> res(batch.size(), solver::Result::Unknown);
       parallel_for(*queue, batch.size(), [&](size_t bi, size_t w) {
-        ++mt_stats_[w].solver_queries;
-        res[bi] = pool.at(w).check_feasible(recs[batch[bi]].constraint);
+        res[bi] = cached_feasible(recs[batch[bi]].constraint, pool.at(w),
+                                  mt_stats_[w]);
       });
       for (size_t bi = 0; bi < batch.size(); ++bi) {
         Rec& r = recs[batch[bi]];
@@ -1616,7 +1826,7 @@ class DecomposedVerifier::Impl {
                                     const InputPredicate& predicate,
                                     const TerminalSpec& tspec) {
     Timer timer;
-    begin_call_mt();
+    begin_call_mt(pl);
     ReachabilityReport report;
 
     const SymPacket entry = SymPacket::symbolic(cfg.packet_len, "in");
@@ -1659,7 +1869,7 @@ class DecomposedVerifier::Impl {
   }
 
   ComposedPaths enumerate_paths_mt(const pipeline::Pipeline& pl) {
-    begin_call_mt();
+    begin_call_mt(pl);
     ComposedPaths out;
     out.entry = SymPacket::symbolic(cfg.packet_len, "in");
     prewarm(pl, Precision::ExactAll);
@@ -1730,7 +1940,7 @@ DecomposedVerifier::DecomposedVerifier(DecomposedConfig config)
 DecomposedVerifier::~DecomposedVerifier() = default;
 
 symbex::SharedSummaryCache& DecomposedVerifier::cache() {
-  return impl_->cache_summarize;
+  return impl_->cache_summarize();
 }
 solver::Solver& DecomposedVerifier::solver() { return impl_->solver; }
 const DecomposedConfig& DecomposedVerifier::config() const {
@@ -1743,7 +1953,7 @@ CrashFreedomReport DecomposedVerifier::verify_crash_freedom(
   obs::ScopedSpan phase(obs::Cat::Phase, "crash_freedom");
   if (im.jobs > 1) return im.crash_freedom_mt(pl);
   Timer timer;
-  im.begin_call();
+  im.begin_call(pl);
   CrashFreedomReport report;
 
   // Step 1: summarize every element at every entry length it can be
@@ -1853,7 +2063,7 @@ InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
   obs::ScopedSpan phase(obs::Cat::Phase, "instruction_bound");
   if (im.jobs > 1) return im.instruction_bound_mt(pl);
   Timer timer;
-  im.begin_call();
+  im.begin_call(pl);
   InstructionBoundReport report;
 
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");
@@ -1872,11 +2082,11 @@ InstructionBoundReport DecomposedVerifier::verify_instruction_bound(
         (void)g;
         const uint64_t total = st.count;
         if (total <= best) return;  // cannot improve the max
-        ++im.stats.solver_queries;
         // Feasibility only — these speculative decisions share long path
         // prefixes, exactly the incremental context's workload. The witness
         // model is derived once at the end, for the winning path only.
-        const solver::Result r = im.solver.check_feasible(st.constraint);
+        const solver::Result r =
+            im.cached_feasible(st.constraint, im.solver, im.stats);
         if (r == solver::Result::Unsat) return;
         if (r == solver::Result::Unknown) {
           saw_unknown = true;
@@ -1921,7 +2131,7 @@ ComposedPaths DecomposedVerifier::enumerate_paths(
     const pipeline::Pipeline& pl) {
   Impl& im = *impl_;
   if (im.jobs > 1) return im.enumerate_paths_mt(pl);
-  im.begin_call();
+  im.begin_call(pl);
   ComposedPaths out;
   out.entry = SymPacket::symbolic(im.cfg.packet_len, "in");
   Impl::ComposeState root = Impl::root_state(out.entry);
@@ -1965,7 +2175,7 @@ ReachabilityReport DecomposedVerifier::verify_reach_never(
   obs::ScopedSpan phase(obs::Cat::Phase, "reach_never");
   if (im.jobs > 1) return im.reach_never_mt(pl, predicate, tspec);
   Timer timer;
-  im.begin_call();
+  im.begin_call(pl);
   ReachabilityReport report;
 
   const SymPacket entry = SymPacket::symbolic(im.cfg.packet_len, "in");

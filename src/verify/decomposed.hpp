@@ -28,6 +28,19 @@
 
 namespace vsd::verify {
 
+class PathDecisionCache;  // verify/decision_cache.hpp
+
+// The three in-memory Step-1 summary caches, bundled so a long-lived host
+// (the serve daemon) can keep them warm across verifier instances: element
+// summaries are request-independent, and sharing them makes every request
+// after the first skip straight to Step 2. A verifier given a bundle uses
+// it instead of its private per-instance caches.
+struct SummaryCaches {
+  symbex::SharedSummaryCache summarize;
+  symbex::SharedSummaryCache unroll;
+  symbex::SharedSummaryCache refine;
+};
+
 struct DecomposedConfig {
   // Packet length for the symbolic input ("in is a symbolic bit vector").
   size_t packet_len = 64;
@@ -100,6 +113,18 @@ struct DecomposedConfig {
   bool cex_cache = true;      // replay recent models before solving
   bool core_grouping = true;  // unsat-core subsumption across suspects
   bool clause_gc = true;      // learnt-clause DB GC across context lifetime
+  // Persistent cross-run decision cache (cache::VerdictCache over an
+  // on-disk store). When set, Step-2 suspect decisions that previously
+  // came back Unsat, feasibility speculations, and whole per-path unroll
+  // refinements are answered from the cache instead of the solver —
+  // verdicts and counterexample bytes stay byte-identical either way
+  // (Sat suspects always re-solve for a fresh model; refine outcomes
+  // persist their certified counterexample verbatim). Not owned.
+  PathDecisionCache* decision_cache = nullptr;
+  // Shared in-memory Step-1 summary caches (the serve daemon's warm
+  // state). nullptr = the verifier uses its own private caches. Not owned;
+  // must outlive the verifier.
+  SummaryCaches* shared_caches = nullptr;
 };
 
 // A predicate over the pipeline's symbolic input packet, used by

@@ -82,6 +82,11 @@ struct VerifyStats {
   uint64_t suspects_core_discharged = 0;  // stitched suspects killed by a core
   uint64_t learnt_gc_runs = 0;
   uint64_t learnt_gc_removed = 0;
+  // Persistent cross-run verdict cache (vsd serve / --cache-dir): stitched
+  // decisions and whole refinements answered from the cache without any
+  // solving. Zero unless DecomposedConfig::decision_cache is set.
+  uint64_t decision_cache_hits = 0;
+  uint64_t refine_cache_hits = 0;
 };
 
 struct CrashFreedomReport {

@@ -40,6 +40,45 @@ expect_usage_error "--len trailing garbage rejected" \
 expect_usage_error "--jobs out-of-range rejected" \
   "$VSD" verify "Classifier" --property crash --jobs 99999999999999999999999
 
+# serve/submit/--cache-dir validation: every malformed invocation must be
+# a usage error (exit 2 with the usage text), never a hung daemon or a
+# half-written cache.
+expect_exit2() {
+  desc="$1"; shift
+  out=$("$@" 2>&1)
+  code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: $desc: expected exit 2, got $code"
+    fails=$((fails + 1))
+    return
+  fi
+  case "$out" in
+    *"error:"*) ;;
+    *) echo "FAIL: $desc: no error message in output"
+       fails=$((fails + 1)); return ;;
+  esac
+  echo "ok: $desc"
+}
+
+expect_exit2 "serve without --socket rejected" \
+  "$VSD" serve
+expect_exit2 "serve with empty --socket rejected" \
+  "$VSD" serve --socket ""
+expect_exit2 "submit without --socket rejected" \
+  "$VSD" submit /dev/null
+expect_usage_error "check with empty --cache-dir rejected" \
+  "$VSD" check /dev/null --cache-dir ""
+# /proc rejects directory creation even for root.
+expect_usage_error "check with unwritable --cache-dir rejected" \
+  "$VSD" check /dev/null --cache-dir /proc/vsd-no-such-dir
+expect_usage_error "fuzz with unwritable --cache-dir rejected" \
+  "$VSD" fuzz --pipelines 1 --cache-dir /proc/vsd-no-such-dir
+
+# submit to a socket nobody listens on: a connection error (exit 2), not a
+# hang.
+expect_exit2 "submit to dead socket fails with exit 2" \
+  "$VSD" submit /dev/null --socket /tmp/vsd-cli-test-no-daemon.sock
+
 # A valid invocation (including avoidance kill switches) still works.
 if "$VSD" verify "Classifier -> EthDecap" --property crash --jobs 2 \
     --no-cex-cache --no-clause-gc > /dev/null 2>&1; then

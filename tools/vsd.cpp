@@ -24,16 +24,22 @@
 //   "Classifier -> EthDecap -> CheckIPHeader -> IPLookup(10.0.0.0/8 0)"
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
 
+#include "cache/store.hpp"
+#include "cache/verdict_cache.hpp"
 #include "elements/registry.hpp"
 #include "ir/asm.hpp"
 #include "ir/ir.hpp"
@@ -41,8 +47,11 @@
 #include "net/workload.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "spec/check.hpp"
 #include "spec/parser.hpp"
+#include "spec/report_json.hpp"
 #include "testing/fuzz.hpp"
 #include "testing/packs.hpp"
 #include "verify/certify.hpp"
@@ -133,8 +142,15 @@ int usage() {
       "vsd — verifiable software dataplane tool\n"
       "  vsd list                                  registered elements\n"
       "  vsd check <file.vspec> [...] [--jobs N] [--json FILE]\n"
+      "           [--cache-dir DIR]\n"
       "      run every assertion of the spec(s); --json writes a\n"
-      "      machine-readable per-assertion report\n"
+      "      machine-readable per-assertion report; --cache-dir reuses\n"
+      "      verdicts from a persistent cross-run cache\n"
+      "  vsd serve --socket PATH [--cache-dir DIR] [--jobs N]\n"
+      "      verification daemon: accepts vspec jobs as newline-delimited\n"
+      "      JSON over an AF_UNIX socket; SIGTERM drains and exits\n"
+      "  vsd submit <file.vspec> --socket PATH [--jobs N]\n"
+      "      send a spec to a running daemon and print its JSON report\n"
       "      (verify/reach/state/check also take --stats for solver-layer\n"
       "       counters, --one-shot to disable incremental solving, and\n"
       "       --no-rewrite/--no-independence/--no-cex-cache/\n"
@@ -144,7 +160,9 @@ int usage() {
       "       --metrics FILE for a JSONL metrics log)\n"
       "  vsd fuzz [--seed S] [--pipelines N] [--packets N] [--sequences N]\n"
       "           [--sequence-len K] [--max-elems K] [--jobs N] [--out DIR]\n"
-      "           [--no-cross-check] [--no-artifacts]   differential fuzz\n"
+      "           [--no-cross-check] [--no-artifacts] [--cache-dir DIR]\n"
+      "      differential fuzz; --cache-dir adds the warm-vs-cold\n"
+      "      verdict-cache oracle\n"
       "  vsd fuzz --emit-packs [DIR]              write per-element "
       "property packs\n"
       "  vsd fuzz --check-packs [DIR] [--jobs N]  verify the pack corpus\n"
@@ -236,115 +254,8 @@ int cmd_list() {
 }
 
 // --- vsd check: the vspec batch checker -------------------------------------
-
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += "\"";
-  return out;
-}
-
-// The stats snapshot embedded in --json reports: every VerifyStats counter,
-// spelled with the struct's field names so the schema tracks the header.
-std::string stats_json(const verify::VerifyStats& s) {
-  std::string out = "{";
-  bool first = true;
-  const auto field = [&](const char* name, uint64_t v) {
-    if (!first) out += ",";
-    first = false;
-    out += std::string("\"") + name + "\":" + std::to_string(v);
-  };
-  field("elements_summarized", s.elements_summarized);
-  field("summary_cache_hits", s.summary_cache_hits);
-  field("segments_total", s.segments_total);
-  field("suspects_found", s.suspects_found);
-  field("suspects_eliminated", s.suspects_eliminated);
-  field("composed_paths_checked", s.composed_paths_checked);
-  field("solver_queries", s.solver_queries);
-  field("instructions_interpreted", s.instructions_interpreted);
-  field("forks", s.forks);
-  field("refinements_attempted", s.refinements_attempted);
-  field("refinements_certified", s.refinements_certified);
-  field("refinements_eliminated", s.refinements_eliminated);
-  field("sat_conflicts", s.sat_conflicts);
-  field("sat_decisions", s.sat_decisions);
-  field("blast_nodes", s.blast_nodes);
-  field("solver_cache_hits", s.solver_cache_hits);
-  field("contexts_opened", s.contexts_opened);
-  field("incremental_queries", s.incremental_queries);
-  field("assumption_reuses", s.assumption_reuses);
-  field("learnt_retained", s.learnt_retained);
-  field("sat_solves", s.sat_solves);
-  field("rewrites_applied", s.rewrites_applied);
-  field("rewrite_decided", s.rewrite_decided);
-  field("slice_decided", s.slice_decided);
-  field("cex_cache_hits", s.cex_cache_hits);
-  field("core_discharges", s.core_discharges);
-  field("suspects_core_discharged", s.suspects_core_discharged);
-  field("learnt_gc_runs", s.learnt_gc_runs);
-  field("learnt_gc_removed", s.learnt_gc_removed);
-  out += "}";
-  return out;
-}
-
-std::string outcome_json(const spec::AssertionOutcome& o) {
-  std::string out = "{";
-  out += "\"assert\":" + json_quote(o.text);
-  out += ",\"passed\":" + std::string(o.passed ? "true" : "false");
-  out += ",\"verdict\":" + json_quote(verify::verdict_name(o.verdict));
-  if (!o.detail.empty()) out += ",\"detail\":" + json_quote(o.detail);
-  out += ",\"seconds\":" + std::to_string(o.seconds);
-  if (o.max_instructions != 0) {
-    out += ",\"max_instructions\":" + std::to_string(o.max_instructions);
-  }
-  out += ",\"counterexamples\":[";
-  for (size_t i = 0; i < o.counterexamples.size(); ++i) {
-    const verify::Counterexample& ce = o.counterexamples[i];
-    if (i != 0) out += ",";
-    out += "{\"packet\":" + json_quote(ce.packet.hex(ce.packet.size()));
-    out += ",\"trap\":" + json_quote(ir::trap_name(ce.trap));
-    out += ",\"requires_sequence\":" +
-           std::string(ce.requires_sequence ? "true" : "false");
-    if (!ce.element_path.empty()) {
-      out += ",\"element_path\":[";
-      for (size_t j = 0; j < ce.element_path.size(); ++j) {
-        if (j != 0) out += ",";
-        out += json_quote(ce.element_path[j]);
-      }
-      out += "]";
-    }
-    if (!ce.state_note.empty()) {
-      out += ",\"state_note\":" + json_quote(ce.state_note);
-    }
-    out += "}";
-  }
-  out += "],\"replays\":[";
-  for (size_t i = 0; i < o.replays.size(); ++i) {
-    if (i != 0) out += ",";
-    out += json_quote(o.replays[i]);
-  }
-  out += "],\"replays_confirm\":" +
-         std::string(o.replays_confirm ? "true" : "false");
-  out += ",\"stats\":" + stats_json(o.stats);
-  out += "}";
-  return out;
-}
+// (JSON serialization lives in spec/report_json.hpp, shared with the
+// serve daemon so the schemas cannot drift.)
 
 void print_check_outcome(const spec::AssertionOutcome& o) {
   std::printf("  %s  %s  [%s in %.2f s%s%s]\n", o.passed ? "PASS" : "FAIL",
@@ -373,6 +284,19 @@ int cmd_check(const Args& a) {
   if (a.options.count("json") != 0 && json_path.empty()) {
     throw UsageError("--json expects an output file path");
   }
+  const std::string cache_dir = a.get("cache-dir", "");
+  if (a.options.count("cache-dir") != 0 && cache_dir.empty()) {
+    throw UsageError("--cache-dir expects a directory path");
+  }
+  std::unique_ptr<cache::VerdictCache> cache;
+  if (!cache_dir.empty()) {
+    std::string err;
+    if (!cache::Store::validate_dir(cache_dir, &err)) {
+      throw UsageError("--cache-dir: " + err);
+    }
+    cache = std::make_unique<cache::VerdictCache>(cache_dir);
+    opts.cache = cache.get();
+  }
   std::string json = "{\"specs\":[";
   bool all_passed = true;
   for (size_t i = 1; i < a.positional.size(); ++i) {
@@ -398,21 +322,15 @@ int cmd_check(const Args& a) {
     }
     std::printf("%s: %zu/%zu assertions passed\n", path.c_str(), rep.passed,
                 rep.outcomes.size());
+    if (cache != nullptr) {
+      std::printf("  cache: %llu assertion hit(s), %llu miss(es)\n",
+                  static_cast<unsigned long long>(rep.cache_hits),
+                  static_cast<unsigned long long>(rep.cache_misses));
+    }
     all_passed = all_passed && rep.ok;
     if (!json_path.empty()) {
       if (i != 1) json += ",";
-      json += "{\"path\":" + json_quote(path);
-      json += ",\"pipeline\":" + json_quote(sf.pipeline_config);
-      json += ",\"packet_len\":" + std::to_string(sf.packet_len);
-      json += ",\"ok\":" + std::string(rep.ok ? "true" : "false");
-      json += ",\"passed\":" + std::to_string(rep.passed);
-      json += ",\"total\":" + std::to_string(rep.outcomes.size());
-      json += ",\"assertions\":[";
-      for (size_t j = 0; j < rep.outcomes.size(); ++j) {
-        if (j != 0) json += ",";
-        json += outcome_json(rep.outcomes[j]);
-      }
-      json += "]}";
+      json += spec::spec_report_json(path, sf, rep);
     }
   }
   if (!json_path.empty()) {
@@ -463,6 +381,16 @@ int cmd_fuzz(const Args& a) {
   cfg.cex_cache = !a.flag("no-cex-cache");
   cfg.core_grouping = !a.flag("no-core-grouping");
   cfg.clause_gc = !a.flag("no-clause-gc");
+  cfg.cache_dir = a.get("cache-dir", "");
+  if (a.options.count("cache-dir") != 0 && cfg.cache_dir.empty()) {
+    throw UsageError("--cache-dir expects a directory path");
+  }
+  if (!cfg.cache_dir.empty()) {
+    std::string err;
+    if (!cache::Store::validate_dir(cfg.cache_dir, &err)) {
+      throw UsageError("--cache-dir: " + err);
+    }
+  }
   cfg.artifact_dir = a.flag("no-artifacts") ? "" : a.get("out", "fuzz-failures");
   const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
   std::printf("%s", report.summary().c_str());
@@ -831,6 +759,78 @@ int cmd_verify_ir(const Args& a) {
   return 2;
 }
 
+// --- vsd serve / vsd submit: verification-as-a-service ----------------------
+
+// SIGTERM/SIGINT ask the daemon to drain and exit 0; only a flag is set
+// here — all real teardown happens on the main thread.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Args& a) {
+  serve::ServeOptions opts;
+  opts.socket_path = a.get("socket", "");
+  if (opts.socket_path.empty()) {
+    throw UsageError("serve requires --socket <path>");
+  }
+  opts.cache_dir = a.get("cache-dir", "");
+  if (a.options.count("cache-dir") != 0 && opts.cache_dir.empty()) {
+    throw UsageError("--cache-dir expects a directory path");
+  }
+  if (!opts.cache_dir.empty()) {
+    std::string err;
+    if (!cache::Store::validate_dir(opts.cache_dir, &err)) {
+      throw UsageError("--cache-dir: " + err);
+    }
+  }
+  opts.jobs = a.get_u64("jobs", 1);
+
+  serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) throw UsageError(err);
+  std::printf("vsd serve: listening on %s (jobs %zu, cache %s)\n",
+              opts.socket_path.c_str(), opts.jobs,
+              opts.cache_dir.empty() ? "in-memory" : opts.cache_dir.c_str());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, serve_signal);
+  std::signal(SIGINT, serve_signal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const serve::ServeStats st = server.stats();
+  std::printf("vsd serve: drained after %llu request(s), %llu error(s)\n",
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.errors));
+  return 0;
+}
+
+int cmd_submit(const Args& a) {
+  const std::string socket_path = a.get("socket", "");
+  if (socket_path.empty()) {
+    throw UsageError("submit requires --socket <path>");
+  }
+  const std::string& path = a.positional[1];
+  const std::string spec_text = read_file(path);
+  const size_t jobs = a.options.count("jobs") != 0
+                          ? static_cast<size_t>(a.get_u64("jobs", 1))
+                          : SIZE_MAX;
+  const std::string request = serve::make_request(path, spec_text, jobs);
+  std::string response;
+  std::string err;
+  if (!serve::submit_line(socket_path, request, &response, &err)) {
+    std::printf("error: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response.c_str());
+  // Transport errors exit 2; a delivered report exits by its verdict.
+  // Quoted strings escape '"', so a literal "ok":false can only come from
+  // the response structure itself.
+  if (response.rfind("{\"ok\":false", 0) == 0) return 2;
+  return response.find("\"ok\":false") == std::string::npos ? 0 : 1;
+}
+
 int cmd_baseline(const Args& a) {
   pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
   verify::MonolithicConfig cfg;
@@ -858,8 +858,10 @@ int dispatch(const Args& a) {
   const std::string& cmd = a.positional[0];
   if (cmd == "list") return cmd_list();
   if (cmd == "fuzz") return cmd_fuzz(a);
+  if (cmd == "serve") return cmd_serve(a);
   if (a.positional.size() < 2) return usage();
   if (cmd == "check") return cmd_check(a);
+  if (cmd == "submit") return cmd_submit(a);
   if (cmd == "show") return cmd_show(a);
   if (cmd == "run") return cmd_run(a);
   if (cmd == "verify") return cmd_verify(a);
