@@ -1,0 +1,1006 @@
+#include "backend/compiled.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace vsd::backend {
+
+namespace {
+
+std::atomic<bool> g_compiled_enabled{true};
+
+// Loop-state and return-value lists are copied through fixed stack buffers
+// during execution; a program exceeding this arity is not lowered and
+// run() falls back to the interpreter (none of the element library comes
+// anywhere near it).
+constexpr size_t kMaxArity = 64;
+
+// Pre-decoded op kinds. The ir::Opcode set, with packet accesses split by
+// addressing mode (register+imm vs imm-only) and the block terminators
+// lowered to explicit ops. Order must match kLabels[] in run_function.
+enum class COp : uint8_t {
+  Const, Not, Neg,
+  Add, Sub, Mul, UDiv, URem,
+  And, Or, Xor,
+  Shl, LShr, AShr,
+  Eq, Ne, Ult, Ule, Slt, Sle,
+  ZExt, SExt, Trunc,
+  Select,
+  PktLoad, PktLoadAbs, PktStore, PktStoreAbs, PktLen, PktPush, PktPull,
+  MetaLoad, MetaStore,
+  StaticLoad,
+  KvRead, KvWrite,
+  Assert,
+  RunLoop,
+  // terminators
+  Jump, Br, Emit, Drop, TrapTerm, Ret,
+  // fused compare+branch superinstructions: a comparison whose dst is the
+  // very next Br's condition collapses into one dispatch. The fused op
+  // still writes dst (later blocks may read it) and still counts TWO steps
+  // with the budget checked before each, so instruction accounting stays
+  // bit-identical to the interpreter.
+  BrEq, BrNe, BrUlt, BrUle, BrSlt, BrSle,
+};
+constexpr size_t kNumOps = static_cast<size_t>(COp::BrSle) + 1;
+
+struct CInstr {
+  // Direct threading (GNUC builds): the address of this op's handler label
+  // inside run_function, patched after lowering via the label-query entry.
+  // Dispatch is then one load + one indirect jump, no per-op table lookup.
+  const void* handler = nullptr;
+  COp op{};
+  uint8_t nbytes = 0;        // packet access width in bytes
+  uint8_t trap = 0;          // TrapTerm: the ir::TrapKind
+  uint8_t sh_a = 0, sh_b = 0;  // 64 - operand width (sign-extension shifts)
+  uint32_t dst = 0, a = 0, b = 0, c = 0;  // register slots
+  uint32_t target = 0;  // branch target / body func / port / table / slot
+  uint32_t alt = 0;     // Br false-edge target
+  uint32_t pool = 0;    // RunLoop state list / Ret value list
+  uint32_t a_width = 0;  // shift-amount bound (width of operand a)
+  uint64_t imm = 0;      // pre-masked constant / offset / count / trip bound
+  uint64_t dst_mask = 0;
+  const uint64_t* tbl = nullptr;  // StaticLoad: resolved table data
+  uint64_t tbl_size = 0;
+};
+
+struct CFunc {
+  std::vector<CInstr> code;       // all blocks flattened, targets resolved
+  std::vector<uint32_t> params;
+  std::vector<uint64_t> reg_mask;  // per-register truncation masks
+  uint32_t num_regs = 0;
+  // Whether the frame must be zeroed on entry. False when liveness proves
+  // no register can be read before it is written (params excepted): stale
+  // values from an earlier activation are then unobservable and entry
+  // reduces to a resize — the dominant cost for short loop-body trips.
+  bool zero_frame = true;
+};
+
+uint64_t mask_of(unsigned width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+// The lowered program. Kept as a TU-local base so the anonymous-namespace
+// compile/execute helpers can name it (CompiledProgram::Impl is private).
+struct ProgData {
+  const ir::Program* src = nullptr;
+  std::vector<CFunc> funcs;
+  std::vector<std::vector<uint32_t>> pools;  // register lists, out-of-line
+  uint32_t main_fn = 0;
+  bool lowered = false;
+};
+
+}  // namespace
+
+struct CompiledProgram::Impl : ProgData {};
+
+namespace {
+
+// Activation record for a RunLoop body call. Calls are handled iteratively
+// inside the dispatch loop (no C++ recursion): entering a body pushes one
+// of these, the body's Ret pops it or starts the next trip in place — a
+// trip re-entry is just a parameter copy and pc = 0, which is what makes
+// short loop bodies cheap.
+struct CallRec {
+  const CFunc* caller = nullptr;  // function containing the RunLoop
+  uint32_t runloop_pc = 0;        // pc of the RunLoop instr in the caller
+  uint64_t trips_left = 0;
+  size_t n = 0;                   // loop-carried state arity
+  uint64_t state[kMaxArity];
+};
+
+// Mutable execution context, the counterpart of interp's Machine. Register
+// frames and call records come from thread-local pools reused across run()
+// calls: element activations are ~dozens of instructions, so per-run
+// malloc/free would dominate. The pools grow to the deepest activation
+// ever seen on this thread and keep their buffers; frame.assign() then
+// only memsets.
+struct Ctx {
+  net::Packet& pkt;
+  interp::KvState& kv;
+  const uint64_t max_steps;
+  uint64_t steps = 0;
+  interp::ExecResult result{};
+  std::vector<std::vector<uint64_t>>& frames;
+  std::vector<CallRec>& stack;
+};
+
+std::vector<std::vector<uint64_t>>& frame_pool() {
+  thread_local std::vector<std::vector<uint64_t>> pool;
+  return pool;
+}
+
+std::vector<CallRec>& stack_pool() {
+  thread_local std::vector<CallRec> pool;
+  return pool;
+}
+
+COp map_opcode(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::Const: return COp::Const;
+    case ir::Opcode::Not: return COp::Not;
+    case ir::Opcode::Neg: return COp::Neg;
+    case ir::Opcode::Add: return COp::Add;
+    case ir::Opcode::Sub: return COp::Sub;
+    case ir::Opcode::Mul: return COp::Mul;
+    case ir::Opcode::UDiv: return COp::UDiv;
+    case ir::Opcode::URem: return COp::URem;
+    case ir::Opcode::And: return COp::And;
+    case ir::Opcode::Or: return COp::Or;
+    case ir::Opcode::Xor: return COp::Xor;
+    case ir::Opcode::Shl: return COp::Shl;
+    case ir::Opcode::LShr: return COp::LShr;
+    case ir::Opcode::AShr: return COp::AShr;
+    case ir::Opcode::Eq: return COp::Eq;
+    case ir::Opcode::Ne: return COp::Ne;
+    case ir::Opcode::Ult: return COp::Ult;
+    case ir::Opcode::Ule: return COp::Ule;
+    case ir::Opcode::Slt: return COp::Slt;
+    case ir::Opcode::Sle: return COp::Sle;
+    case ir::Opcode::ZExt: return COp::ZExt;
+    case ir::Opcode::SExt: return COp::SExt;
+    case ir::Opcode::Trunc: return COp::Trunc;
+    case ir::Opcode::Select: return COp::Select;
+    case ir::Opcode::PktLoad: return COp::PktLoad;
+    case ir::Opcode::PktStore: return COp::PktStore;
+    case ir::Opcode::PktLen: return COp::PktLen;
+    case ir::Opcode::PktPush: return COp::PktPush;
+    case ir::Opcode::PktPull: return COp::PktPull;
+    case ir::Opcode::MetaLoad: return COp::MetaLoad;
+    case ir::Opcode::MetaStore: return COp::MetaStore;
+    case ir::Opcode::StaticLoad: return COp::StaticLoad;
+    case ir::Opcode::KvRead: return COp::KvRead;
+    case ir::Opcode::KvWrite: return COp::KvWrite;
+    case ir::Opcode::Assert: return COp::Assert;
+    case ir::Opcode::RunLoop: return COp::RunLoop;
+  }
+  return COp::Drop;  // unreachable for valid programs
+}
+
+// Backward liveness over the IR function: true when every register that can
+// be read before being written is a parameter, i.e. zero-initialization of
+// the frame is unobservable. Unused operand fields are kNoReg by
+// construction (ir::Instr defaults), so "any non-kNoReg operand" is exactly
+// the use set; RunLoop both reads and writes its loop_state, which in a
+// backward pass nets out to a use.
+bool frame_zeroing_observable(const ir::Function& fn) {
+  const size_t nb = fn.blocks.size();
+  const size_t nr = fn.regs.size();
+  std::vector<std::vector<bool>> live_in(nb, std::vector<bool>(nr, false));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = nb; b-- > 0;) {
+      const ir::Block& blk = fn.blocks[b];
+      std::vector<bool> live(nr, false);
+      const auto add_succ = [&](ir::BlockId s) {
+        for (size_t r = 0; r < nr; ++r) {
+          if (live_in[s][r]) live[r] = true;
+        }
+      };
+      const ir::Terminator& t = blk.term;
+      switch (t.kind) {
+        case ir::Terminator::Kind::Jump: add_succ(t.target); break;
+        case ir::Terminator::Kind::Br:
+          add_succ(t.target);
+          add_succ(t.alt);
+          if (t.cond != ir::kNoReg) live[t.cond] = true;
+          break;
+        case ir::Terminator::Kind::Return:
+          for (const ir::Reg r : t.ret_vals) live[r] = true;
+          break;
+        default: break;
+      }
+      for (size_t i = blk.instrs.size(); i-- > 0;) {
+        const ir::Instr& in = blk.instrs[i];
+        if (in.dst != ir::kNoReg) live[in.dst] = false;
+        if (in.a != ir::kNoReg) live[in.a] = true;
+        if (in.b != ir::kNoReg) live[in.b] = true;
+        if (in.c != ir::kNoReg) live[in.c] = true;
+        for (const ir::Reg r : in.loop_state) live[r] = true;
+      }
+      if (live != live_in[b]) {
+        live_in[b] = std::move(live);
+        changed = true;
+      }
+    }
+  }
+  std::vector<bool> is_param(nr, false);
+  for (const ir::Reg p : fn.params) is_param[p] = true;
+  for (size_t r = 0; r < nr; ++r) {
+    if (live_in[0][r] && !is_param[r]) return true;
+  }
+  return false;
+}
+
+void lower_function(const ir::Function& fn, const ir::Program& p,
+                    ProgData& im, CFunc& out) {
+  out.num_regs = static_cast<uint32_t>(fn.regs.size());
+  out.zero_frame = frame_zeroing_observable(fn);
+  out.params.assign(fn.params.begin(), fn.params.end());
+  out.reg_mask.reserve(fn.regs.size());
+  for (const ir::RegInfo& r : fn.regs) out.reg_mask.push_back(mask_of(r.width));
+
+  // First pass: code offset of every block (instrs + 1 terminator op each).
+  std::vector<uint32_t> block_off(fn.blocks.size(), 0);
+  uint32_t idx = 0;
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    block_off[b] = idx;
+    idx += static_cast<uint32_t>(fn.blocks[b].instrs.size()) + 1;
+  }
+  out.code.reserve(idx);
+
+  const auto width = [&fn](ir::Reg r) { return fn.regs[r].width; };
+  for (const ir::Block& blk : fn.blocks) {
+    for (const ir::Instr& in : blk.instrs) {
+      CInstr c;
+      c.op = map_opcode(in.op);
+      c.dst = in.dst;
+      c.a = in.a;
+      c.b = in.b;
+      c.c = in.c;
+      c.imm = in.imm;
+      if (in.dst != ir::kNoReg) c.dst_mask = mask_of(width(in.dst));
+      switch (in.op) {
+        case ir::Opcode::Const:
+          c.imm = in.imm & c.dst_mask;  // pre-truncate at compile time
+          break;
+        case ir::Opcode::Shl:
+        case ir::Opcode::LShr:
+          c.a_width = width(in.a);
+          break;
+        case ir::Opcode::AShr:
+          c.a_width = width(in.a);
+          c.sh_a = static_cast<uint8_t>(64 - width(in.a));
+          break;
+        case ir::Opcode::Slt:
+        case ir::Opcode::Sle:
+          c.sh_a = static_cast<uint8_t>(64 - width(in.a));
+          c.sh_b = static_cast<uint8_t>(64 - width(in.b));
+          break;
+        case ir::Opcode::SExt:
+          c.sh_a = static_cast<uint8_t>(64 - width(in.a));
+          break;
+        case ir::Opcode::PktLoad:
+        case ir::Opcode::PktStore:
+          c.nbytes = static_cast<uint8_t>(in.aux);
+          if (in.a == ir::kNoReg) {
+            c.op = in.op == ir::Opcode::PktLoad ? COp::PktLoadAbs
+                                                : COp::PktStoreAbs;
+            c.a = 0;
+          }
+          break;
+        case ir::Opcode::MetaLoad:
+        case ir::Opcode::MetaStore:
+          c.target = static_cast<uint32_t>(in.imm);
+          break;
+        case ir::Opcode::StaticLoad: {
+          const ir::StaticTable& t = p.static_tables[in.aux];
+          c.tbl = t.values.data();
+          c.tbl_size = t.values.size();
+          break;
+        }
+        case ir::Opcode::KvRead:
+        case ir::Opcode::KvWrite:
+          c.target = in.aux;
+          break;
+        case ir::Opcode::RunLoop: {
+          c.target = in.aux;  // body function
+          c.pool = static_cast<uint32_t>(im.pools.size());
+          im.pools.emplace_back(in.loop_state.begin(), in.loop_state.end());
+          break;
+        }
+        default:
+          break;
+      }
+      out.code.push_back(c);
+    }
+    CInstr t;
+    switch (blk.term.kind) {
+      case ir::Terminator::Kind::Jump:
+        t.op = COp::Jump;
+        t.target = block_off[blk.term.target];
+        break;
+      case ir::Terminator::Kind::Br: {
+        t.op = COp::Br;
+        t.a = blk.term.cond;
+        t.target = block_off[blk.term.target];
+        t.alt = block_off[blk.term.alt];
+        // Fuse with an immediately-preceding comparison that computes the
+        // condition. The Br slot below is still emitted (block offsets are
+        // precomputed) but becomes unreachable: the fused op branches
+        // directly, and branch targets only ever point at block starts.
+        if (!blk.instrs.empty() && blk.term.cond != ir::kNoReg) {
+          CInstr& last = out.code.back();
+          COp fused = COp::Br;  // sentinel: no fusion
+          switch (last.op) {
+            case COp::Eq: fused = COp::BrEq; break;
+            case COp::Ne: fused = COp::BrNe; break;
+            case COp::Ult: fused = COp::BrUlt; break;
+            case COp::Ule: fused = COp::BrUle; break;
+            case COp::Slt: fused = COp::BrSlt; break;
+            case COp::Sle: fused = COp::BrSle; break;
+            default: break;
+          }
+          if (fused != COp::Br && last.dst == blk.term.cond) {
+            last.op = fused;
+            last.target = t.target;
+            last.alt = t.alt;
+          }
+        }
+        break;
+      }
+      case ir::Terminator::Kind::Emit:
+        t.op = COp::Emit;
+        t.target = blk.term.port;
+        break;
+      case ir::Terminator::Kind::Drop:
+        t.op = COp::Drop;
+        break;
+      case ir::Terminator::Kind::Trap:
+        t.op = COp::TrapTerm;
+        t.trap = static_cast<uint8_t>(blk.term.trap);
+        break;
+      case ir::Terminator::Kind::Return:
+        t.op = COp::Ret;
+        t.pool = static_cast<uint32_t>(im.pools.size());
+        im.pools.emplace_back(blk.term.ret_vals.begin(),
+                              blk.term.ret_vals.end());
+        break;
+    }
+    out.code.push_back(t);
+  }
+}
+
+// Executes function `fid` to completion, including every RunLoop body it
+// calls (handled iteratively on ctx.stack — no C++ recursion). Mirrors
+// interp's Machine::run_function exactly: returns true when the entry
+// function returned normally (Ret), false when the program finished
+// (Emit/Drop/Trap, recorded in ctx.result). Step accounting is
+// bit-compatible with the interpreter: every op — including terminators —
+// first checks the remaining budget, then counts one step; call entry and
+// trip re-entry cost no steps, exactly like the interpreter's recursion.
+// fid value that makes run_function write its handler-label table through
+// `ret` and return immediately (see query_labels).
+constexpr uint32_t kLabelQueryFid = ~0u;
+
+bool run_function(const ProgData& im, Ctx& ctx, uint32_t fid,
+                  const uint64_t* args, size_t nargs, uint64_t* ret) {
+#if defined(__GNUC__)
+  // Threaded code: each instruction carries the address of its handler
+  // label and every handler jumps straight to the next instruction's
+  // handler — no dispatch loop, no switch bounds check, no table lookup.
+  static const void* const kLabels[] = {
+      &&lbl_Const, &&lbl_Not, &&lbl_Neg,
+      &&lbl_Add, &&lbl_Sub, &&lbl_Mul, &&lbl_UDiv, &&lbl_URem,
+      &&lbl_And, &&lbl_Or, &&lbl_Xor,
+      &&lbl_Shl, &&lbl_LShr, &&lbl_AShr,
+      &&lbl_Eq, &&lbl_Ne, &&lbl_Ult, &&lbl_Ule, &&lbl_Slt, &&lbl_Sle,
+      &&lbl_ZExt, &&lbl_SExt, &&lbl_Trunc,
+      &&lbl_Select,
+      &&lbl_PktLoad, &&lbl_PktLoadAbs, &&lbl_PktStore, &&lbl_PktStoreAbs,
+      &&lbl_PktLen, &&lbl_PktPush, &&lbl_PktPull,
+      &&lbl_MetaLoad, &&lbl_MetaStore,
+      &&lbl_StaticLoad,
+      &&lbl_KvRead, &&lbl_KvWrite,
+      &&lbl_Assert,
+      &&lbl_RunLoop,
+      &&lbl_Jump, &&lbl_Br, &&lbl_Emit, &&lbl_Drop, &&lbl_TrapTerm,
+      &&lbl_Ret,
+      &&lbl_BrEq, &&lbl_BrNe, &&lbl_BrUlt, &&lbl_BrUle, &&lbl_BrSlt,
+      &&lbl_BrSle,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps);
+  if (fid == kLabelQueryFid) {
+    // `ret` actually points at a `const void* const*` here (query_labels).
+    *reinterpret_cast<const void* const**>(ret) = kLabels;
+    return true;
+  }
+#else
+  if (fid == kLabelQueryFid) {
+    *reinterpret_cast<const void* const**>(ret) = nullptr;
+    return true;
+  }
+#endif
+  // sp is both the call depth and the frame index of the current
+  // activation; stack[sp - 1] is the record of the innermost open call.
+  size_t sp = 0;
+  std::vector<std::vector<uint64_t>>& frames = ctx.frames;
+  std::vector<CallRec>& stack = ctx.stack;
+  // Prepares frames[sp] for a fresh activation of `fn` and returns its
+  // register file. Growing the outer vector moves the inner vectors but
+  // not their heap buffers, so register pointers of outer activations
+  // stay valid.
+  const auto setup_frame = [&frames, &sp](const CFunc& fn) -> uint64_t* {
+    if (frames.size() <= sp) frames.resize(sp + 1);
+    std::vector<uint64_t>& frame = frames[sp];
+    if (fn.zero_frame) {
+      frame.assign(fn.num_regs, 0);
+    } else if (frame.size() < fn.num_regs) {
+      // Stale contents are unobservable (no read-before-write in fn);
+      // only capacity matters.
+      frame.resize(fn.num_regs);
+    }
+    return frame.data();
+  };
+
+  const CFunc* fp = &im.funcs[fid];
+  uint64_t* regs = setup_frame(*fp);
+  assert(nargs == fp->params.size());
+  for (size_t i = 0; i < nargs; ++i) regs[fp->params[i]] = args[i];
+
+  const CInstr* code = fp->code.data();
+  size_t pc = 0;
+  uint64_t steps = ctx.steps;
+  const uint64_t max_steps = ctx.max_steps;
+
+#if defined(__GNUC__)
+#define VSD_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define VSD_UNLIKELY(x) (x)
+#endif
+
+#define VSD_TRAP(kind)                         \
+  do {                                         \
+    ctx.result.action = interp::Action::Trap;  \
+    ctx.result.trap = (kind);                  \
+    ctx.steps = steps;                         \
+    return false;                              \
+  } while (0)
+
+#define VSD_STEP_GUARD()                              \
+  do {                                                \
+    if (VSD_UNLIKELY(steps >= max_steps))             \
+      VSD_TRAP(ir::TrapKind::LoopBound);              \
+    ++steps;                                          \
+  } while (0)
+
+#if defined(__GNUC__)
+#define VSD_OP(name) lbl_##name
+#define VSD_NEXT()                                              \
+  do {                                                          \
+    VSD_STEP_GUARD();                                           \
+    goto* code[pc].handler;                                     \
+  } while (0)
+  VSD_NEXT();
+#else
+#define VSD_OP(name) case COp::name
+#define VSD_NEXT() continue
+  for (;;) {
+    VSD_STEP_GUARD();
+    switch (code[pc].op) {
+#endif
+
+      VSD_OP(Const) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = in.imm;  // pre-masked at compile time
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Not) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = ~regs[in.a] & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Neg) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (0 - regs[in.a]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Add) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] + regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Sub) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] - regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Mul) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] * regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(UDiv) : {
+        const CInstr& in = code[pc];
+        const uint64_t d = regs[in.b];
+        if (VSD_UNLIKELY(d == 0)) VSD_TRAP(ir::TrapKind::DivByZero);
+        regs[in.dst] = (regs[in.a] / d) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(URem) : {
+        const CInstr& in = code[pc];
+        const uint64_t d = regs[in.b];
+        if (VSD_UNLIKELY(d == 0)) VSD_TRAP(ir::TrapKind::DivByZero);
+        regs[in.dst] = (regs[in.a] % d) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(And) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] & regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Or) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] | regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Xor) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] ^ regs[in.b]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Shl) : {
+        const CInstr& in = code[pc];
+        const uint64_t s = regs[in.b];
+        regs[in.dst] = s >= in.a_width ? 0 : (regs[in.a] << s) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(LShr) : {
+        const CInstr& in = code[pc];
+        const uint64_t s = regs[in.b];
+        regs[in.dst] = s >= in.a_width ? 0 : (regs[in.a] >> s) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(AShr) : {
+        const CInstr& in = code[pc];
+        const uint64_t s = regs[in.b];
+        const int64_t a =
+            static_cast<int64_t>(regs[in.a] << in.sh_a) >> in.sh_a;
+        regs[in.dst] =
+            (s >= in.a_width ? (a < 0 ? ~uint64_t{0} : uint64_t{0})
+                             : static_cast<uint64_t>(a >> s)) &
+            in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Eq) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] == regs[in.b] ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Ne) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] != regs[in.b] ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Ult) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] < regs[in.b] ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Ule) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] <= regs[in.b] ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Slt) : {
+        const CInstr& in = code[pc];
+        const int64_t a =
+            static_cast<int64_t>(regs[in.a] << in.sh_a) >> in.sh_a;
+        const int64_t b =
+            static_cast<int64_t>(regs[in.b] << in.sh_b) >> in.sh_b;
+        regs[in.dst] = a < b ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Sle) : {
+        const CInstr& in = code[pc];
+        const int64_t a =
+            static_cast<int64_t>(regs[in.a] << in.sh_a) >> in.sh_a;
+        const int64_t b =
+            static_cast<int64_t>(regs[in.b] << in.sh_b) >> in.sh_b;
+        regs[in.dst] = a <= b ? 1 : 0;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(ZExt) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(SExt) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] =
+            static_cast<uint64_t>(static_cast<int64_t>(regs[in.a] << in.sh_a) >>
+                                  in.sh_a) &
+            in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Trunc) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = regs[in.a] & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Select) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = (regs[in.a] != 0 ? regs[in.b] : regs[in.c]) &
+                       in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktLoad) : {
+        const CInstr& in = code[pc];
+        const uint64_t off = regs[in.a] + in.imm;
+        if (VSD_UNLIKELY(off + in.nbytes > ctx.pkt.size()))
+          VSD_TRAP(ir::TrapKind::OobPacketRead);
+        const uint8_t* d = ctx.pkt.data() + off;
+        uint64_t v = 0;
+        for (unsigned i = 0; i < in.nbytes; ++i) v = (v << 8) | d[i];
+        regs[in.dst] = v & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktLoadAbs) : {
+        const CInstr& in = code[pc];
+        if (VSD_UNLIKELY(in.imm + in.nbytes > ctx.pkt.size()))
+          VSD_TRAP(ir::TrapKind::OobPacketRead);
+        const uint8_t* d = ctx.pkt.data() + in.imm;
+        uint64_t v = 0;
+        for (unsigned i = 0; i < in.nbytes; ++i) v = (v << 8) | d[i];
+        regs[in.dst] = v & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktStore) : {
+        const CInstr& in = code[pc];
+        const uint64_t off = regs[in.a] + in.imm;
+        if (VSD_UNLIKELY(off + in.nbytes > ctx.pkt.size()))
+          VSD_TRAP(ir::TrapKind::OobPacketWrite);
+        uint8_t* d = ctx.pkt.data() + off;
+        uint64_t v = regs[in.b];
+        for (unsigned i = 0; i < in.nbytes; ++i) {
+          d[in.nbytes - 1 - i] = static_cast<uint8_t>(v & 0xff);
+          v >>= 8;
+        }
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktStoreAbs) : {
+        const CInstr& in = code[pc];
+        if (VSD_UNLIKELY(in.imm + in.nbytes > ctx.pkt.size()))
+          VSD_TRAP(ir::TrapKind::OobPacketWrite);
+        uint8_t* d = ctx.pkt.data() + in.imm;
+        uint64_t v = regs[in.b];
+        for (unsigned i = 0; i < in.nbytes; ++i) {
+          d[in.nbytes - 1 - i] = static_cast<uint8_t>(v & 0xff);
+          v >>= 8;
+        }
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktLen) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = ctx.pkt.size() & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktPush) : {
+        const CInstr& in = code[pc];
+        ctx.pkt.push_front(in.imm);
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(PktPull) : {
+        const CInstr& in = code[pc];
+        if (VSD_UNLIKELY(in.imm > ctx.pkt.size())) VSD_TRAP(ir::TrapKind::PullUnderflow);
+        ctx.pkt.pull_front(in.imm);
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(MetaLoad) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = ctx.pkt.meta(in.target) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(MetaStore) : {
+        const CInstr& in = code[pc];
+        ctx.pkt.set_meta(in.target, static_cast<uint32_t>(regs[in.a]));
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(StaticLoad) : {
+        const CInstr& in = code[pc];
+        const uint64_t idx = regs[in.a];
+        if (VSD_UNLIKELY(idx >= in.tbl_size)) VSD_TRAP(ir::TrapKind::OobTable);
+        regs[in.dst] = in.tbl[idx] & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(KvRead) : {
+        const CInstr& in = code[pc];
+        regs[in.dst] = ctx.kv.read(in.target, regs[in.a]) & in.dst_mask;
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(KvWrite) : {
+        const CInstr& in = code[pc];
+        ctx.kv.write(in.target, regs[in.a], regs[in.b]);
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(Assert) : {
+        const CInstr& in = code[pc];
+        if (VSD_UNLIKELY(regs[in.a] == 0)) VSD_TRAP(ir::TrapKind::AssertFail);
+        ++pc;
+        VSD_NEXT();
+      }
+      VSD_OP(RunLoop) : {
+        const CInstr& in = code[pc];
+        // Zero trip bound: the loop still "wants to continue" (the body
+        // never ran to say otherwise), which the interpreter reports as
+        // LoopBound.
+        if (VSD_UNLIKELY(in.imm == 0)) VSD_TRAP(ir::TrapKind::LoopBound);
+        const std::vector<uint32_t>& lst = im.pools[in.pool];
+        const size_t n = lst.size();
+        if (stack.size() <= sp) stack.resize(sp + 1);
+        CallRec& rec = stack[sp];
+        rec.caller = fp;
+        rec.runloop_pc = static_cast<uint32_t>(pc);
+        rec.trips_left = in.imm;
+        rec.n = n;
+        for (size_t i = 0; i < n; ++i) rec.state[i] = regs[lst[i]];
+        ++sp;
+        fp = &im.funcs[in.target];
+        regs = setup_frame(*fp);
+        for (size_t i = 0; i < n; ++i) regs[fp->params[i]] = rec.state[i];
+        code = fp->code.data();
+        pc = 0;
+        VSD_NEXT();
+      }
+      VSD_OP(Jump) : {
+        pc = code[pc].target;
+        VSD_NEXT();
+      }
+      VSD_OP(Br) : {
+        const CInstr& in = code[pc];
+        pc = regs[in.a] != 0 ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(Emit) : {
+        ctx.result.action = interp::Action::Emit;
+        ctx.result.port = code[pc].target;
+        ctx.steps = steps;
+        return false;
+      }
+      VSD_OP(Drop) : {
+        ctx.result.action = interp::Action::Drop;
+        ctx.steps = steps;
+        return false;
+      }
+      VSD_OP(TrapTerm) : {
+        VSD_TRAP(static_cast<ir::TrapKind>(code[pc].trap));
+      }
+      VSD_OP(Ret) : {
+        const CInstr& in = code[pc];
+        const std::vector<uint32_t>& lst = im.pools[in.pool];
+        if (sp == 0) {
+          // The entry function returned: hand the values to the caller of
+          // run_function.
+          for (size_t i = 0; i < lst.size(); ++i) ret[i] = regs[lst[i]];
+          ctx.steps = steps;
+          return true;
+        }
+        // A loop body finished one trip: ret_vals are
+        // (continue_flag, new_state...).
+        CallRec& rec = stack[sp - 1];
+        const uint64_t cont = regs[lst[0]];
+        for (size_t i = 1; i < lst.size(); ++i) rec.state[i - 1] = regs[lst[i]];
+        --rec.trips_left;
+        if (cont != 0) {
+          if (VSD_UNLIKELY(rec.trips_left == 0))
+            VSD_TRAP(ir::TrapKind::LoopBound);
+          // Next trip: a fresh activation of the same body, entered in
+          // place (new zeroed frame semantics, params from the carried
+          // state, pc back to the entry block).
+          if (fp->zero_frame) {
+            std::vector<uint64_t>& frame = frames[sp];
+            frame.assign(fp->num_regs, 0);
+            regs = frame.data();
+          }
+          for (size_t i = 0; i < rec.n; ++i) regs[fp->params[i]] = rec.state[i];
+          pc = 0;
+          VSD_NEXT();
+        }
+        // Loop finished: pop, write the carried state back into the
+        // caller's registers (masked to their widths), resume after the
+        // RunLoop instruction.
+        --sp;
+        fp = rec.caller;
+        regs = frames[sp].data();
+        code = fp->code.data();
+        const std::vector<uint32_t>& slst = im.pools[code[rec.runloop_pc].pool];
+        for (size_t i = 0; i < rec.n; ++i) {
+          regs[slst[i]] = rec.state[i] & fp->reg_mask[slst[i]];
+        }
+        pc = rec.runloop_pc + 1;
+        VSD_NEXT();
+      }
+      // Fused compare+branch: the entry dispatch already budgeted the
+      // comparison step; VSD_STEP_GUARD() here budgets the branch step, so
+      // a LoopBound landing between the two traps at the same instr_count
+      // as the unfused interpreter.
+      VSD_OP(BrEq) : {
+        const CInstr& in = code[pc];
+        const uint64_t v = regs[in.a] == regs[in.b] ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(BrNe) : {
+        const CInstr& in = code[pc];
+        const uint64_t v = regs[in.a] != regs[in.b] ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(BrUlt) : {
+        const CInstr& in = code[pc];
+        const uint64_t v = regs[in.a] < regs[in.b] ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(BrUle) : {
+        const CInstr& in = code[pc];
+        const uint64_t v = regs[in.a] <= regs[in.b] ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(BrSlt) : {
+        const CInstr& in = code[pc];
+        const int64_t a =
+            static_cast<int64_t>(regs[in.a] << in.sh_a) >> in.sh_a;
+        const int64_t b =
+            static_cast<int64_t>(regs[in.b] << in.sh_b) >> in.sh_b;
+        const uint64_t v = a < b ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+      VSD_OP(BrSle) : {
+        const CInstr& in = code[pc];
+        const int64_t a =
+            static_cast<int64_t>(regs[in.a] << in.sh_a) >> in.sh_a;
+        const int64_t b =
+            static_cast<int64_t>(regs[in.b] << in.sh_b) >> in.sh_b;
+        const uint64_t v = a <= b ? 1 : 0;
+        regs[in.dst] = v;
+        VSD_STEP_GUARD();
+        pc = v ? in.target : in.alt;
+        VSD_NEXT();
+      }
+
+#if !defined(__GNUC__)
+    }  // switch
+  }    // for
+#endif
+
+#undef VSD_OP
+#undef VSD_NEXT
+#undef VSD_STEP_GUARD
+#undef VSD_UNLIKELY
+#undef VSD_TRAP
+}
+
+// Fetches run_function's handler-label table (nullptr on non-GNUC builds,
+// where the switch fallback dispatches on `op` instead of `handler`).
+const void* const* query_labels() {
+  static net::Packet dummy_pkt;
+  static interp::KvState dummy_kv(0);
+  static ProgData dummy_prog;
+  Ctx ctx{dummy_pkt, dummy_kv, 0, 0, {}, frame_pool(), stack_pool()};
+  const void* const* labels = nullptr;
+  run_function(dummy_prog, ctx, kLabelQueryFid, nullptr, 0,
+               reinterpret_cast<uint64_t*>(&labels));
+  return labels;
+}
+
+}  // namespace
+
+void set_compiled_enabled(bool on) {
+  g_compiled_enabled.store(on, std::memory_order_relaxed);
+}
+bool compiled_enabled() {
+  return g_compiled_enabled.load(std::memory_order_relaxed);
+}
+
+CompiledProgram::CompiledProgram(const ir::Program& program)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->src = &program;
+  impl_->main_fn = program.main_fn;
+  // Lowering limit scan: every loop-state list (plus the continue flag) and
+  // every return-value list must fit the fixed execution buffers.
+  for (const ir::Function& fn : program.functions) {
+    for (const ir::Block& blk : fn.blocks) {
+      for (const ir::Instr& in : blk.instrs) {
+        if (in.op == ir::Opcode::RunLoop &&
+            in.loop_state.size() + 1 > kMaxArity) {
+          return;  // lowered stays false; run() falls back to the interpreter
+        }
+      }
+      if (blk.term.kind == ir::Terminator::Kind::Return &&
+          blk.term.ret_vals.size() > kMaxArity) {
+        return;
+      }
+    }
+  }
+  impl_->funcs.resize(program.functions.size());
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    lower_function(program.functions[i], program, *impl_, impl_->funcs[i]);
+  }
+  // Direct threading: patch every instruction with its handler address
+  // (no-op on builds whose dispatch switches on `op`).
+  if (const void* const* labels = query_labels()) {
+    for (CFunc& f : impl_->funcs) {
+      for (CInstr& c : f.code) c.handler = labels[static_cast<size_t>(c.op)];
+    }
+  }
+  impl_->lowered = true;
+}
+
+CompiledProgram::~CompiledProgram() = default;
+CompiledProgram::CompiledProgram(CompiledProgram&&) noexcept = default;
+CompiledProgram& CompiledProgram::operator=(CompiledProgram&&) noexcept =
+    default;
+
+bool CompiledProgram::lowered() const { return impl_->lowered; }
+
+interp::ExecResult CompiledProgram::run(net::Packet& packet,
+                                        interp::KvState& kv,
+                                        const interp::ExecLimits& limits) const {
+  if (!impl_->lowered) return interp::run(*impl_->src, packet, kv, limits);
+  Ctx ctx{packet, kv, limits.max_steps, 0, {}, frame_pool(), stack_pool()};
+  uint64_t ret_buf[kMaxArity];
+  run_function(*impl_, ctx, impl_->main_fn, nullptr, 0, ret_buf);
+  ctx.result.instr_count = ctx.steps;
+  return ctx.result;
+}
+
+}  // namespace vsd::backend

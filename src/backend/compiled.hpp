@@ -1,0 +1,85 @@
+// Threaded-code batch executor: the compiled fast path for concrete replay.
+//
+// The interpreter (interp/interp.cpp) re-decodes every instruction on every
+// execution: it walks the CFG block by block, looks register widths up in
+// Function::regs, and dispatches through a switch on ir::Opcode per step.
+// That is fine for one counterexample replay and fatal for the workloads
+// that stream packets — `vsd run`, the fuzz oracle, sequence certification.
+//
+// CompiledProgram lowers an ir::Program ONCE into a flat, pre-decoded
+// representation and then executes it with direct dispatch:
+//
+//   * every function's blocks are flattened into one contiguous op array;
+//     Jump/Br targets are resolved to op indices at compile time, and
+//     terminators become explicit ops (so the executor never consults the
+//     block structure);
+//   * register widths are pre-resolved into truncation masks and
+//     sign-extension shift counts stored inside each op — no RegInfo
+//     lookups at runtime;
+//   * static-table operands are resolved to data pointer + size;
+//   * dispatch is computed-goto threaded code on GCC/Clang (a dense
+//     jump-table switch elsewhere) — no C compiler, no codegen at runtime;
+//   * RunLoop body activations reuse per-depth register frames instead of
+//     allocating fresh vectors every trip.
+//
+// Equivalence contract (pinned by tests/backend_test.cpp and the fuzz
+// harness's compiled-interp-mismatch oracle): for any program, packet, and
+// KvState, CompiledProgram::run returns the same ExecResult as interp::run
+// — same action/port, same TrapKind (including LoopBound at the same
+// instr_count under the same ExecLimits::max_steps), same instr_count —
+// and leaves packet bytes, metadata, and KV state bit-identical.
+//
+// Lifetime: CompiledProgram borrows the ir::Program (static-table data is
+// referenced, not copied). The program must outlive it and must not be
+// mutated or moved afterwards; pipeline::Element guarantees this by owning
+// both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "ir/ir.hpp"
+#include "net/packet.hpp"
+
+namespace vsd::backend {
+
+// Process-global engine switch for the concrete side. Defaults to on;
+// `vsd fuzz --no-compiled` and `vsd run --no-compiled` flip it so soaks
+// can A/B the two engines. Sites that must force one engine regardless
+// (the fuzz harness's lockstep reference pipeline, the tab12 bench) use
+// pipeline::Engine overrides instead of this flag.
+void set_compiled_enabled(bool on);
+bool compiled_enabled();
+
+class CompiledProgram {
+ public:
+  explicit CompiledProgram(const ir::Program& program);
+  ~CompiledProgram();
+  CompiledProgram(CompiledProgram&&) noexcept;
+  CompiledProgram& operator=(CompiledProgram&&) noexcept;
+
+  // Drop-in for interp::run: identical ExecResult, trap taxonomy, step
+  // accounting, and packet/KvState mutations.
+  interp::ExecResult run(net::Packet& packet, interp::KvState& kv,
+                         const interp::ExecLimits& limits = {}) const;
+
+  // True when the program was lowered to threaded code; false when it hit
+  // a lowering limit (loop-state/return arity beyond kMaxArity) and run()
+  // transparently falls back to the interpreter.
+  bool lowered() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Free-function mirror of interp::run for call-site symmetry.
+inline interp::ExecResult run(const CompiledProgram& cp, net::Packet& packet,
+                              interp::KvState& kv,
+                              const interp::ExecLimits& limits = {}) {
+  return cp.run(packet, kv, limits);
+}
+
+}  // namespace vsd::backend

@@ -45,9 +45,15 @@ class Machine {
     for (;;) {
       const ir::Block& blk = f.blocks[bb];
       for (const ir::Instr& in : blk.instrs) {
-        if (++steps_ > limits_.max_steps) return finish_trap(TrapKind::LoopBound);
+        // Check-before-count so the LoopBound trap reports instr_count ==
+        // max_steps (not one past it), and terminators below are subject to
+        // the same budget — a Jump cycle through empty blocks must still
+        // trap rather than spin forever.
+        if (steps_ >= limits_.max_steps) return finish_trap(TrapKind::LoopBound);
+        ++steps_;
         if (!exec_instr(f, in, regs)) return false;
       }
+      if (steps_ >= limits_.max_steps) return finish_trap(TrapKind::LoopBound);
       ++steps_;
       switch (blk.term.kind) {
         case ir::Terminator::Kind::Jump:

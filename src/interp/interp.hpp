@@ -30,18 +30,32 @@ class KvState {
     auto it = m.find(key);
     return it == m.end() ? 0 : it->second;
   }
+  // A zero write restores the absent-key read semantics, so the entry is
+  // erased rather than stored: `entry_count == live_entry_count` is an
+  // invariant, and long write-heavy runs cannot grow dead entries.
   void write(ir::TableId t, uint64_t key, uint64_t value) {
-    tables_.at(t)[key] = value;
+    auto& m = tables_.at(t);
+    if (value == 0) {
+      m.erase(key);
+    } else {
+      m[key] = value;
+    }
   }
   size_t entry_count(ir::TableId t) const { return tables_.at(t).size(); }
-  // Entries whose stored value differs from the default 0. A zero write
-  // restores the absent-key read semantics, so this is the occupancy the
-  // bounded-state verifier reasons about ("live" entries).
+  // Entries whose stored value differs from the default 0 — the occupancy
+  // the bounded-state verifier reasons about ("live" entries). Equal to
+  // entry_count() by the write() invariant; kept as an independent scan so
+  // tests can assert the invariant.
   size_t live_entry_count(ir::TableId t) const {
     size_t n = 0;
     for (const auto& [k, v] : tables_.at(t)) n += v != 0 ? 1 : 0;
     return n;
   }
+  // Snapshot of one table's live entries, for engine-equivalence checks.
+  const std::unordered_map<uint64_t, uint64_t>& entries(ir::TableId t) const {
+    return tables_.at(t);
+  }
+  size_t num_tables() const { return tables_.size(); }
   void clear() {
     for (auto& m : tables_) m.clear();
   }

@@ -13,6 +13,7 @@
 #include <string>
 #include <utility>
 
+#include "backend/compiled.hpp"
 #include "interp/interp.hpp"
 #include "ir/ir.hpp"
 #include "net/packet.hpp"
@@ -27,12 +28,23 @@ struct ElementCounters {
   uint64_t instructions = 0;
 };
 
+// Which executor Element::execute uses. Auto follows the process-global
+// backend::compiled_enabled() switch; the forced modes exist for lockstep
+// differential runs (a reference pipeline pinned to the interpreter while
+// the compiled engine is globally on) and engine benchmarks.
+enum class Engine : uint8_t { Auto, Interp, Compiled };
+
 class Element {
  public:
   Element(std::string name, ir::Program program)
       : name_(std::move(name)),
         program_(std::move(program)),
+        compiled_(program_),
         kv_(program_.kv_tables.size()) {}
+
+  // compiled_ borrows program_; neither may be copied or relocated.
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
 
   const std::string& name() const { return name_; }
   const ir::Program& program() const { return program_; }
@@ -55,14 +67,33 @@ class Element {
   interp::KvState& kv() { return kv_; }
   const interp::KvState& kv() const { return kv_; }
 
+  const backend::CompiledProgram& compiled() const { return compiled_; }
+
+  // Per-element engine override; Auto (default) follows the global switch.
+  void set_engine(Engine e) { engine_ = e; }
+  Engine engine() const { return engine_; }
+  bool use_compiled() const {
+    return engine_ == Engine::Auto ? backend::compiled_enabled()
+                                   : engine_ == Engine::Compiled;
+  }
+
   const ElementCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
   void reset_state() { kv_.clear(); }
 
+  // Executes the program on one packet with the selected engine, without
+  // touching counters — the shared concrete-execution entry point for
+  // replay sites that account instructions themselves.
+  interp::ExecResult execute(net::Packet& p, interp::KvState& kv,
+                             const interp::ExecLimits& limits = {}) const {
+    return use_compiled() ? compiled_.run(p, kv, limits)
+                          : interp::run(program_, p, kv, limits);
+  }
+
   // Processes one packet (concrete execution), updating counters.
   interp::ExecResult process(net::Packet& p) {
     ++counters_.packets_in;
-    const interp::ExecResult r = interp::run(program_, p, kv_);
+    const interp::ExecResult r = execute(p, kv_);
     counters_.instructions += r.instr_count;
     switch (r.action) {
       case interp::Action::Emit: ++counters_.emitted; break;
@@ -75,8 +106,10 @@ class Element {
  private:
   std::string name_;
   ir::Program program_;
+  backend::CompiledProgram compiled_;
   std::optional<ir::Program> model_program_;
   interp::KvState kv_;
+  Engine engine_ = Engine::Auto;
   ElementCounters counters_;
 };
 

@@ -62,6 +62,12 @@ class Pipeline {
   // not revisit an element — ownership can never return). Returns problems.
   std::vector<std::string> validate() const;
 
+  // Pins every element to one engine (see pipeline::Engine); used by
+  // lockstep differential runs and engine benchmarks.
+  void set_engine(Engine e) {
+    for (auto& el : elements_) el->set_engine(e);
+  }
+
   // Runs one packet through the pipeline (concrete execution).
   PipelineResult process(net::Packet& p);
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "backend/compiled.hpp"
 #include "bv/analysis.hpp"
 #include "cache/verdict_cache.hpp"
 #include "elements/registry.hpp"
@@ -95,6 +96,70 @@ SeqReplay replay_sequence(const std::string& config,
     }
   }
   return out;
+}
+
+// One lockstep comparison of the two engines after processing the same
+// input: the pipeline results, the mutated packets, and every element's
+// private KV state must be bit-identical. Returns a one-line description
+// of the first divergence, empty when the engines agree. (KV maps are
+// canonical — zero writes erase — so map equality is state equality.)
+std::string engine_divergence(const pipeline::PipelineResult& rc,
+                              const pipeline::PipelineResult& ri,
+                              const net::Packet& pc, const net::Packet& pi,
+                              const pipeline::Pipeline& plc,
+                              const pipeline::Pipeline& pli) {
+  const auto names = [](const char* what) { return std::string(what); };
+  if (rc.action != ri.action) return names("final action differs");
+  if (rc.exit_element != ri.exit_element) return names("exit element differs");
+  if (rc.action == pipeline::FinalAction::Delivered &&
+      rc.exit_port != ri.exit_port) {
+    return names("exit port differs");
+  }
+  if (rc.action == pipeline::FinalAction::Trapped && rc.trap != ri.trap) {
+    return std::string("trap kind differs: compiled ") +
+           ir::trap_name(rc.trap) + " vs interp " + ir::trap_name(ri.trap);
+  }
+  if (rc.instructions != ri.instructions) {
+    return "instruction count differs: compiled " +
+           std::to_string(rc.instructions) + " vs interp " +
+           std::to_string(ri.instructions);
+  }
+  if (pc.bytes().size() != pi.bytes().size() ||
+      !std::equal(pc.bytes().begin(), pc.bytes().end(), pi.bytes().begin())) {
+    return names("packet bytes differ");
+  }
+  if (pc.all_meta() != pi.all_meta()) return names("packet meta differs");
+  for (size_t e = 0; e < plc.size(); ++e) {
+    const interp::KvState& kc = plc.element(e).kv();
+    const interp::KvState& ki = pli.element(e).kv();
+    for (size_t t = 0; t < kc.num_tables(); ++t) {
+      const auto tid = static_cast<ir::TableId>(t);
+      if (kc.entries(tid) != ki.entries(tid)) {
+        return "KV state differs at [" + plc.element(e).name() + "] table " +
+               std::to_string(t);
+      }
+    }
+  }
+  return "";
+}
+
+// Replays a sequence on fresh compiled- and interpreter-pinned pipeline
+// instances; true when any packet diverges (the shrink predicate of
+// compiled-interp-mismatch).
+bool replay_diverges(const std::string& config,
+                     const std::vector<net::Packet>& seq) {
+  pipeline::Pipeline plc = elements::parse_pipeline(config);
+  pipeline::Pipeline pli = elements::parse_pipeline(config);
+  plc.set_engine(pipeline::Engine::Compiled);
+  pli.set_engine(pipeline::Engine::Interp);
+  for (const net::Packet& input : seq) {
+    net::Packet a = input;
+    net::Packet b = input;
+    const pipeline::PipelineResult rc = plc.process(a);
+    const pipeline::PipelineResult ri = pli.process(b);
+    if (!engine_divergence(rc, ri, a, b, plc, pli).empty()) return true;
+  }
+  return false;
 }
 
 std::string hex_all(const net::Packet& p) {
@@ -450,14 +515,40 @@ struct Runner {
                    size_t count, Verdict crash, Verdict never, Verdict reach,
                    const ConcretePred* wf, PipelineOutcome* out) {
     pipeline::Pipeline pl = elements::parse_pipeline(gp.config);
+    // Lockstep engine oracle: with the compiled engine on, every driven
+    // packet also runs on an interpreter-pinned reference instance and the
+    // two executions must stay bit-identical (results, packet, KV state).
+    std::optional<pipeline::Pipeline> ref;
+    if (cfg.compiled) {
+      pl.set_engine(pipeline::Engine::Compiled);
+      ref.emplace(elements::parse_pipeline(gp.config));
+      ref->set_engine(pipeline::Engine::Interp);
+    }
     std::vector<net::Packet> driven;  // prefix, for state-dependent repros
     bool crash_flagged = false, never_flagged = false, reach_flagged = false;
+    bool engine_flagged = false;
     for (size_t i = 0; i < count; ++i) {
       net::Packet input = generate_packet(rng, len, gp.ip_offset);
       driven.push_back(input);
       net::Packet p = input;
       const pipeline::PipelineResult r = pl.process(p);
       ++out->packets_driven;
+      if (ref && !engine_flagged) {
+        net::Packet q = input;
+        const pipeline::PipelineResult r2 = ref->process(q);
+        const std::string diff = engine_divergence(r, r2, p, q, pl, *ref);
+        if (!diff.empty()) {
+          engine_flagged = true;
+          const std::string config = gp.config;
+          const auto still_fails =
+              [&config](const std::vector<net::Packet>& c) {
+                return replay_diverges(config, c);
+              };
+          add_failure(gp, index, "compiled-interp-mismatch",
+                      "compiled and interpreter engines diverged: " + diff,
+                      shrink_sequence(driven, still_fails));
+        }
+      }
       const bool is_wf = wf != nullptr && wf->matches(input);
       out->wf_matches += is_wf ? 1 : 0;
       switch (r.action) {
@@ -540,6 +631,15 @@ std::string FuzzReport::summary() const {
 }
 
 FuzzReport run_fuzz(const FuzzConfig& cfg) {
+  // Engine kill switch: --no-compiled pins every concrete execution of the
+  // run — oracles, replays, refinement — to the interpreter. Scoped so a
+  // library caller's global engine choice survives the run.
+  struct EngineScope {
+    bool prev = backend::compiled_enabled();
+    explicit EngineScope(bool on) { backend::set_compiled_enabled(on); }
+    ~EngineScope() { backend::set_compiled_enabled(prev); }
+  } engine_scope(cfg.compiled);
+
   FuzzReport report;
   report.seed = cfg.seed;
   Runner runner(cfg, report);

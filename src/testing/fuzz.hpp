@@ -25,6 +25,10 @@
 //   cache-verdict-mismatch      a --cache-dir run (cold, filling the cache,
 //                               or warm, reusing it) disagrees with the
 //                               cache-less verdict or counterexample bytes
+//   compiled-interp-mismatch    the threaded-code engine (backend/) and the
+//                               interpreter diverge on any driven packet —
+//                               result, packet bytes/meta, instruction
+//                               count, or private KV state
 //
 // Failed repros are auto-shrunk (sequence- then byte-minimized, see
 // shrink.hpp) and dumped as a .vspec + packet hexdump artifact pair.
@@ -67,6 +71,12 @@ struct FuzzConfig {
   bool cex_cache = true;
   bool core_grouping = true;
   bool clause_gc = true;
+  // Concrete-engine kill switch (`vsd fuzz --no-compiled`): when false the
+  // whole run executes on the interpreter and the lockstep engine oracle is
+  // off; when true (default) every driven packet also runs on an
+  // interpreter-pinned reference pipeline and any divergence is a
+  // compiled-interp-mismatch FAIL.
+  bool compiled = true;
   GenOptions gen;
   // Persistent verdict-cache oracle: when set, every pipeline's
   // crash-freedom property is re-verified twice against one shared

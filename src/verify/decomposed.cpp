@@ -63,8 +63,10 @@ uint64_t replay_sequence_occupancy_counted(const pipeline::Pipeline& pl,
     net::Packet pkt = input;
     size_t cur = 0;
     for (;;) {
-      const interp::ExecResult r =
-          interp::run(pl.element(cur).program(), pkt, state[cur]);
+      // Element::execute picks the compiled engine when it is globally on;
+      // the compiled path is bit-identical to the interpreter, so the
+      // certified occupancy is engine-independent.
+      const interp::ExecResult r = pl.element(cur).execute(pkt, state[cur]);
       if (r.action != interp::Action::Emit) break;
       const auto d = pl.downstream(cur, r.port);
       if (!d) break;
@@ -90,9 +92,9 @@ uint64_t replay_instruction_count(const pipeline::Pipeline& pl,
   size_t cur = 0;
   uint64_t total = 0;
   for (;;) {
-    const ir::Program& prog = pl.element(cur).program();
-    interp::KvState scratch(prog.kv_tables.size());
-    const interp::ExecResult r = interp::run(prog, pkt, scratch);
+    const pipeline::Element& el = pl.element(cur);
+    interp::KvState scratch(el.program().kv_tables.size());
+    const interp::ExecResult r = el.execute(pkt, scratch);
     total += r.instr_count;
     if (r.action != interp::Action::Emit) break;
     const auto d = pl.downstream(cur, r.port);

@@ -79,6 +79,63 @@ expect_usage_error "fuzz with unwritable --cache-dir rejected" \
 expect_exit2 "submit to dead socket fails with exit 2" \
   "$VSD" submit /dev/null --socket /tmp/vsd-cli-test-no-daemon.sock
 
+# Flag matrix: the global --trace/--metrics/--cache-dir/--stats flags are
+# accepted exactly where the docs claim them; a flag a subcommand does not
+# document is a usage error (exit 2 + usage), never silently ignored.
+expect_ok() {
+  desc="$1"; shift
+  if "$@" > /dev/null 2>&1; then
+    echo "ok: $desc"
+  else
+    echo "FAIL: $desc: expected exit 0, got $?"
+    fails=$((fails + 1))
+  fi
+}
+
+MTX=$(mktemp -d)
+expect_ok "verify accepts --stats/--trace/--metrics/--cache-dir" \
+  "$VSD" verify "Classifier" --property crash --stats \
+  --trace "$MTX/t.json" --metrics "$MTX/m.jsonl" --cache-dir "$MTX/cache"
+expect_ok "reach accepts --stats/--trace/--metrics" \
+  "$VSD" reach "Classifier" --dst 10.0.0.1 --stats \
+  --trace "$MTX/t2.json" --metrics "$MTX/m2.jsonl"
+expect_ok "state accepts --stats/--trace/--metrics" \
+  "$VSD" state "Counter" --bound 4 --stats \
+  --trace "$MTX/t3.json" --metrics "$MTX/m3.jsonl"
+expect_ok "fuzz accepts --trace/--metrics/--cache-dir" \
+  "$VSD" fuzz --pipelines 1 --packets 5 \
+  --trace "$MTX/t4.json" --metrics "$MTX/m4.jsonl" --cache-dir "$MTX/cache2"
+expect_usage_error "show rejects --stats" \
+  "$VSD" show "Classifier" --stats
+expect_usage_error "list rejects --cache-dir" \
+  "$VSD" list --cache-dir "$MTX/nope"
+expect_usage_error "certify rejects --stats" \
+  "$VSD" certify "CheckIPHeader" --candidate DecIPTTL --stats
+expect_usage_error "run rejects --stats" \
+  "$VSD" run "Classifier" --packets 1 --stats
+expect_usage_error "verify rejects a typo flag" \
+  "$VSD" verify "Classifier" --property crash --job 2
+rm -rf "$MTX"
+
+# vsd run: numeric flags go through the strict parser, the compiled-engine
+# kill switch is accepted, and malformed values are usage errors.
+expect_usage_error "run --packets abc rejected" \
+  "$VSD" run "Classifier" --packets abc
+expect_usage_error "run --packets trailing garbage rejected" \
+  "$VSD" run "Classifier" --packets 10x
+expect_usage_error "run --batch 0 rejected" \
+  "$VSD" run "Classifier" --packets 1 --batch 0
+expect_usage_error "run --batch junk rejected" \
+  "$VSD" run "Classifier" --packets 1 --batch junk
+expect_usage_error "run --seed -3 rejected" \
+  "$VSD" run "Classifier" --packets 1 --seed -3
+expect_usage_error "run --pcap-like missing file rejected" \
+  "$VSD" run "Classifier" --pcap-like /no/such/file.pkt
+expect_ok "run valid invocation exits 0" \
+  "$VSD" run "Classifier" --packets 16 --batch 4 --seed 7
+expect_ok "run --no-compiled exits 0" \
+  "$VSD" run "Classifier" --packets 16 --no-compiled
+
 # A valid invocation (including avoidance kill switches) still works.
 if "$VSD" verify "Classifier -> EthDecap" --property crash --jobs 2 \
     --no-cex-cache --no-clause-gc > /dev/null 2>&1; then

@@ -1,6 +1,7 @@
 // Tests for the concrete IR interpreter: semantics, traps, loops, state.
 #include <gtest/gtest.h>
 
+#include "backend/compiled.hpp"
 #include "elements/toy.hpp"
 #include "interp/interp.hpp"
 #include "ir/builder.hpp"
@@ -265,6 +266,102 @@ TEST(Interp, SignedOpsAtWidth) {
   p[0] = 0x7f;
   ASSERT_TRUE(run_fresh(prog, p).emitted());
   EXPECT_EQ(p[1], 0);
+}
+
+// Regression: a zero write must restore the absent-key semantics by
+// erasing the entry, not storing a dead zero — otherwise write-heavy runs
+// grow dead entries and entry_count diverges from the occupancy the
+// bounded-state verifier reasons about.
+TEST(Interp, KvZeroWriteErasesEntry) {
+  KvState kv(1);
+  kv.write(0, 7, 5);
+  EXPECT_EQ(kv.entry_count(0), 1u);
+  kv.write(0, 7, 0);
+  EXPECT_EQ(kv.read(0, 7), 0u);
+  EXPECT_EQ(kv.entry_count(0), 0u);
+  // Invariant under churn: entry_count == live_entry_count always.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    kv.write(0, i % 16, i % 3);
+    ASSERT_EQ(kv.entry_count(0), kv.live_entry_count(0)) << "write " << i;
+  }
+}
+
+TEST(Interp, KvZeroWriteThroughProgram) {
+  // write(k, 1) then write(k, 0) via IR — the table must end empty.
+  ProgramBuilder pb("kvzero", 1);
+  const ir::TableId t = pb.add_kv_table("tbl", 8, 64);
+  FunctionBuilder& f = pb.main();
+  const Reg k = f.imm8(3);
+  f.kv_write(t, k, f.imm64(1));
+  f.kv_write(t, k, f.imm64(0));
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  KvState kv(1);
+  net::Packet p = net::Packet::of_size(4);
+  ASSERT_TRUE(run(prog, p, kv).emitted());
+  EXPECT_EQ(kv.entry_count(0), 0u);
+  EXPECT_EQ(kv.live_entry_count(0), 0u);
+}
+
+// The step budget is exact: with max_steps == B < full-run count, both
+// engines trap LoopBound with instr_count == B — including when the budget
+// runs out inside a RunLoop aux function — and with B >= the full count
+// the run completes untruncated. Shared boundary contract of interp::run
+// and backend::CompiledProgram::run.
+TEST(Interp, MaxStepsBoundaryIsExactAcrossEngines) {
+  // Same shape as LoopSumsAndRespectsExit: a counted loop in an aux
+  // function, driven from the packet.
+  ProgramBuilder pb("loop", 1);
+  FunctionBuilder& body = pb.new_loop_body("b", {32, 32, 32});
+  {
+    const auto& prm = pb.params(body.id());
+    const Reg i = prm[0], sum = prm[1], n = prm[2];
+    const Reg more = body.ult(i, n);
+    auto [go, stop] = body.br(more);
+    body.set_block(stop);
+    body.ret({body.imm1(false), i, sum, n});
+    body.set_block(go);
+    const Reg sum2 = body.add(sum, i);
+    const Reg i2 = body.add(i, body.imm32(1));
+    body.ret({body.imm1(true), i2, sum2, n});
+  }
+  FunctionBuilder& f = pb.main();
+  const Reg n = f.zext(f.pkt_load8(0), 32);
+  Reg i0 = f.imm32(0);
+  Reg sum0 = f.imm32(0);
+  f.run_loop(body.id(), 300, {i0, sum0, n});
+  f.pkt_store32(0, sum0);
+  f.emit(0);
+  const ir::Program prog = pb.finish();
+  const backend::CompiledProgram cp(prog);
+  ASSERT_TRUE(cp.lowered());
+
+  net::Packet base = net::Packet::of_size(4);
+  base[0] = 10;
+  net::Packet full = base;
+  const uint64_t total = run_fresh(prog, full).instr_count;
+  ASSERT_GT(total, 30u);  // the budget boundary lands inside the aux fn
+  for (uint64_t budget = 1; budget <= total; ++budget) {
+    const ExecLimits limits{budget};
+    net::Packet pi = base;
+    net::Packet pc = base;
+    KvState kvi(prog.kv_tables.size());
+    KvState kvc(prog.kv_tables.size());
+    const ExecResult ri = run(prog, pi, kvi, limits);
+    const ExecResult rc = cp.run(pc, kvc, limits);
+    ASSERT_EQ(static_cast<int>(ri.action), static_cast<int>(rc.action))
+        << "budget " << budget;
+    ASSERT_EQ(ri.instr_count, rc.instr_count) << "budget " << budget;
+    if (budget < total) {
+      ASSERT_TRUE(ri.trapped()) << "budget " << budget;
+      ASSERT_EQ(ri.trap, TrapKind::LoopBound) << "budget " << budget;
+      ASSERT_EQ(ri.instr_count, budget) << "budget " << budget;
+      ASSERT_EQ(rc.trap, TrapKind::LoopBound) << "budget " << budget;
+    } else {
+      ASSERT_TRUE(ri.emitted());
+      ASSERT_EQ(ri.instr_count, total);
+    }
+  }
 }
 
 }  // namespace

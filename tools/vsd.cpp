@@ -7,7 +7,8 @@
 //   vsd list
 //   vsd check    <file.vspec> [...] [--jobs N]   batch property checker
 //   vsd show     "<pipeline>"
-//   vsd run      "<pipeline>" [--count N] [--traffic CLASS] [--seed S]
+//   vsd run      "<pipeline>" [--packets N | --pcap-like FILE] [--batch B]
+//                [--traffic CLASS] [--seed S] [--no-compiled]
 //   vsd verify   "<pipeline>" --property crash|bound [--len N] [--unroll]
 //                [--jobs N]
 //   vsd reach    "<pipeline>" --dst A.B.C.D [--len N] [--eth-offset N]
@@ -31,6 +32,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -38,6 +40,7 @@
 
 #include <fstream>
 
+#include "backend/compiled.hpp"
 #include "cache/store.hpp"
 #include "cache/verdict_cache.hpp"
 #include "elements/registry.hpp"
@@ -106,7 +109,7 @@ Args parse_args(int argc, char** argv) {
       "stats",         "one-shot",     "unroll",
       "print",         "no-cross-check", "no-artifacts",
       "no-rewrite",    "no-independence", "no-cex-cache",
-      "no-core-grouping", "no-clause-gc"};
+      "no-core-grouping", "no-clause-gc", "no-compiled"};
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
@@ -127,6 +130,60 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return a;
+}
+
+// Per-command flag matrix: every option on the command line must be one the
+// command actually reads (the verification subcommands additionally take the
+// global --trace/--metrics sinks). An unknown flag is a usage error — it used
+// to be silently ignored, which turned typos like `vsd certify --stats` into
+// runs that quietly did less than asked.
+void check_flags(const Args& a) {
+  using Set = std::set<std::string>;
+  static const Set kAvoid = {"no-rewrite", "no-independence", "no-cex-cache",
+                             "no-core-grouping", "no-clause-gc"};
+  static const std::map<std::string, Set> kMatrix = [] {
+    std::map<std::string, Set> m;
+    auto with = [](Set base, const Set& extra) {
+      base.insert(extra.begin(), extra.end());
+      return base;
+    };
+    const Set obs = {"trace", "metrics"};
+    m["list"] = {};
+    m["show"] = {};
+    m["asm"] = {"print"};
+    m["run"] = {"packets", "count",   "seed",       "batch",
+                "pcap-like", "traffic", "no-compiled"};
+    m["check"] = with(kAvoid, with(obs, {"jobs", "one-shot", "stats", "json",
+                                         "cache-dir"}));
+    m["fuzz"] = with(kAvoid,
+                     with(obs, {"emit-packs", "check-packs", "seed",
+                                "pipelines", "packets", "sequences",
+                                "sequence-len", "jobs", "max-elems",
+                                "no-cross-check", "no-artifacts", "out",
+                                "cache-dir", "no-compiled"}));
+    m["serve"] = with(obs, {"socket", "cache-dir", "jobs"});
+    m["submit"] = with(obs, {"socket", "jobs"});
+    m["verify"] = with(kAvoid, with(obs, {"property", "len", "unroll", "jobs",
+                                          "one-shot", "cache-dir", "stats"}));
+    m["reach"] = with(kAvoid, with(obs, {"dst", "eth-offset", "len", "jobs",
+                                         "one-shot", "stats"}));
+    m["state"] = with(kAvoid, with(obs, {"bound", "element", "len", "jobs",
+                                         "one-shot", "stats"}));
+    m["certify"] = with(obs, {"candidate", "after", "len", "jobs"});
+    m["baseline"] = with(obs, {"len", "budget"});
+    m["paths"] = with(obs, {"len", "jobs"});
+    m["profile"] = with(kAvoid, with(obs, {"len", "jobs", "one-shot"}));
+    m["verify-ir"] = with(obs, {"len", "property"});
+    return m;
+  }();
+  const auto it = kMatrix.find(a.positional[0]);
+  if (it == kMatrix.end()) return;  // unknown command: usage() handles it
+  for (const auto& [key, value] : a.options) {
+    if (it->second.count(key) == 0) {
+      throw UsageError("--" + key + " is not a flag of 'vsd " +
+                       a.positional[0] + "'");
+    }
+  }
 }
 
 std::string read_file(const std::string& path) {
@@ -155,22 +212,30 @@ int usage() {
       "       counters, --one-shot to disable incremental solving, and\n"
       "       --no-rewrite/--no-independence/--no-cex-cache/\n"
       "       --no-core-grouping/--no-clause-gc to disable one\n"
-      "       query-avoidance layer; verify/check/state/fuzz also take\n"
-      "       --trace FILE for a Chrome trace-event JSON and\n"
-      "       --metrics FILE for a JSONL metrics log)\n"
+      "       query-avoidance layer; every verification subcommand also\n"
+      "       takes --trace FILE for a Chrome trace-event JSON and\n"
+      "       --metrics FILE for a JSONL metrics log; flags a subcommand\n"
+      "       does not document are usage errors, exit 2)\n"
       "  vsd fuzz [--seed S] [--pipelines N] [--packets N] [--sequences N]\n"
       "           [--sequence-len K] [--max-elems K] [--jobs N] [--out DIR]\n"
       "           [--no-cross-check] [--no-artifacts] [--cache-dir DIR]\n"
+      "           [--no-compiled]\n"
       "      differential fuzz; --cache-dir adds the warm-vs-cold\n"
-      "      verdict-cache oracle\n"
+      "      verdict-cache oracle; --no-compiled pins the interpreter\n"
+      "      engine (default also runs the lockstep compiled-vs-interp\n"
+      "      oracle)\n"
       "  vsd fuzz --emit-packs [DIR]              write per-element "
       "property packs\n"
       "  vsd fuzz --check-packs [DIR] [--jobs N]  verify the pack corpus\n"
       "  vsd show \"<pipeline>\"                     print element IR\n"
-      "  vsd run \"<pipeline>\" [--count N] [--traffic wellformed|options|"
-      "malformed|random|tiny] [--seed S]\n"
+      "  vsd run \"<pipeline>\" [--packets N | --pcap-like FILE] [--batch B]\n"
+      "          [--traffic wellformed|options|malformed|random|tiny]\n"
+      "          [--seed S] [--no-compiled]\n"
+      "      compile the chain once, stream batched packets, report\n"
+      "      packets/sec; --pcap-like replays hex-dump packets (the fuzz\n"
+      "      .pkt artifact format); --no-compiled runs the interpreter\n"
       "  vsd verify \"<pipeline>\" --property crash|bound [--len N] "
-      "[--unroll] [--jobs N]\n"
+      "[--unroll] [--jobs N] [--cache-dir DIR]\n"
       "  vsd reach \"<pipeline>\" --dst A.B.C.D [--len N] [--eth-offset N] "
       "[--jobs N]\n"
       "  vsd state \"<pipeline>\" --bound N [--element NAME] [--len N] "
@@ -381,6 +446,7 @@ int cmd_fuzz(const Args& a) {
   cfg.cex_cache = !a.flag("no-cex-cache");
   cfg.core_grouping = !a.flag("no-core-grouping");
   cfg.clause_gc = !a.flag("no-clause-gc");
+  cfg.compiled = !a.flag("no-compiled");
   cfg.cache_dir = a.get("cache-dir", "");
   if (a.options.count("cache-dir") != 0 && cfg.cache_dir.empty()) {
     throw UsageError("--cache-dir expects a directory path");
@@ -412,41 +478,156 @@ int cmd_show(const Args& a) {
   return 0;
 }
 
+// --pcap-like input: one packet per line as whitespace-separated hex bytes
+// with an optional `| meta <slot>:<value> ...` suffix and `#` comments —
+// exactly the format of the fuzz harness's .pkt repro artifacts, so a
+// shrunk repro replays directly: `vsd run "<cfg>" --pcap-like f.pkt`.
+std::vector<net::Packet> read_pcap_like(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("--pcap-like: cannot open " + path);
+  std::vector<net::Packet> out;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = path + ":" + std::to_string(lineno);
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string meta_part;
+    const size_t bar = line.find('|');
+    if (bar != std::string::npos) {
+      meta_part = line.substr(bar + 1);
+      line.resize(bar);
+    }
+    std::istringstream hex(line);
+    std::vector<uint8_t> bytes;
+    std::string tok;
+    while (hex >> tok) {
+      if (tok.size() != 2 ||
+          tok.find_first_not_of("0123456789abcdefABCDEF") !=
+              std::string::npos) {
+        throw UsageError(where + ": bad hex byte '" + tok + "'");
+      }
+      bytes.push_back(
+          static_cast<uint8_t>(std::strtoul(tok.c_str(), nullptr, 16)));
+    }
+    if (bytes.empty() && meta_part.empty()) continue;  // blank / comment line
+    net::Packet p(std::move(bytes));
+    std::istringstream meta(meta_part);
+    std::string mtok;
+    if (meta >> mtok) {
+      if (mtok != "meta") {
+        throw UsageError(where + ": expected 'meta' after '|', got '" + mtok +
+                         "'");
+      }
+      while (meta >> mtok) {
+        const size_t colon = mtok.find(':');
+        if (colon == std::string::npos) {
+          throw UsageError(where + ": bad meta entry '" + mtok +
+                           "' (want slot:value)");
+        }
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long slot = std::strtoul(mtok.c_str(), &end, 10);
+        if (end != mtok.c_str() + colon || slot >= net::kMetaSlots) {
+          throw UsageError(where + ": bad meta slot in '" + mtok + "'");
+        }
+        const char* vbeg = mtok.c_str() + colon + 1;
+        const unsigned long long v = std::strtoull(vbeg, &end, 10);
+        if (*vbeg == '\0' || *end != '\0' || errno == ERANGE ||
+            v > UINT32_MAX) {
+          throw UsageError(where + ": bad meta value in '" + mtok + "'");
+        }
+        p.set_meta(slot, static_cast<uint32_t>(v));
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 int cmd_run(const Args& a) {
   pipeline::Pipeline pl = elements::parse_pipeline(a.positional[1]);
   const auto problems = pl.validate();
   for (const auto& p : problems) std::printf("warning: %s\n", p.c_str());
 
-  net::WorkloadConfig cfg;
-  cfg.count = a.get_u64("count", 1000);
-  cfg.seed = a.get_u64("seed", 1);
-  const std::string traffic = a.get("traffic", "wellformed");
-  if (traffic == "wellformed") cfg.traffic = net::TrafficClass::WellFormed;
-  else if (traffic == "options") cfg.traffic = net::TrafficClass::WithIpOptions;
-  else if (traffic == "malformed") cfg.traffic = net::TrafficClass::MalformedHeader;
-  else if (traffic == "random") cfg.traffic = net::TrafficClass::RandomBytes;
-  else if (traffic == "tiny") cfg.traffic = net::TrafficClass::TinyPackets;
-  else { std::printf("unknown traffic class: %s\n", traffic.c_str()); return 2; }
+  // Engine selection: the chain is compiled once at parse (Element owns a
+  // CompiledProgram); --no-compiled pins this run to the interpreter for
+  // A/B comparisons.
+  const bool compiled = !a.flag("no-compiled");
+  pl.set_engine(compiled ? pipeline::Engine::Compiled
+                         : pipeline::Engine::Interp);
 
+  const uint64_t batch = a.get_u64("batch", 32);
+  if (batch == 0) throw UsageError("--batch must be at least 1");
+
+  std::vector<net::Packet> inputs;
+  const std::string pcap_like = a.get("pcap-like", "");
+  if (a.options.count("pcap-like") != 0 && pcap_like.empty()) {
+    throw UsageError("--pcap-like expects an input file path");
+  }
+  if (!pcap_like.empty()) {
+    inputs = read_pcap_like(pcap_like);
+    if (inputs.empty()) {
+      throw UsageError("--pcap-like: no packets in " + pcap_like);
+    }
+  } else {
+    net::WorkloadConfig cfg;
+    // --packets is the documented spelling; --count is the historical one.
+    cfg.count = a.get_u64("packets", a.get_u64("count", 1000));
+    cfg.seed = a.get_u64("seed", 1);
+    const std::string traffic = a.get("traffic", "wellformed");
+    if (traffic == "wellformed") cfg.traffic = net::TrafficClass::WellFormed;
+    else if (traffic == "options") cfg.traffic = net::TrafficClass::WithIpOptions;
+    else if (traffic == "malformed") cfg.traffic = net::TrafficClass::MalformedHeader;
+    else if (traffic == "random") cfg.traffic = net::TrafficClass::RandomBytes;
+    else if (traffic == "tiny") cfg.traffic = net::TrafficClass::TinyPackets;
+    else { std::printf("unknown traffic class: %s\n", traffic.c_str()); return 2; }
+    inputs = net::generate_workload(cfg);
+  }
+
+  // Batched streaming drive. The timer covers the processing loop only
+  // (workload generation and reporting are outside), so packets/sec is the
+  // engine's throughput; diagnostics are deferred to keep I/O out of it.
   size_t delivered = 0, dropped = 0, trapped = 0;
   uint64_t instructions = 0;
-  for (net::Packet& p : net::generate_workload(cfg)) {
-    const pipeline::PipelineResult r = pl.process(p);
-    instructions += r.instructions;
-    switch (r.action) {
-      case pipeline::FinalAction::Delivered: ++delivered; break;
-      case pipeline::FinalAction::Dropped: ++dropped; break;
-      case pipeline::FinalAction::Trapped:
-        ++trapped;
-        std::printf("TRAP %s at [%s]\n", ir::trap_name(r.trap),
-                    pl.element(r.exit_element).name().c_str());
-        break;
+  ir::TrapKind first_trap = ir::TrapKind::Unreachable;
+  size_t first_trap_element = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t base = 0; base < inputs.size(); base += batch) {
+    const size_t end = std::min(inputs.size(), base + static_cast<size_t>(batch));
+    for (size_t i = base; i < end; ++i) {
+      const pipeline::PipelineResult r = pl.process(inputs[i]);
+      instructions += r.instructions;
+      switch (r.action) {
+        case pipeline::FinalAction::Delivered: ++delivered; break;
+        case pipeline::FinalAction::Dropped: ++dropped; break;
+        case pipeline::FinalAction::Trapped:
+          if (trapped == 0) {
+            first_trap = r.trap;
+            first_trap_element = r.exit_element;
+          }
+          ++trapped;
+          break;
+      }
     }
   }
-  std::printf("%zu packets: %zu delivered, %zu dropped, %zu trapped; "
-              "%.1f instr/pkt\n",
-              static_cast<size_t>(cfg.count), delivered, dropped, trapped,
-              static_cast<double>(instructions) / cfg.count);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (trapped != 0) {
+    std::printf("TRAP %s at [%s] (first of %zu)\n", ir::trap_name(first_trap),
+                pl.element(first_trap_element).name().c_str(), trapped);
+  }
+  const size_t total = inputs.size();
+  std::printf("%zu packets (%s engine, batch %llu): %zu delivered, "
+              "%zu dropped, %zu trapped; %.1f instr/pkt\n",
+              total, compiled ? "compiled" : "interp",
+              static_cast<unsigned long long>(batch), delivered, dropped,
+              trapped, static_cast<double>(instructions) / total);
+  std::printf("  %.3f s, %.0f packets/sec\n", seconds,
+              seconds > 0 ? static_cast<double>(total) / seconds : 0.0);
   for (size_t i = 0; i < pl.size(); ++i) {
     const auto& c = pl.element(i).counters();
     std::printf("  [%zu] %-16s in=%llu emit=%llu drop=%llu\n", i,
@@ -466,6 +647,21 @@ int cmd_verify(const Args& a) {
   cfg.jobs = a.get_u64("jobs", 1);  // 0 = one worker per hardware thread
   cfg.incremental = !a.flag("one-shot");
   apply_avoidance_flags(a, &cfg);
+  // Persistent cross-run verdict cache, as on `vsd check` / `vsd serve`.
+  // (This used to be silently ignored here although the docs promise it.)
+  const std::string cache_dir = a.get("cache-dir", "");
+  if (a.options.count("cache-dir") != 0 && cache_dir.empty()) {
+    throw UsageError("--cache-dir expects a directory path");
+  }
+  std::unique_ptr<cache::VerdictCache> cache;
+  if (!cache_dir.empty()) {
+    std::string err;
+    if (!cache::Store::validate_dir(cache_dir, &err)) {
+      throw UsageError("--cache-dir: " + err);
+    }
+    cache = std::make_unique<cache::VerdictCache>(cache_dir);
+    cfg.decision_cache = cache.get();
+  }
   verify::DecomposedVerifier verifier(cfg);
 
   const std::string prop = a.get("property", "crash");
@@ -881,6 +1077,7 @@ int main(int argc, char** argv) {
   if (a.positional.empty()) return usage();
   int rc = 2;
   try {
+    check_flags(a);
     // Tracing sinks are global so every command gets them for free.
     // Observational only: verdicts, exit codes, and counterexample bytes
     // are byte-identical with or without these flags (tests/obs_test.cpp).
